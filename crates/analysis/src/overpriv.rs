@@ -1,0 +1,212 @@
+//! Over-privilege analysis (Section 6.3).
+//!
+//! An app is *over-privileged* when its manifest requests permissions its
+//! code never exercises. The paper builds on PScout's API→permission map
+//! and static reachability; here the map is
+//! [`marketscope_apk::permmap::PermissionMap`] and the reachable API set
+//! is the digest's API-call footprint (our DEX model has no dead code or
+//! reflection, the two caveats the paper notes for the real analysis).
+
+use marketscope_apk::digest::ApkDigest;
+use marketscope_apk::permmap::{Permission, PermissionMap, PERMISSIONS};
+use std::collections::BTreeSet;
+
+/// Per-app over-privilege facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverprivilegeResult {
+    /// Permissions declared in the manifest (recognized ones).
+    pub declared: BTreeSet<Permission>,
+    /// Permissions actually exercised by API calls.
+    pub used: BTreeSet<Permission>,
+    /// Declared but never exercised.
+    pub unused: BTreeSet<Permission>,
+}
+
+impl OverprivilegeResult {
+    /// Whether the app requests at least one unused permission.
+    pub fn is_overprivileged(&self) -> bool {
+        !self.unused.is_empty()
+    }
+
+    /// Number of unused permissions (Figure 11's x-axis).
+    pub fn unused_count(&self) -> usize {
+        self.unused.len()
+    }
+
+    /// Unused permissions Google labels dangerous.
+    pub fn unused_dangerous(&self) -> impl Iterator<Item = &Permission> {
+        self.unused.iter().filter(|p| p.is_dangerous())
+    }
+}
+
+/// The analyzer: permission map + static API footprint.
+#[derive(Debug, Clone, Default)]
+pub struct OverprivilegeAnalyzer {
+    map: PermissionMap,
+}
+
+impl OverprivilegeAnalyzer {
+    /// Analyzer over the standard platform map.
+    pub fn new() -> Self {
+        OverprivilegeAnalyzer {
+            map: PermissionMap::standard(),
+        }
+    }
+
+    /// Analyze one app digest.
+    pub fn analyze(&self, digest: &ApkDigest) -> OverprivilegeResult {
+        let used = self.map.used_permissions(digest.api_calls());
+        let declared: BTreeSet<Permission> = digest
+            .permissions
+            .iter()
+            .filter_map(|name| {
+                PERMISSIONS
+                    .iter()
+                    .find(|p| *p == name)
+                    .map(|p| Permission(p))
+            })
+            .collect();
+        let unused: BTreeSet<Permission> = declared.difference(&used).copied().collect();
+        OverprivilegeResult {
+            declared,
+            used,
+            unused,
+        }
+    }
+}
+
+/// Aggregate a population of results into the Figure 11 histogram:
+/// counts of apps with 0, 1, ..., 9, and >9 unused permissions.
+pub fn unused_histogram(results: &[OverprivilegeResult]) -> [u64; 11] {
+    let mut out = [0u64; 11];
+    for r in results {
+        let bucket = r.unused_count().min(10);
+        out[bucket] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_apk::apicalls::ApiCallId;
+    use marketscope_apk::builder::ApkBuilder;
+    use marketscope_apk::dex::{ClassDef, DexFile, MethodDef};
+    use marketscope_apk::manifest::Manifest;
+    use marketscope_core::{DeveloperKey, PackageName, VersionCode};
+
+    fn digest_with(declared: Vec<String>, calls: Vec<u32>) -> ApkDigest {
+        let manifest = Manifest {
+            package: PackageName::new("com.t.x").unwrap(),
+            version_code: VersionCode(1),
+            version_name: "1".into(),
+            min_sdk: 9,
+            target_sdk: 23,
+            app_label: "T".into(),
+            permissions: declared,
+            category: "Tools".into(),
+        };
+        let dex = DexFile {
+            classes: vec![ClassDef {
+                name: "Lcom/t/x/Main;".into(),
+                methods: vec![MethodDef {
+                    api_calls: calls.into_iter().map(ApiCallId).collect(),
+                    code_hash: 1,
+                }],
+            }],
+        };
+        let bytes = ApkBuilder::new(manifest, dex)
+            .build(DeveloperKey::from_label("d"))
+            .unwrap();
+        ApkDigest::from_bytes(&bytes).unwrap()
+    }
+
+    /// Find an API id requiring a given permission.
+    fn api_for(perm: &str) -> u32 {
+        let map = PermissionMap::standard();
+        let limit = marketscope_apk::apicalls::API_CALL_RANGE;
+        map.apis_for(
+            Permission(PERMISSIONS.iter().find(|p| **p == perm).unwrap()),
+            limit,
+        )[0]
+        .0
+    }
+
+    #[test]
+    fn exact_declaration_is_not_overprivileged() {
+        let camera_api = api_for("android.permission.CAMERA");
+        let d = digest_with(vec!["android.permission.CAMERA".into()], vec![camera_api]);
+        let r = OverprivilegeAnalyzer::new().analyze(&d);
+        assert!(!r.is_overprivileged());
+        assert_eq!(r.unused_count(), 0);
+        assert!(r.used.iter().any(|p| p.0.ends_with("CAMERA")));
+    }
+
+    #[test]
+    fn unused_declarations_are_flagged() {
+        let camera_api = api_for("android.permission.CAMERA");
+        let d = digest_with(
+            vec![
+                "android.permission.CAMERA".into(),
+                "android.permission.READ_PHONE_STATE".into(),
+                "android.permission.SEND_SMS".into(),
+            ],
+            vec![camera_api],
+        );
+        let r = OverprivilegeAnalyzer::new().analyze(&d);
+        assert!(r.is_overprivileged());
+        assert_eq!(r.unused_count(), 2);
+        assert_eq!(r.unused_dangerous().count(), 2);
+    }
+
+    #[test]
+    fn unknown_permission_strings_are_ignored() {
+        let d = digest_with(vec!["com.custom.PERMISSION".into()], vec![]);
+        let r = OverprivilegeAnalyzer::new().analyze(&d);
+        assert_eq!(r.declared.len(), 0);
+        assert!(!r.is_overprivileged());
+    }
+
+    #[test]
+    fn used_but_undeclared_is_not_overprivilege() {
+        // The inverse gap (missing declarations) is a crash bug, not
+        // over-privilege; unused must stay empty.
+        let camera_api = api_for("android.permission.CAMERA");
+        let d = digest_with(vec![], vec![camera_api]);
+        let r = OverprivilegeAnalyzer::new().analyze(&d);
+        assert!(!r.is_overprivileged());
+        assert!(!r.used.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let camera_api = api_for("android.permission.CAMERA");
+        let none = digest_with(vec!["android.permission.CAMERA".into()], vec![camera_api]);
+        let two = digest_with(
+            vec![
+                "android.permission.SEND_SMS".into(),
+                "android.permission.READ_SMS".into(),
+            ],
+            vec![],
+        );
+        let analyzer = OverprivilegeAnalyzer::new();
+        let results = vec![analyzer.analyze(&none), analyzer.analyze(&two)];
+        let h = unused_histogram(&results);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn many_unused_lands_in_overflow_bucket() {
+        let perms: Vec<String> = PERMISSIONS
+            .iter()
+            .take(12)
+            .map(|p| (*p).to_string())
+            .collect();
+        let d = digest_with(perms, vec![]);
+        let r = OverprivilegeAnalyzer::new().analyze(&d);
+        let h = unused_histogram(&[r]);
+        assert_eq!(h[10], 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Malware removal measurement (Section 7, Table 6).
+//!
+//! Eight months after the first crawl, the paper re-crawled every store
+//! and asked: of the samples we had flagged as malware (AV-rank ≥ 10),
+//! how many are gone? And of the malicious apps *Google Play* removed,
+//! how many still survive in each Chinese store?
+
+use marketscope_core::MarketId;
+use std::collections::HashSet;
+
+/// Input: one market's flagged malware and the second crawl's catalog.
+#[derive(Debug, Clone)]
+pub struct RemovalInput {
+    /// The market.
+    pub market: MarketId,
+    /// Packages flagged as malware in the first crawl.
+    pub flagged: Vec<String>,
+    /// Packages still listed in the second crawl.
+    pub second_crawl: HashSet<String>,
+}
+
+/// Output row (Table 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovalReport {
+    /// The market.
+    pub market: MarketId,
+    /// Number flagged in the first crawl.
+    pub flagged: usize,
+    /// Number of those gone by the second crawl.
+    pub removed: usize,
+    /// Removal rate (0 when nothing was flagged).
+    pub rate: f64,
+    /// Flagged packages also flagged-and-removed from Google Play (GPRM
+    /// overlap).
+    pub gprm_overlap: usize,
+    /// Of the GPRM overlap, how many this market also removed.
+    pub gprm_removed: usize,
+}
+
+/// Compute per-market removal rates plus the GPRM overlap columns.
+pub fn removal_rates(inputs: &[RemovalInput]) -> Vec<RemovalReport> {
+    // Google Play's removed-malware set first.
+    let gp = inputs.iter().find(|i| i.market == MarketId::GooglePlay);
+    let gprm: HashSet<&str> = match gp {
+        Some(gp) => gp
+            .flagged
+            .iter()
+            .filter(|p| !gp.second_crawl.contains(*p))
+            .map(String::as_str)
+            .collect(),
+        None => HashSet::new(),
+    };
+    inputs
+        .iter()
+        .map(|input| {
+            let removed = input
+                .flagged
+                .iter()
+                .filter(|p| !input.second_crawl.contains(*p))
+                .count();
+            let overlap: Vec<&String> = input
+                .flagged
+                .iter()
+                .filter(|p| gprm.contains(p.as_str()))
+                .collect();
+            let gprm_removed = overlap
+                .iter()
+                .filter(|p| !input.second_crawl.contains(**p))
+                .count();
+            RemovalReport {
+                market: input.market,
+                flagged: input.flagged.len(),
+                removed,
+                rate: if input.flagged.is_empty() {
+                    0.0
+                } else {
+                    removed as f64 / input.flagged.len() as f64
+                },
+                gprm_overlap: if input.market == MarketId::GooglePlay {
+                    0
+                } else {
+                    overlap.len()
+                },
+                gprm_removed: if input.market == MarketId::GooglePlay {
+                    0
+                } else {
+                    gprm_removed
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(market: MarketId, flagged: &[&str], second: &[&str]) -> RemovalInput {
+        RemovalInput {
+            market,
+            flagged: flagged.iter().map(|s| (*s).to_owned()).collect(),
+            second_crawl: second.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn basic_removal_rate() {
+        let reports = removal_rates(&[input(
+            MarketId::Wandoujia,
+            &["a.a", "b.b", "c.c", "d.d"],
+            &["a.a", "d.d"],
+        )]);
+        assert_eq!(reports[0].flagged, 4);
+        assert_eq!(reports[0].removed, 2);
+        assert!((reports[0].rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gprm_overlap_counts() {
+        let gp = input(
+            MarketId::GooglePlay,
+            &["m.one", "m.two", "m.three"],
+            &["m.three"],
+        );
+        // GP removed m.one and m.two. Tencent hosts both; it removed only
+        // m.one.
+        let tencent = input(
+            MarketId::TencentMyapp,
+            &["m.one", "m.two", "x.y"],
+            &["m.two", "x.y"],
+        );
+        let reports = removal_rates(&[gp, tencent]);
+        let t = &reports[1];
+        assert_eq!(t.gprm_overlap, 2);
+        assert_eq!(t.gprm_removed, 1);
+        assert_eq!(t.removed, 1);
+        // GP's own row does not count overlap with itself.
+        assert_eq!(reports[0].gprm_overlap, 0);
+    }
+
+    #[test]
+    fn empty_flag_set_is_zero_rate() {
+        let reports = removal_rates(&[input(MarketId::Liqu, &[], &["x.y"])]);
+        assert_eq!(reports[0].rate, 0.0);
+        assert_eq!(reports[0].flagged, 0);
+    }
+
+    #[test]
+    fn missing_google_play_means_no_overlap() {
+        let reports = removal_rates(&[input(MarketId::Sougou, &["a.b"], &[])]);
+        assert_eq!(reports[0].gprm_overlap, 0);
+        assert_eq!(reports[0].removed, 1);
+    }
+}

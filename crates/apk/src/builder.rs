@@ -1,0 +1,179 @@
+//! Constructing signed APKs.
+//!
+//! The builder assembles manifest + DEX + assets into a ZIP, computes the
+//! payload digest over everything *outside* `META-INF/`, and signs it.
+//! Excluding `META-INF/` from the digest mirrors JAR (v1) signing: it is
+//! what lets app stores inject **channel files** into `META-INF/` after
+//! signing — producing listings that are byte-different (different MD5)
+//! yet identically signed, exactly the store-introduced bias the paper
+//! dissects in Section 5.3 (the `kgchannel` example).
+
+use crate::cert::Signature;
+use crate::dex::DexFile;
+use crate::error::ApkError;
+use crate::manifest::Manifest;
+use crate::zip::ZipArchive;
+use marketscope_core::hash::md5;
+use marketscope_core::DeveloperKey;
+
+/// Well-known entry names.
+pub const MANIFEST_ENTRY: &str = "AndroidManifest.xml";
+/// The DEX payload entry.
+pub const DEX_ENTRY: &str = "classes.dex";
+/// The signature entry.
+pub const CERT_ENTRY: &str = "META-INF/CERT.SF";
+
+/// Builds signed APK byte blobs.
+#[derive(Debug, Clone)]
+pub struct ApkBuilder {
+    manifest: Manifest,
+    dex: DexFile,
+    assets: Vec<(String, Vec<u8>)>,
+    channel: Option<(String, Vec<u8>)>,
+}
+
+impl ApkBuilder {
+    /// Start from the two mandatory components.
+    pub fn new(manifest: Manifest, dex: DexFile) -> Self {
+        ApkBuilder {
+            manifest,
+            dex,
+            assets: Vec::new(),
+            channel: None,
+        }
+    }
+
+    /// Add an opaque asset entry (e.g. `assets/data.bin`). Names under
+    /// `META-INF/` are rejected — use [`ApkBuilder::channel`].
+    pub fn asset(mut self, name: &str, data: Vec<u8>) -> Result<Self, ApkError> {
+        if name.starts_with("META-INF/") {
+            return Err(ApkError::Zip("assets may not live under META-INF/"));
+        }
+        if name == MANIFEST_ENTRY || name == DEX_ENTRY {
+            return Err(ApkError::Zip("asset name collides with a core entry"));
+        }
+        self.assets.push((name.to_owned(), data));
+        Ok(self)
+    }
+
+    /// Set a store channel file, stored as `META-INF/<name>`. Channel
+    /// files do not affect the signature (see module docs).
+    pub fn channel(mut self, name: &str, data: Vec<u8>) -> Self {
+        self.channel = Some((format!("META-INF/{name}"), data));
+        self
+    }
+
+    /// Sign with `developer`'s key and serialize to APK bytes.
+    pub fn build(self, developer: DeveloperKey) -> Result<Vec<u8>, ApkError> {
+        let mut zip = ZipArchive::new();
+        zip.add(MANIFEST_ENTRY, self.manifest.encode())?;
+        zip.add(DEX_ENTRY, self.dex.encode())?;
+        for (name, data) in self.assets {
+            zip.add(&name, data)?;
+        }
+        let digest = payload_digest(&zip);
+        if let Some((name, data)) = self.channel {
+            zip.add(&name, data)?;
+        }
+        let sig = Signature::sign(developer, &digest);
+        zip.add(CERT_ENTRY, sig.encode())?;
+        Ok(zip.to_bytes())
+    }
+}
+
+/// Digest of all entries outside `META-INF/` (names and payloads, in
+/// archive order).
+pub fn payload_digest(zip: &ZipArchive) -> [u8; 16] {
+    let mut input = Vec::new();
+    for e in zip.entries() {
+        if e.name.starts_with("META-INF/") {
+            continue;
+        }
+        input.extend_from_slice(&(e.name.len() as u32).to_le_bytes());
+        input.extend_from_slice(e.name.as_bytes());
+        input.extend_from_slice(&(e.data.len() as u32).to_le_bytes());
+        input.extend_from_slice(&e.data);
+    }
+    md5(&input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dex::{ClassDef, MethodDef};
+    use crate::ApiCallId;
+    use marketscope_core::{PackageName, VersionCode};
+
+    fn manifest() -> Manifest {
+        Manifest {
+            package: PackageName::new("com.example.app").unwrap(),
+            version_code: VersionCode(3),
+            version_name: "1.2".into(),
+            min_sdk: 9,
+            target_sdk: 23,
+            app_label: "Example".into(),
+            permissions: vec!["android.permission.INTERNET".into()],
+            category: "Tools".into(),
+        }
+    }
+
+    fn dex() -> DexFile {
+        DexFile {
+            classes: vec![ClassDef {
+                name: "Lcom/example/app/Main;".into(),
+                methods: vec![MethodDef {
+                    api_calls: vec![ApiCallId(5)],
+                    code_hash: 77,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn builds_valid_zip_with_core_entries() {
+        let bytes = ApkBuilder::new(manifest(), dex())
+            .build(DeveloperKey::from_label("d1"))
+            .unwrap();
+        let zip = ZipArchive::parse(&bytes).unwrap();
+        assert!(zip.get(MANIFEST_ENTRY).is_some());
+        assert!(zip.get(DEX_ENTRY).is_some());
+        assert!(zip.get(CERT_ENTRY).is_some());
+    }
+
+    #[test]
+    fn channel_file_changes_md5_but_not_signature() {
+        let dev = DeveloperKey::from_label("d1");
+        let a = ApkBuilder::new(manifest(), dex()).build(dev).unwrap();
+        let b = ApkBuilder::new(manifest(), dex())
+            .channel("kgchannel", b"market=tencent".to_vec())
+            .build(dev)
+            .unwrap();
+        assert_ne!(md5(&a), md5(&b), "listings must be byte-different");
+        let za = ZipArchive::parse(&a).unwrap();
+        let zb = ZipArchive::parse(&b).unwrap();
+        assert_eq!(za.get(CERT_ENTRY).unwrap(), zb.get(CERT_ENTRY).unwrap());
+        assert_eq!(payload_digest(&za), payload_digest(&zb));
+    }
+
+    #[test]
+    fn asset_changes_signature_payload() {
+        let dev = DeveloperKey::from_label("d1");
+        let a = ApkBuilder::new(manifest(), dex()).build(dev).unwrap();
+        let b = ApkBuilder::new(manifest(), dex())
+            .asset("assets/x.bin", vec![1, 2, 3])
+            .unwrap()
+            .build(dev)
+            .unwrap();
+        let za = ZipArchive::parse(&a).unwrap();
+        let zb = ZipArchive::parse(&b).unwrap();
+        assert_ne!(payload_digest(&za), payload_digest(&zb));
+    }
+
+    #[test]
+    fn rejects_reserved_asset_names() {
+        let b = ApkBuilder::new(manifest(), dex());
+        assert!(b.clone().asset("META-INF/evil", vec![]).is_err());
+        assert!(b.clone().asset("classes.dex", vec![]).is_err());
+        assert!(b.asset("AndroidManifest.xml", vec![]).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The `classes.dex` code-container model.
+//!
+//! Real DEX files hold class definitions, a string pool and method bodies.
+//! Our model keeps exactly the views the paper's analyses consume:
+//!
+//! * **class names** in JVM descriptor form (`Lcom/foo/Bar;`) — package
+//!   trees drive LibRadar-style third-party-library detection;
+//! * per-method **framework API-call ids** — the 45k-dimension feature
+//!   vectors of the WuKong-style clone detector, and the reachable-API
+//!   set of the PScout-style over-privilege analysis;
+//! * per-method **code-segment hashes** — the second, code-level phase of
+//!   clone detection ("share more than 85% of the code segments").
+//!
+//! Layout: magic + counts, then length-prefixed class records. As with the
+//! manifest, decoding is total and bounds-checked.
+
+use crate::apicalls::{ApiCallId, API_DIMENSIONS};
+use crate::error::ApkError;
+use bytes::{Buf, BufMut};
+
+const MAGIC: u64 = 0x6465_7830_3335_0000; // "dex035"-flavoured
+const MAX_CLASSES: usize = 65_536;
+const MAX_METHODS: usize = 4_096;
+const MAX_CALLS: usize = 65_536;
+const MAX_NAME_LEN: usize = 1_024;
+
+/// One method in a class: its API-call footprint and a hash of its code
+/// segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDef {
+    /// Framework API calls performed by this method's body.
+    pub api_calls: Vec<ApiCallId>,
+    /// A stable hash of the method's instruction stream. Two methods with
+    /// equal hashes are "the same code segment" for clone detection.
+    pub code_hash: u64,
+}
+
+/// One class definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// JVM-style descriptor, e.g. `Lcom/umeng/analytics/A;`.
+    pub name: String,
+    /// The class's methods.
+    pub methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// The Java package of this class in dotted form
+    /// (`Lcom/umeng/analytics/A;` → `com.umeng.analytics`), or `None`
+    /// for malformed descriptors or default-package classes.
+    pub fn java_package(&self) -> Option<String> {
+        let inner = self.name.strip_prefix('L')?.strip_suffix(';')?;
+        let (pkg, _cls) = inner.rsplit_once('/')?;
+        Some(pkg.replace('/', "."))
+    }
+}
+
+/// The decoded `classes.dex` payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DexFile {
+    /// All class definitions.
+    pub classes: Vec<ClassDef>,
+}
+
+impl DexFile {
+    /// Total number of methods across classes.
+    pub fn method_count(&self) -> usize {
+        self.classes.iter().map(|c| c.methods.len()).sum()
+    }
+
+    /// Iterate every API call in the file (with multiplicity).
+    pub fn api_calls(&self) -> impl Iterator<Item = ApiCallId> + '_ {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter())
+            .flat_map(|m| m.api_calls.iter().copied())
+    }
+
+    /// Iterate every code-segment hash in the file.
+    pub fn code_segments(&self) -> impl Iterator<Item = u64> + '_ {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter())
+            .map(|m| m.code_hash)
+    }
+
+    /// Encode to the binary layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 * self.classes.len().max(1));
+        out.put_u64_le(MAGIC);
+        out.put_u32_le(self.classes.len() as u32);
+        for c in &self.classes {
+            let name = c.name.as_bytes();
+            out.put_u16_le(name.len() as u16);
+            out.put_slice(name);
+            out.put_u16_le(c.methods.len() as u16);
+            for m in &c.methods {
+                out.put_u64_le(m.code_hash);
+                out.put_u16_le(m.api_calls.len() as u16);
+                for a in &m.api_calls {
+                    out.put_u32_le(a.0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode from the binary layout; total and bounds-checked.
+    pub fn decode(bytes: &[u8]) -> Result<DexFile, ApkError> {
+        let mut buf = bytes;
+        if buf.remaining() < 12 {
+            return Err(ApkError::Dex("truncated header"));
+        }
+        if buf.get_u64_le() != MAGIC {
+            return Err(ApkError::Dex("bad magic"));
+        }
+        let class_count = buf.get_u32_le() as usize;
+        if class_count > MAX_CLASSES {
+            return Err(ApkError::Bounds {
+                what: "class count",
+                value: class_count as u64,
+            });
+        }
+        let mut classes = Vec::with_capacity(class_count.min(1024));
+        for _ in 0..class_count {
+            if buf.remaining() < 2 {
+                return Err(ApkError::Dex("truncated class name length"));
+            }
+            let name_len = buf.get_u16_le() as usize;
+            if name_len == 0 || name_len > MAX_NAME_LEN {
+                return Err(ApkError::Bounds {
+                    what: "class name length",
+                    value: name_len as u64,
+                });
+            }
+            if buf.remaining() < name_len {
+                return Err(ApkError::Dex("truncated class name"));
+            }
+            let name = std::str::from_utf8(&buf[..name_len])
+                .map_err(|_| ApkError::Dex("class name not utf-8"))?
+                .to_owned();
+            buf.advance(name_len);
+            if buf.remaining() < 2 {
+                return Err(ApkError::Dex("truncated method count"));
+            }
+            let method_count = buf.get_u16_le() as usize;
+            if method_count > MAX_METHODS {
+                return Err(ApkError::Bounds {
+                    what: "method count",
+                    value: method_count as u64,
+                });
+            }
+            let mut methods = Vec::with_capacity(method_count.min(256));
+            for _ in 0..method_count {
+                if buf.remaining() < 10 {
+                    return Err(ApkError::Dex("truncated method header"));
+                }
+                let code_hash = buf.get_u64_le();
+                let call_count = buf.get_u16_le() as usize;
+                if call_count > MAX_CALLS {
+                    return Err(ApkError::Bounds {
+                        what: "call count",
+                        value: call_count as u64,
+                    });
+                }
+                if buf.remaining() < call_count * 4 {
+                    return Err(ApkError::Dex("truncated call list"));
+                }
+                let mut api_calls = Vec::with_capacity(call_count);
+                for _ in 0..call_count {
+                    let raw = buf.get_u32_le();
+                    let id = ApiCallId::new(raw).ok_or(ApkError::Bounds {
+                        what: "api call id",
+                        value: raw as u64,
+                    })?;
+                    api_calls.push(id);
+                }
+                methods.push(MethodDef {
+                    api_calls,
+                    code_hash,
+                });
+            }
+            classes.push(ClassDef { name, methods });
+        }
+        if buf.has_remaining() {
+            return Err(ApkError::Dex("trailing bytes"));
+        }
+        Ok(DexFile { classes })
+    }
+}
+
+/// Sanity helper used by tests and generators: largest valid API id.
+pub const MAX_API_ID: u32 = API_DIMENSIONS - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DexFile {
+        DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "Lcom/kugou/android/Main;".into(),
+                    methods: vec![
+                        MethodDef {
+                            api_calls: vec![ApiCallId(1), ApiCallId(500), ApiCallId(44_000)],
+                            code_hash: 0xDEAD_BEEF,
+                        },
+                        MethodDef {
+                            api_calls: vec![],
+                            code_hash: 0x1234,
+                        },
+                    ],
+                },
+                ClassDef {
+                    name: "Lcom/umeng/analytics/A;".into(),
+                    methods: vec![MethodDef {
+                        api_calls: vec![ApiCallId(7)],
+                        code_hash: 42,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        assert_eq!(DexFile::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_dex_round_trips() {
+        let d = DexFile::default();
+        assert_eq!(DexFile::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn java_package_extraction() {
+        let c = ClassDef {
+            name: "Lcom/umeng/analytics/A;".into(),
+            methods: vec![],
+        };
+        assert_eq!(c.java_package().unwrap(), "com.umeng.analytics");
+        let c = ClassDef {
+            name: "LMain;".into(),
+            methods: vec![],
+        };
+        assert_eq!(c.java_package(), None);
+        let c = ClassDef {
+            name: "garbage".into(),
+            methods: vec![],
+        };
+        assert_eq!(c.java_package(), None);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let d = sample();
+        assert_eq!(d.method_count(), 3);
+        assert_eq!(d.api_calls().count(), 4);
+        let segs: Vec<u64> = d.code_segments().collect();
+        assert_eq!(segs, vec![0xDEAD_BEEF, 0x1234, 42]);
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(DexFile::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_api_id() {
+        let mut d = sample();
+        d.classes[0].methods[0].api_calls[0] = ApiCallId(API_DIMENSIONS); // invalid by fiat
+        let bytes = d.encode();
+        assert!(matches!(
+            DexFile::decode(&bytes),
+            Err(ApkError::Bounds {
+                what: "api call id",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_trailing() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 1;
+        assert!(DexFile::decode(&bytes).is_err());
+        let mut bytes = sample().encode();
+        bytes.push(7);
+        assert!(DexFile::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for seed in 0..50u64 {
+            let junk: Vec<u8> = (0..(seed * 13 % 200))
+                .map(|i| ((i * seed + 3) % 256) as u8)
+                .collect();
+            let _ = DexFile::decode(&junk);
+        }
+    }
+}

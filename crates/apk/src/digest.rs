@@ -1,0 +1,295 @@
+//! Compact analysis-ready digest of a parsed APK.
+//!
+//! The paper's pipeline parses millions of APKs once and then works from
+//! extracted features. [`ApkDigest`] is that extraction: everything the
+//! downstream analyses need — identity, manifest facts, the WuKong-style
+//! sparse API-call vector, code-segment hashes, and per-Java-package
+//! feature hashes for library clustering — in a fraction of the parsed
+//! APK's memory, so snapshots of whole markets stay cheap.
+
+use crate::apicalls::ApiCallId;
+use crate::parse::ParsedApk;
+use marketscope_core::hash::{fnv1a64, mix64};
+use marketscope_core::{AppKey, DeveloperKey, PackageName, VersionCode};
+use std::collections::BTreeMap;
+
+/// Feature summary of one Java package subtree inside an APK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageFeature {
+    /// Dotted Java package, e.g. `com.umeng`.
+    pub java_package: String,
+    /// Order-insensitive hash over the subtree's classes (method API
+    /// calls + code hashes). Two apps embedding the same library version
+    /// produce the same hash.
+    pub feature_hash: u64,
+    /// Number of classes in the subtree.
+    pub class_count: u32,
+    /// Sparse API-call count vector of this subtree, sorted by id.
+    pub api_counts: Vec<(u32, u16)>,
+    /// Method code-segment hashes of this subtree, sorted.
+    pub code_segments: Vec<u64>,
+}
+
+/// The analysis-ready digest of one APK.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApkDigest {
+    /// Manifest package.
+    pub package: PackageName,
+    /// Manifest version code.
+    pub version_code: VersionCode,
+    /// Manifest version name.
+    pub version_name: String,
+    /// Declared minimum SDK (Figure 3).
+    pub min_sdk: u8,
+    /// App display label (fake detection input).
+    pub app_label: String,
+    /// Declared permissions (over-privilege input).
+    pub permissions: Vec<String>,
+    /// Signing developer key.
+    pub developer: DeveloperKey,
+    /// Whether the signature verified.
+    pub signature_valid: bool,
+    /// MD5 of the full file (byte identity, Section 5.3).
+    pub file_md5: [u8; 16],
+    /// Names of channel files found under META-INF/.
+    pub channels: Vec<String>,
+    /// Per-Java-package features: library detection, clone detection
+    /// (with library subtrees excluded), over-privilege analysis and AV
+    /// scanning all read from these.
+    pub package_features: Vec<PackageFeature>,
+}
+
+impl ApkDigest {
+    /// Extract a digest from a parsed APK.
+    pub fn from_parsed(apk: &ParsedApk) -> ApkDigest {
+        // Group classes by their full Java package: in this substrate a
+        // library's classes sit directly under its root package, so the
+        // group name is the library root (LibRadar walks real package
+        // trees at several depths; flat grouping is the equivalent here).
+        let mut groups: BTreeMap<String, Vec<&crate::dex::ClassDef>> = BTreeMap::new();
+        for class in &apk.dex.classes {
+            let pkg = class
+                .java_package()
+                .unwrap_or_else(|| "<default>".to_owned());
+            groups.entry(pkg).or_default().push(class);
+        }
+        let package_features = groups
+            .into_iter()
+            .map(|(java_package, classes)| {
+                // Order-insensitive: hash each class, then XOR-fold with a
+                // mix so permutations of the class list agree.
+                let mut acc = 0u64;
+                let mut api_counts: BTreeMap<u32, u16> = BTreeMap::new();
+                let mut code_segments = Vec::new();
+                for c in &classes {
+                    let mut h = fnv1a64(&[]);
+                    for m in &c.methods {
+                        let mut calls: Vec<u32> = m.api_calls.iter().map(|a| a.0).collect();
+                        calls.sort_unstable();
+                        for call in calls {
+                            h = mix64(h, call as u64);
+                            let cnt = api_counts.entry(call).or_insert(0);
+                            *cnt = cnt.saturating_add(1);
+                        }
+                        h = mix64(h, m.code_hash);
+                        code_segments.push(m.code_hash);
+                    }
+                    acc ^= mix64(h, 0xf00d);
+                }
+                code_segments.sort_unstable();
+                PackageFeature {
+                    feature_hash: acc,
+                    class_count: classes.len() as u32,
+                    java_package,
+                    api_counts: api_counts.into_iter().collect(),
+                    code_segments,
+                }
+            })
+            .collect();
+        ApkDigest {
+            package: apk.manifest.package.clone(),
+            version_code: apk.manifest.version_code,
+            version_name: apk.manifest.version_name.clone(),
+            min_sdk: apk.manifest.min_sdk,
+            app_label: apk.manifest.app_label.clone(),
+            permissions: apk.manifest.permissions.clone(),
+            developer: apk.developer(),
+            signature_valid: apk.signature_valid,
+            file_md5: apk.file_md5,
+            channels: apk.channels.iter().map(|(n, _)| n.clone()).collect(),
+            package_features,
+        }
+    }
+
+    /// Parse raw APK bytes straight into a digest.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ApkDigest, crate::error::ApkError> {
+        Ok(Self::from_parsed(&ParsedApk::parse(bytes)?))
+    }
+
+    /// The release key (package + version).
+    pub fn app_key(&self) -> AppKey {
+        AppKey::new(self.package.clone(), self.version_code)
+    }
+
+    /// Merged whole-app sparse API-call vector, sorted by id.
+    pub fn api_counts_merged(&self) -> Vec<(u32, u16)> {
+        let mut merged: BTreeMap<u32, u16> = BTreeMap::new();
+        for f in &self.package_features {
+            for (id, c) in &f.api_counts {
+                let e = merged.entry(*id).or_insert(0);
+                *e = e.saturating_add(*c);
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    /// Iterate the distinct API calls of the whole app (for permission
+    /// mapping).
+    pub fn api_calls(&self) -> impl Iterator<Item = ApiCallId> + '_ {
+        self.package_features
+            .iter()
+            .flat_map(|f| f.api_counts.iter())
+            .map(|(id, _)| ApiCallId(*id))
+    }
+
+    /// Iterate every method code-segment hash in the app.
+    pub fn code_segments(&self) -> impl Iterator<Item = u64> + '_ {
+        self.package_features
+            .iter()
+            .flat_map(|f| f.code_segments.iter().copied())
+    }
+
+    /// Total API-call count (L1 norm of the merged feature vector).
+    pub fn api_total(&self) -> u64 {
+        self.package_features
+            .iter()
+            .flat_map(|f| f.api_counts.iter())
+            .map(|(_, c)| *c as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ApkBuilder;
+    use crate::dex::{ClassDef, DexFile, MethodDef};
+    use crate::manifest::Manifest;
+
+    fn build(classes: Vec<ClassDef>, pkg: &str) -> Vec<u8> {
+        let manifest = Manifest {
+            package: PackageName::new(pkg).unwrap(),
+            version_code: VersionCode(1),
+            version_name: "1.0".into(),
+            min_sdk: 9,
+            target_sdk: 23,
+            app_label: "Test".into(),
+            permissions: vec!["android.permission.INTERNET".into()],
+            category: "Tools".into(),
+        };
+        ApkBuilder::new(manifest, DexFile { classes })
+            .build(DeveloperKey::from_label("d"))
+            .unwrap()
+    }
+
+    fn class(name: &str, calls: &[u32], hash: u64) -> ClassDef {
+        ClassDef {
+            name: name.into(),
+            methods: vec![MethodDef {
+                api_calls: calls.iter().map(|c| ApiCallId(*c)).collect(),
+                code_hash: hash,
+            }],
+        }
+    }
+
+    #[test]
+    fn digest_extracts_identity_and_features() {
+        let bytes = build(
+            vec![
+                class("Lcom/my/app/Main;", &[1, 2, 2], 100),
+                class("Lcom/umeng/analytics/A;", &[7], 200),
+                class("Lcom/umeng/common/B;", &[9], 300),
+            ],
+            "com.my.app",
+        );
+        let d = ApkDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(d.package.as_str(), "com.my.app");
+        assert!(d.signature_valid);
+        assert_eq!(d.api_counts_merged(), vec![(1, 1), (2, 2), (7, 1), (9, 1)]);
+        let mut segs: Vec<u64> = d.code_segments().collect();
+        segs.sort_unstable();
+        assert_eq!(segs, vec![100, 200, 300]);
+        let pkgs: Vec<&str> = d
+            .package_features
+            .iter()
+            .map(|f| f.java_package.as_str())
+            .collect();
+        assert_eq!(
+            pkgs,
+            vec!["com.my.app", "com.umeng.analytics", "com.umeng.common"]
+        );
+        assert!(d.package_features[1..].iter().all(|f| f.class_count == 1));
+    }
+
+    #[test]
+    fn feature_hash_is_order_insensitive() {
+        let a = build(
+            vec![
+                class("Lcom/lib/x/A;", &[1], 10),
+                class("Lcom/lib/x/B;", &[2], 20),
+            ],
+            "com.my.app",
+        );
+        let b = build(
+            vec![
+                class("Lcom/lib/x/B;", &[2], 20),
+                class("Lcom/lib/x/A;", &[1], 10),
+            ],
+            "com.my.app",
+        );
+        let da = ApkDigest::from_bytes(&a).unwrap();
+        let db = ApkDigest::from_bytes(&b).unwrap();
+        let fa = da
+            .package_features
+            .iter()
+            .find(|f| f.java_package == "com.lib.x")
+            .unwrap();
+        let fb = db
+            .package_features
+            .iter()
+            .find(|f| f.java_package == "com.lib.x")
+            .unwrap();
+        assert_eq!(fa.feature_hash, fb.feature_hash);
+    }
+
+    #[test]
+    fn feature_hash_changes_with_content() {
+        let a = build(vec![class("Lcom/lib/x/A;", &[1], 10)], "com.my.app");
+        let b = build(vec![class("Lcom/lib/x/A;", &[1], 11)], "com.my.app");
+        let fa = ApkDigest::from_bytes(&a).unwrap().package_features[0].feature_hash;
+        let fb = ApkDigest::from_bytes(&b).unwrap().package_features[0].feature_hash;
+        // The own-package (com.my) differs? No — compare com.lib features.
+        let _ = (fa, fb);
+        let da = ApkDigest::from_bytes(&a).unwrap();
+        let db = ApkDigest::from_bytes(&b).unwrap();
+        let la = da
+            .package_features
+            .iter()
+            .find(|f| f.java_package == "com.lib.x")
+            .unwrap();
+        let lb = db
+            .package_features
+            .iter()
+            .find(|f| f.java_package == "com.lib.x")
+            .unwrap();
+        assert_ne!(la.feature_hash, lb.feature_hash);
+    }
+
+    #[test]
+    fn api_total_counts_multiplicity() {
+        let bytes = build(vec![class("Lcom/a/b/C;", &[5, 5, 5], 1)], "com.a.b");
+        let d = ApkDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(d.api_total(), 3);
+        assert_eq!(d.api_calls().count(), 1); // distinct ids
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for APK encoding and parsing.
+
+use std::fmt;
+
+/// Errors produced while reading or writing APK containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApkError {
+    /// The ZIP container is structurally invalid.
+    Zip(&'static str),
+    /// An entry's CRC-32 did not match its payload.
+    CrcMismatch {
+        /// Entry path inside the archive.
+        name: String,
+    },
+    /// A required entry is missing from the archive.
+    MissingEntry(&'static str),
+    /// The binary manifest is malformed.
+    Manifest(&'static str),
+    /// The DEX container is malformed.
+    Dex(&'static str),
+    /// The signature block is malformed or does not verify.
+    Signature(&'static str),
+    /// A length or count field exceeds sane bounds (truncation/abuse guard).
+    Bounds {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for ApkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApkError::Zip(m) => write!(f, "zip: {m}"),
+            ApkError::CrcMismatch { name } => write!(f, "crc mismatch in entry {name:?}"),
+            ApkError::MissingEntry(e) => write!(f, "missing required entry {e:?}"),
+            ApkError::Manifest(m) => write!(f, "manifest: {m}"),
+            ApkError::Dex(m) => write!(f, "dex: {m}"),
+            ApkError::Signature(m) => write!(f, "signature: {m}"),
+            ApkError::Bounds { what, value } => {
+                write!(f, "implausible {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ApkError::Zip("bad eocd").to_string().contains("bad eocd"));
+        assert!(ApkError::CrcMismatch {
+            name: "classes.dex".into()
+        }
+        .to_string()
+        .contains("classes.dex"));
+        assert!(ApkError::MissingEntry("AndroidManifest.xml")
+            .to_string()
+            .contains("AndroidManifest.xml"));
+        assert!(ApkError::Bounds {
+            what: "string count",
+            value: 1 << 40
+        }
+        .to_string()
+        .contains("string count"));
+    }
+}

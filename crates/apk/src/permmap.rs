@@ -1,0 +1,199 @@
+//! The platform permission specification (PScout-style).
+//!
+//! PScout [Au et al., CCS'12] maps Android framework APIs, Intents and
+//! Content-Provider URIs to the permissions they require; the paper uses
+//! its Android 5.1.1 map (32,445 permission-related APIs, 97 intents,
+//! 78 + 996 provider strings) to find over-privileged apps. We generate a
+//! deterministic map over our [`ApiCallId`] space in which
+//! permission-protected method calls are *rare at call sites* (~0.5% of
+//! ids) — PScout's table is large, but a typical app's call mix touches
+//! only a handful of protected APIs, which is exactly what makes the
+//! declared-vs-used permission gap measurable. Intents and
+//! Content-Provider URIs are always permission-related, as in PScout's
+//! listing.
+
+use crate::apicalls::{ApiCallId, ApiFamily};
+use marketscope_core::hash::mix64;
+use std::collections::BTreeSet;
+
+/// An Android permission, e.g. `android.permission.CAMERA`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Permission(pub &'static str);
+
+impl Permission {
+    /// Whether Google labels this permission *dangerous* (runtime-granted).
+    pub fn is_dangerous(self) -> bool {
+        DANGEROUS.contains(&self.0)
+    }
+
+    /// Short name without the `android.permission.` prefix.
+    pub fn short(self) -> &'static str {
+        self.0.rsplit('.').next().unwrap_or(self.0)
+    }
+}
+
+/// All permissions in the model. The dangerous subset mirrors the ones the
+/// paper reports as most over-requested (Section 6.3).
+pub const PERMISSIONS: [&str; 24] = [
+    "android.permission.READ_PHONE_STATE",
+    "android.permission.ACCESS_COARSE_LOCATION",
+    "android.permission.ACCESS_FINE_LOCATION",
+    "android.permission.CAMERA",
+    "android.permission.RECORD_AUDIO",
+    "android.permission.READ_CONTACTS",
+    "android.permission.WRITE_CONTACTS",
+    "android.permission.READ_SMS",
+    "android.permission.SEND_SMS",
+    "android.permission.RECEIVE_SMS",
+    "android.permission.READ_CALL_LOG",
+    "android.permission.READ_CALENDAR",
+    "android.permission.WRITE_CALENDAR",
+    "android.permission.READ_EXTERNAL_STORAGE",
+    "android.permission.WRITE_EXTERNAL_STORAGE",
+    "android.permission.GET_ACCOUNTS",
+    "android.permission.INTERNET",
+    "android.permission.ACCESS_NETWORK_STATE",
+    "android.permission.ACCESS_WIFI_STATE",
+    "android.permission.BLUETOOTH",
+    "android.permission.NFC",
+    "android.permission.VIBRATE",
+    "android.permission.WAKE_LOCK",
+    "android.permission.RECEIVE_BOOT_COMPLETED",
+];
+
+/// The dangerous subset (per Google's protection levels).
+const DANGEROUS: [&str; 16] = [
+    "android.permission.READ_PHONE_STATE",
+    "android.permission.ACCESS_COARSE_LOCATION",
+    "android.permission.ACCESS_FINE_LOCATION",
+    "android.permission.CAMERA",
+    "android.permission.RECORD_AUDIO",
+    "android.permission.READ_CONTACTS",
+    "android.permission.WRITE_CONTACTS",
+    "android.permission.READ_SMS",
+    "android.permission.SEND_SMS",
+    "android.permission.RECEIVE_SMS",
+    "android.permission.READ_CALL_LOG",
+    "android.permission.READ_CALENDAR",
+    "android.permission.WRITE_CALENDAR",
+    "android.permission.READ_EXTERNAL_STORAGE",
+    "android.permission.WRITE_EXTERNAL_STORAGE",
+    "android.permission.GET_ACCOUNTS",
+];
+
+/// Density of permission-protected method-call ids (~0.53%): tuned so a
+/// typical app's static API footprint exercises 4–8 distinct permissions.
+const PERMISSION_RELATED_NUM: u64 = 217;
+const PERMISSION_RELATED_DEN: u64 = 40_960;
+
+/// The API → permission map.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PermissionMap;
+
+impl PermissionMap {
+    /// The standard platform map (deterministic; same on both sides of
+    /// the simulation).
+    pub fn standard() -> PermissionMap {
+        PermissionMap
+    }
+
+    /// The permission required to invoke `api`, if any.
+    pub fn required(&self, api: ApiCallId) -> Option<Permission> {
+        let salt = match api.family() {
+            ApiFamily::MethodCall => 0x5ca7,
+            ApiFamily::Intent => 0x117e,
+            ApiFamily::ContentProvider => 0xc0de,
+        };
+        let h = mix64(api.0 as u64, salt);
+        // Intents and providers are always permission-related in PScout's
+        // listing; method calls only at the 32445/40960 rate.
+        if api.family() == ApiFamily::MethodCall
+            && h % PERMISSION_RELATED_DEN >= PERMISSION_RELATED_NUM
+        {
+            return None;
+        }
+        let idx = (mix64(h, 0x9e37) % PERMISSIONS.len() as u64) as usize;
+        Some(Permission(PERMISSIONS[idx]))
+    }
+
+    /// The set of permissions actually exercised by a sequence of API
+    /// calls — the "used" side of the over-privilege comparison.
+    pub fn used_permissions(&self, calls: impl Iterator<Item = ApiCallId>) -> BTreeSet<Permission> {
+        let mut out = BTreeSet::new();
+        for c in calls {
+            if let Some(p) = self.required(c) {
+                out.insert(p);
+            }
+        }
+        out
+    }
+
+    /// All API ids (within a range) that exercise `perm` — used by the
+    /// generator to pick code that needs a chosen permission.
+    pub fn apis_for(&self, perm: Permission, scan_limit: u32) -> Vec<ApiCallId> {
+        (0..scan_limit)
+            .filter_map(ApiCallId::new)
+            .filter(|id| self.required(*id) == Some(perm))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apicalls::{API_CALL_RANGE, API_DIMENSIONS};
+
+    #[test]
+    fn map_is_deterministic() {
+        let m1 = PermissionMap::standard();
+        let m2 = PermissionMap::standard();
+        for id in (0..API_DIMENSIONS).step_by(97) {
+            let a = ApiCallId::new(id).unwrap();
+            assert_eq!(m1.required(a), m2.required(a));
+        }
+    }
+
+    #[test]
+    fn method_call_permission_density_is_sparse() {
+        let m = PermissionMap::standard();
+        let related = (0..API_CALL_RANGE)
+            .filter(|&id| m.required(ApiCallId(id)).is_some())
+            .count() as f64;
+        let rate = related / API_CALL_RANGE as f64;
+        let target = PERMISSION_RELATED_NUM as f64 / PERMISSION_RELATED_DEN as f64;
+        assert!((rate - target).abs() < 0.003, "rate {rate} target {target}");
+    }
+
+    #[test]
+    fn intents_and_providers_always_permission_related() {
+        let m = PermissionMap::standard();
+        for id in API_CALL_RANGE..API_DIMENSIONS {
+            assert!(m.required(ApiCallId(id)).is_some(), "id {id}");
+        }
+    }
+
+    #[test]
+    fn every_permission_is_reachable() {
+        let m = PermissionMap::standard();
+        for p in PERMISSIONS {
+            let apis = m.apis_for(Permission(p), API_CALL_RANGE);
+            assert!(!apis.is_empty(), "{p} has no protected APIs at all");
+        }
+    }
+
+    #[test]
+    fn used_permissions_dedupes() {
+        let m = PermissionMap::standard();
+        let apis = m.apis_for(Permission(PERMISSIONS[0]), crate::apicalls::API_CALL_RANGE);
+        let used = m.used_permissions(apis.iter().copied().chain(apis.iter().copied()));
+        assert_eq!(used.len(), 1);
+        assert!(used.contains(&Permission(PERMISSIONS[0])));
+    }
+
+    #[test]
+    fn dangerous_classification() {
+        assert!(Permission("android.permission.CAMERA").is_dangerous());
+        assert!(!Permission("android.permission.INTERNET").is_dangerous());
+        assert_eq!(Permission("android.permission.CAMERA").short(), "CAMERA");
+    }
+}

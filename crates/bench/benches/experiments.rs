@@ -1,0 +1,97 @@
+//! One benchmark per paper artifact: how long it takes to regenerate each
+//! table and figure from an already-crawled snapshot. This doubles as the
+//! harness that *prints* every artifact once (so a `cargo bench` run
+//! leaves the full reproduction in its log).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marketscope::report::experiments as ex;
+use marketscope_bench::campaign;
+
+fn bench_artifacts(c: &mut Criterion) {
+    let cam = campaign();
+    eprintln!(
+        "[fixture] {} listings, {} unique apps, {} clone pairs",
+        cam.snapshot.total_listings(),
+        cam.analyzed.apps.len(),
+        cam.analyzed.code_pairs.len()
+    );
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    g.bench_function("table1_dataset_and_features", |b| {
+        b.iter(|| ex::table1::run(&cam.snapshot))
+    });
+    g.bench_function("fig1_category_distribution", |b| {
+        b.iter(|| ex::fig1::run(&cam.snapshot))
+    });
+    g.bench_function("fig2_download_distribution", |b| {
+        b.iter(|| ex::fig2::run(&cam.snapshot))
+    });
+    g.bench_function("fig3_min_api_levels", |b| {
+        b.iter(|| ex::fig3::run(&cam.snapshot))
+    });
+    g.bench_function("fig4_release_dates", |b| {
+        b.iter(|| ex::fig4::run(&cam.snapshot))
+    });
+    g.bench_function("fig5_library_presence", |b| {
+        b.iter(|| ex::fig5::run(&cam.analyzed, &cam.labels))
+    });
+    g.bench_function("table2_top_libraries", |b| {
+        b.iter(|| ex::table2::run(&cam.analyzed, &cam.labels, 10))
+    });
+    g.bench_function("fig6_rating_distributions", |b| {
+        b.iter(|| ex::fig6::run(&cam.snapshot))
+    });
+    g.bench_function("fig7_developer_spread", |b| {
+        b.iter(|| ex::fig7::run(&cam.analyzed))
+    });
+    g.bench_function("fig8_cluster_cdfs", |b| {
+        b.iter(|| ex::fig8::run(&cam.snapshot))
+    });
+    g.bench_function("fig9_up_to_date_shares", |b| {
+        b.iter(|| ex::fig9::run(&cam.snapshot))
+    });
+    g.bench_function("table3_fakes_and_clones", |b| {
+        b.iter(|| ex::table3::run(&cam.analyzed))
+    });
+    g.bench_function("fig10_clone_heatmap", |b| {
+        b.iter(|| ex::fig10::run(&cam.analyzed))
+    });
+    g.bench_function("fig11_overprivilege", |b| {
+        b.iter(|| ex::fig11::run(&cam.analyzed))
+    });
+    g.bench_function("table4_malware_by_av_rank", |b| {
+        b.iter(|| ex::table4::run(&cam.analyzed))
+    });
+    g.bench_function("table5_top_malware", |b| {
+        b.iter(|| ex::table5::run(&cam.analyzed, 10))
+    });
+    g.bench_function("fig12_malware_families", |b| {
+        b.iter(|| ex::fig12::run(&cam.analyzed, 15))
+    });
+    g.bench_function("table6_removal", |b| {
+        b.iter(|| ex::table6::run(&cam.analyzed, &cam.second))
+    });
+    g.bench_function("fig13_radar", |b| {
+        b.iter(|| ex::fig13::run(&cam.analyzed, &cam.snapshot))
+    });
+    g.finish();
+
+    // Leave the full rendered reproduction in the bench log.
+    for (name, artifact) in [
+        ("table1", ex::table1::run(&cam.snapshot).render()),
+        ("fig2", ex::fig2::run(&cam.snapshot).render()),
+        ("table3", ex::table3::run(&cam.analyzed).render()),
+        ("table4", ex::table4::run(&cam.analyzed).render()),
+        ("table5", ex::table5::run(&cam.analyzed, 10).render()),
+        (
+            "table6",
+            ex::table6::run(&cam.analyzed, &cam.second).render(),
+        ),
+    ] {
+        eprintln!("\n=== {name} ===\n{artifact}");
+    }
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Micro-benchmarks for the hot primitives under the pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use marketscope::analysis::av::AvSimulator;
+use marketscope::apk::apicalls::ApiCallId;
+use marketscope::apk::dex::{ClassDef, DexFile, MethodDef};
+use marketscope::apk::digest::ApkDigest;
+use marketscope::apk::zip::ZipArchive;
+use marketscope::clonedetect::{normalized_manhattan, segment_overlap};
+use marketscope::core::hash::{crc32, fnv1a64, md5};
+use marketscope::core::json::Json;
+use marketscope::ecosystem::{generate, Scale, WorldConfig};
+
+fn sample_dex(classes: usize) -> DexFile {
+    DexFile {
+        classes: (0..classes)
+            .map(|ci| ClassDef {
+                name: format!("Lcom/pkg{}/C{ci};", ci % 7),
+                methods: (0..3)
+                    .map(|mi| MethodDef {
+                        api_calls: (0..5)
+                            .map(|k| ApiCallId((ci * 31 + mi * 7 + k) as u32 % 40_000))
+                            .collect(),
+                        code_hash: (ci * 1000 + mi) as u64,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let data = vec![0xA5u8; 64 * 1024];
+    let mut g = c.benchmark_group("micro/hash");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("md5_64k", |b| b.iter(|| md5(black_box(&data))));
+    g.bench_function("crc32_64k", |b| b.iter(|| crc32(black_box(&data))));
+    g.bench_function("fnv1a64_64k", |b| b.iter(|| fnv1a64(black_box(&data))));
+    g.finish();
+}
+
+fn bench_containers(c: &mut Criterion) {
+    let dex = sample_dex(150);
+    let dex_bytes = dex.encode();
+    let mut zip = ZipArchive::new();
+    zip.add("classes.dex", dex_bytes.clone()).unwrap();
+    zip.add("AndroidManifest.xml", vec![1; 512]).unwrap();
+    let zip_bytes = zip.to_bytes();
+
+    let mut g = c.benchmark_group("micro/containers");
+    g.throughput(Throughput::Bytes(dex_bytes.len() as u64));
+    g.bench_function("dex_encode_150_classes", |b| b.iter(|| dex.encode()));
+    g.bench_function("dex_decode_150_classes", |b| {
+        b.iter(|| DexFile::decode(black_box(&dex_bytes)).unwrap())
+    });
+    g.bench_function("zip_roundtrip", |b| {
+        b.iter(|| ZipArchive::parse(black_box(&zip_bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_digest_and_av(c: &mut Criterion) {
+    let world = generate(WorldConfig {
+        seed: 9,
+        scale: Scale { divisor: 40_000 },
+    });
+    let apk = world.build_apk(marketscope::ecosystem::AppId(0), 1, false);
+    let digest = ApkDigest::from_bytes(&apk).unwrap();
+    let av = AvSimulator::new();
+
+    let mut g = c.benchmark_group("micro/analysis");
+    g.throughput(Throughput::Bytes(apk.len() as u64));
+    g.bench_function("apk_digest_extraction", |b| {
+        b.iter(|| ApkDigest::from_bytes(black_box(&apk)).unwrap())
+    });
+    g.bench_function("av_scan_one_sample", |b| {
+        b.iter(|| av.scan(black_box(&digest)))
+    });
+    g.finish();
+}
+
+fn bench_clone_metrics(c: &mut Criterion) {
+    let a: Vec<(u32, u32)> = (0..400).map(|i| (i * 13 % 40_000, 1 + i % 5)).collect();
+    let mut a = a;
+    a.sort_unstable();
+    let mut b2 = a.clone();
+    b2[7].1 += 1;
+    let segs_a: Vec<u64> = (0..400u64).collect();
+    let mut segs_b = segs_a.clone();
+    segs_b[13] = 999_999;
+
+    let mut g = c.benchmark_group("micro/clone");
+    g.bench_function("normalized_manhattan_400d", |bch| {
+        bch.iter(|| normalized_manhattan(black_box(&a), black_box(&b2)))
+    });
+    g.bench_function("segment_overlap_400", |bch| {
+        bch.iter(|| segment_overlap(black_box(&segs_a), black_box(&segs_b)))
+    });
+    g.finish();
+}
+
+fn bench_json(c: &mut Criterion) {
+    let doc = Json::obj([
+        ("package", Json::from("com.kugou.android")),
+        ("name", Json::from("酷狗音乐")),
+        ("version_code", Json::from(870u64)),
+        ("downloads", Json::from(50_000_000u64)),
+        ("rating", Json::from(4.7)),
+        ("updated", Json::from("2017-08-01")),
+    ]);
+    let wire = doc.to_string_compact();
+    let mut g = c.benchmark_group("micro/json");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("serialize_listing", |b| b.iter(|| doc.to_string_compact()));
+    g.bench_function("parse_listing", |b| {
+        b.iter(|| Json::parse(black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_containers,
+    bench_digest_and_av,
+    bench_clone_metrics,
+    bench_json
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! End-to-end stage benchmarks: world generation, live crawl over
+//! loopback HTTP, and the shared analysis pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marketscope::core::MarketId;
+use marketscope::crawler::{CrawlConfig, CrawlTargets, Crawler};
+use marketscope::ecosystem::{generate, Scale, WorldConfig};
+use marketscope::market::MarketFleet;
+use marketscope::report::context::Analyzed;
+use marketscope_bench::campaign;
+use std::sync::Arc;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("generate_world_1_6k_listings", |b| {
+        b.iter(|| {
+            generate(WorldConfig {
+                seed: 1,
+                scale: Scale { divisor: 4_000 },
+            })
+        })
+    });
+    g.bench_function("generate_world_400_listings", |b| {
+        b.iter(|| {
+            generate(WorldConfig {
+                seed: 1,
+                scale: Scale { divisor: 16_000 },
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_apk_build(c: &mut Criterion) {
+    let world = Arc::new(generate(WorldConfig {
+        seed: 2,
+        scale: Scale { divisor: 16_000 },
+    }));
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("build_one_apk", |b| {
+        b.iter(|| world.build_apk(marketscope::ecosystem::AppId(0), 1, false))
+    });
+    g.bench_function("build_one_apk_obfuscated", |b| {
+        b.iter(|| world.build_apk(marketscope::ecosystem::AppId(0), 1, true))
+    });
+    g.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    // A small world so each iteration's full crawl stays sub-second.
+    let world = Arc::new(generate(WorldConfig {
+        seed: 3,
+        scale: Scale { divisor: 40_000 },
+    }));
+    let fleet = MarketFleet::spawn(Arc::clone(&world)).expect("fleet");
+    let targets = CrawlTargets {
+        markets: MarketId::ALL.iter().map(|m| fleet.addr(*m)).collect(),
+        repository: Some(fleet.repository_addr()),
+    };
+    let seeds: Vec<String> = world
+        .market_listings(MarketId::GooglePlay)
+        .iter()
+        .map(|l| world.app(world.listing(*l).app).package.as_str().to_owned())
+        .collect();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("full_crawl_over_http", |b| {
+        b.iter(|| {
+            let crawler = Crawler::new(CrawlConfig {
+                seeds: seeds.clone(),
+                ..CrawlConfig::default()
+            });
+            crawler.crawl(&targets)
+        })
+    });
+    g.bench_function("metadata_only_crawl", |b| {
+        b.iter(|| {
+            let crawler = Crawler::new(CrawlConfig {
+                seeds: seeds.clone(),
+                fetch_apks: false,
+                ..CrawlConfig::default()
+            });
+            crawler.crawl(&targets)
+        })
+    });
+    g.finish();
+    fleet.stop();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let cam = campaign();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("analyzed_compute_shared_pass", |b| {
+        b.iter(|| Analyzed::compute(&cam.snapshot))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_apk_build,
+    bench_crawl,
+    bench_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! # marketscope-bench
+//!
+//! Shared fixtures for the Criterion benchmark suites:
+//!
+//! * `benches/experiments.rs` — regenerates **every table and figure** of
+//!   the paper against a cached campaign (one group per artifact);
+//! * `benches/pipeline.rs` — the heavy stages end-to-end: world
+//!   generation, the live HTTP crawl, digest extraction, the shared
+//!   analysis pass;
+//! * `benches/micro.rs` — hot primitives: ZIP round-trips, DEX
+//!   encode/decode, digests, hashing, JSON, clone metrics, AV scans.
+//!
+//! Fixtures are process-wide and lazily built so every bench in a binary
+//! shares one campaign instead of re-crawling per measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use marketscope::ecosystem::Scale;
+use marketscope::report::{run_campaign, Campaign, CampaignConfig};
+use std::sync::OnceLock;
+
+/// The scale benches run at (~1/4000 of the paper's catalog, ≈1.6K
+/// listings): large enough that the analyses dominate the timings, small
+/// enough for quick iterations. Override with `MARKETSCOPE_BENCH_DIVISOR`.
+pub fn bench_scale() -> Scale {
+    let divisor = std::env::var("MARKETSCOPE_BENCH_DIVISOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000);
+    Scale { divisor }
+}
+
+/// The campaign every experiment bench reads from (built once).
+pub fn campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        run_campaign(CampaignConfig {
+            seed: 0xBE7C_4,
+            scale: bench_scale(),
+            seed_share: 0.75,
+        })
+    })
+}

@@ -1,0 +1,696 @@
+//! # marketscope-clonedetect
+//!
+//! App clone detection, reproducing the paper's two strategies
+//! (Section 6.2):
+//!
+//! * **Signature-based** — cluster by package name; a package signed by
+//!   two or more distinct developer keys is a repackaging cluster (the
+//!   package namespace should be globally unique and consistently
+//!   signed).
+//! * **Code-based (WuKong)** — a two-phase detector: phase 1 compares
+//!   sparse API-call frequency vectors (>45 K dimensions) under the
+//!   normalized Manhattan distance
+//!   `Σ|Aᵢ−Bᵢ| / Σ(Aᵢ+Bᵢ)` with the paper's conservative threshold
+//!   **0.05** (95% similarity); phase 2 confirms candidates by
+//!   code-segment overlap (**≥ 85%** shared segments). Third-party
+//!   library code — which the paper notes averages 60%+ of an app and
+//!   causes false positives/negatives — is excluded from the vectors
+//!   first, using the library packages identified by
+//!   `marketscope-libdetect`.
+//!
+//! Candidate pairs are generated with MinHash banding over the API-id
+//! sets rather than all-pairs comparison, keeping the pass near-linear in
+//! corpus size (WuKong's "scalable two-phase" property).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use marketscope_apk::digest::ApkDigest;
+use marketscope_core::hash::mix64;
+use marketscope_core::{DeveloperKey, MarketId};
+use std::collections::{HashMap, HashSet};
+
+/// One unique app (deduplicated across markets) prepared for clone
+/// detection.
+#[derive(Debug, Clone)]
+pub struct UniqueApp {
+    /// Package name.
+    pub package: String,
+    /// Signing developer.
+    pub developer: DeveloperKey,
+    /// Own-code API vector (library packages removed), sorted by id.
+    pub own_api: Vec<(u32, u32)>,
+    /// Own-code segment hashes, sorted.
+    pub own_segments: Vec<u64>,
+    /// Markets carrying this app, with the download counter seen there
+    /// (0 where the store reports none).
+    pub markets: Vec<(MarketId, u64)>,
+}
+
+impl UniqueApp {
+    /// Build from a digest, excluding the given library packages from the
+    /// code features.
+    pub fn from_digest(
+        digest: &ApkDigest,
+        lib_packages: &HashSet<String>,
+        markets: Vec<(MarketId, u64)>,
+    ) -> UniqueApp {
+        let mut own_api: HashMap<u32, u32> = HashMap::new();
+        let mut own_segments = Vec::new();
+        for f in &digest.package_features {
+            if lib_packages.contains(&f.java_package) {
+                continue;
+            }
+            for (id, c) in &f.api_counts {
+                *own_api.entry(*id).or_insert(0) += *c as u32;
+            }
+            own_segments.extend_from_slice(&f.code_segments);
+        }
+        let mut own_api: Vec<(u32, u32)> = own_api.into_iter().collect();
+        own_api.sort_unstable();
+        own_segments.sort_unstable();
+        UniqueApp {
+            package: digest.package.as_str().to_owned(),
+            developer: digest.developer,
+            own_api,
+            own_segments,
+            markets,
+        }
+    }
+
+    /// The best download counter seen for this app anywhere.
+    pub fn max_downloads(&self) -> u64 {
+        self.markets.iter().map(|(_, d)| *d).max().unwrap_or(0)
+    }
+
+    /// The market where this app is most downloaded (origin attribution).
+    /// Ties break toward the earliest market in [`MarketId::ALL`] order —
+    /// Google Play first, matching its role as the primary publication
+    /// venue.
+    pub fn top_market(&self) -> Option<MarketId> {
+        self.markets
+            .iter()
+            .max_by(|(ma, da), (mb, db)| da.cmp(db).then_with(|| mb.index().cmp(&ma.index())))
+            .map(|(m, _)| *m)
+    }
+}
+
+/// Normalized Manhattan distance between two sorted sparse vectors:
+/// `Σ|Aᵢ−Bᵢ| / Σ(Aᵢ+Bᵢ)`. Returns 1.0 when both are empty.
+pub fn normalized_manhattan(a: &[(u32, u32)], b: &[(u32, u32)]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut num, mut den) = (0u64, 0u64);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ka, va)), Some(&(kb, vb))) if ka == kb => {
+                num += va.abs_diff(vb) as u64;
+                den += (va + vb) as u64;
+                i += 1;
+                j += 1;
+            }
+            (Some(&(ka, va)), Some(&(kb, _))) if ka < kb => {
+                num += va as u64;
+                den += va as u64;
+                i += 1;
+            }
+            (Some(_), Some(&(_, vb))) => {
+                num += vb as u64;
+                den += vb as u64;
+                j += 1;
+            }
+            (Some(&(_, va)), None) => {
+                num += va as u64;
+                den += va as u64;
+                i += 1;
+            }
+            (None, Some(&(_, vb))) => {
+                num += vb as u64;
+                den += vb as u64;
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Share of code segments two sorted multisets have in common,
+/// normalized by the larger one.
+pub fn segment_overlap(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut shared) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    shared as f64 / a.len().max(b.len()) as f64
+}
+
+/// A confirmed code-clone pair (indices into the input slice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClonePair {
+    /// Index of the first app.
+    pub a: usize,
+    /// Index of the second app.
+    pub b: usize,
+    /// Phase-1 distance.
+    pub distance: f64,
+    /// Phase-2 code-segment overlap.
+    pub segment_share: f64,
+}
+
+impl ClonePair {
+    /// The likelier original: the app with more downloads (the paper's
+    /// heuristic, acknowledged imperfect).
+    pub fn origin(&self, apps: &[UniqueApp]) -> usize {
+        if apps[self.a].max_downloads() >= apps[self.b].max_downloads() {
+            self.a
+        } else {
+            self.b
+        }
+    }
+
+    /// The clone side of the pair.
+    pub fn copy(&self, apps: &[UniqueApp]) -> usize {
+        if self.origin(apps) == self.a {
+            self.b
+        } else {
+            self.a
+        }
+    }
+}
+
+/// Signature-based clone clusters.
+#[derive(Debug, Clone)]
+pub struct SigCloneReport {
+    /// For each input app, whether its package is signed by ≥2 keys.
+    pub flagged: Vec<bool>,
+    /// Package → number of distinct signing keys (only multi-key ones).
+    pub clusters: HashMap<String, usize>,
+}
+
+impl SigCloneReport {
+    /// Share of apps listed in `market` that belong to a multi-signature
+    /// package cluster.
+    pub fn market_rate(&self, apps: &[UniqueApp], market: MarketId) -> f64 {
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for (i, app) in apps.iter().enumerate() {
+            if app.markets.iter().any(|(m, _)| *m == market) {
+                total += 1;
+                if self.flagged[i] {
+                    hit += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+/// Detection thresholds (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct CloneConfig {
+    /// Phase-1 normalized Manhattan distance ceiling (0.05 = 95% similar).
+    pub distance_threshold: f64,
+    /// Phase-2 minimum shared code-segment share (0.85).
+    pub segment_threshold: f64,
+    /// MinHash signature length.
+    pub minhash_len: usize,
+    /// Rows per MinHash band.
+    pub band_rows: usize,
+}
+
+impl Default for CloneConfig {
+    fn default() -> Self {
+        CloneConfig {
+            distance_threshold: 0.05,
+            segment_threshold: 0.85,
+            minhash_len: 16,
+            band_rows: 4,
+        }
+    }
+}
+
+/// The clone detector.
+#[derive(Debug, Clone, Default)]
+pub struct CloneDetector {
+    config: CloneConfig,
+}
+
+impl CloneDetector {
+    /// Detector with paper-default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Detector with explicit thresholds.
+    pub fn with_config(config: CloneConfig) -> Self {
+        CloneDetector { config }
+    }
+
+    /// Signature-based clone detection: same package, ≥2 developer keys.
+    pub fn sig_clones(&self, apps: &[UniqueApp]) -> SigCloneReport {
+        let mut keys_by_package: HashMap<&str, HashSet<DeveloperKey>> = HashMap::new();
+        for app in apps {
+            keys_by_package
+                .entry(&app.package)
+                .or_default()
+                .insert(app.developer);
+        }
+        let clusters: HashMap<String, usize> = keys_by_package
+            .iter()
+            .filter(|(_, keys)| keys.len() >= 2)
+            .map(|(pkg, keys)| ((*pkg).to_owned(), keys.len()))
+            .collect();
+        let flagged = apps
+            .iter()
+            .map(|a| clusters.contains_key(a.package.as_str()))
+            .collect();
+        SigCloneReport { flagged, clusters }
+    }
+
+    /// Code-based clone detection (two-phase WuKong).
+    ///
+    /// Only pairs with *different package names and different developers*
+    /// qualify: same-package pairs are the signature-based clones above,
+    /// and same-developer pairs are legitimate re-releases.
+    pub fn code_clones(&self, apps: &[UniqueApp]) -> Vec<ClonePair> {
+        // Candidate generation: MinHash banding over own-code API id sets.
+        let bands = self.config.minhash_len / self.config.band_rows;
+        let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+        for (idx, app) in apps.iter().enumerate() {
+            if app.own_api.is_empty() {
+                continue;
+            }
+            let sig = minhash(&app.own_api, self.config.minhash_len);
+            for band in 0..bands {
+                let mut key = 0xB0A7u64 ^ band as u64;
+                for r in 0..self.config.band_rows {
+                    key = mix64(key, sig[band * self.config.band_rows + r]);
+                }
+                buckets.entry((band, key)).or_default().push(idx);
+            }
+        }
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let mut out = Vec::new();
+        for bucket in buckets.values() {
+            if bucket.len() < 2 {
+                continue;
+            }
+            for (pos, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[pos + 1..] {
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    if !seen.insert((lo, hi)) {
+                        continue;
+                    }
+                    let (a, b) = (&apps[lo], &apps[hi]);
+                    if a.package == b.package || a.developer == b.developer {
+                        continue;
+                    }
+                    let distance = normalized_manhattan(&a.own_api, &b.own_api);
+                    if distance > self.config.distance_threshold {
+                        continue;
+                    }
+                    let segment_share = segment_overlap(&a.own_segments, &b.own_segments);
+                    if segment_share < self.config.segment_threshold {
+                        continue;
+                    }
+                    out.push(ClonePair {
+                        a: lo,
+                        b: hi,
+                        distance,
+                        segment_share,
+                    });
+                }
+            }
+        }
+        out.sort_by(|x, y| (x.a, x.b).cmp(&(y.a, y.b)));
+        out
+    }
+
+    /// Share of apps listed in `market` involved in any confirmed
+    /// code-clone pair.
+    pub fn market_code_clone_rate(
+        &self,
+        apps: &[UniqueApp],
+        pairs: &[ClonePair],
+        market: MarketId,
+    ) -> f64 {
+        let mut involved = vec![false; apps.len()];
+        for p in pairs {
+            involved[p.a] = true;
+            involved[p.b] = true;
+        }
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for (i, app) in apps.iter().enumerate() {
+            if app.markets.iter().any(|(m, _)| *m == market) {
+                total += 1;
+                if involved[i] {
+                    hit += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+/// MinHash signature over the id set of a sparse vector.
+fn minhash(api: &[(u32, u32)], len: usize) -> Vec<u64> {
+    let mut sig = vec![u64::MAX; len];
+    for (id, _) in api {
+        for (k, s) in sig.iter_mut().enumerate() {
+            let h = mix64(*id as u64, 0x5A17_0000 + k as u64);
+            if h < *s {
+                *s = h;
+            }
+        }
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(pkg: &str, dev: &str, api: Vec<(u32, u32)>, segs: Vec<u64>, dl: u64) -> UniqueApp {
+        let mut api = api;
+        api.sort_unstable();
+        let mut segs = segs;
+        segs.sort_unstable();
+        UniqueApp {
+            package: pkg.into(),
+            developer: DeveloperKey::from_label(dev),
+            own_api: api,
+            own_segments: segs,
+            markets: vec![(MarketId::GooglePlay, dl)],
+        }
+    }
+
+    fn wide_api(seed: u32, n: usize) -> Vec<(u32, u32)> {
+        (0..n)
+            .map(|i| (seed + i as u32 * 37, 1 + (i as u32 % 3)))
+            .collect()
+    }
+
+    #[test]
+    fn manhattan_identities() {
+        let a = vec![(1u32, 2u32), (5, 3)];
+        assert_eq!(normalized_manhattan(&a, &a), 0.0);
+        let b = vec![(9u32, 4u32)];
+        assert_eq!(normalized_manhattan(&a, &b), 1.0); // disjoint
+        assert_eq!(normalized_manhattan(&[], &[]), 1.0);
+        // Partial overlap: a=(1:2),(5:3); c=(1:2),(5:1) → |0|+|2| / (4+4).
+        let c = vec![(1u32, 2u32), (5, 1)];
+        assert!((normalized_manhattan(&a, &c) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = wide_api(10, 50);
+        let mut b = wide_api(10, 50);
+        b[3].1 += 2;
+        b.push((9999, 1));
+        b.sort_unstable();
+        assert_eq!(normalized_manhattan(&a, &b), normalized_manhattan(&b, &a));
+    }
+
+    #[test]
+    fn segment_overlap_cases() {
+        assert_eq!(segment_overlap(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(segment_overlap(&[1, 2, 3, 4], &[1, 2]), 0.5);
+        assert_eq!(segment_overlap(&[], &[1]), 0.0);
+        // Multiset semantics: duplicates count individually.
+        assert_eq!(segment_overlap(&[5, 5], &[5, 5]), 1.0);
+    }
+
+    #[test]
+    fn sig_clones_flag_multi_key_packages() {
+        let apps = vec![
+            app(
+                "com.kugou.android",
+                "kugou",
+                wide_api(1, 30),
+                vec![1, 2],
+                1_000_000,
+            ),
+            app(
+                "com.kugou.android",
+                "attacker",
+                wide_api(1, 30),
+                vec![1, 2],
+                50,
+            ),
+            app("com.other.app", "someone", wide_api(500, 30), vec![9], 10),
+        ];
+        let report = CloneDetector::new().sig_clones(&apps);
+        assert_eq!(report.flagged, vec![true, true, false]);
+        assert_eq!(report.clusters.get("com.kugou.android"), Some(&2));
+        assert!((report.market_rate(&apps, MarketId::GooglePlay) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn code_clones_found_for_near_identical_apps() {
+        // Victim and clone: same API vector except one swapped id; 90%+
+        // shared segments; different package and developer.
+        let api = wide_api(100, 200);
+        let mut clone_api = api.clone();
+        clone_api[0].0 += 1; // one call swapped
+        clone_api.sort_unstable();
+        let segs: Vec<u64> = (0..100u64).collect();
+        let mut clone_segs = segs.clone();
+        for s in clone_segs.iter_mut().take(10) {
+            *s += 1000; // 10% of segments rewritten
+        }
+        let apps = vec![
+            app("com.orig.app", "victim", api, segs, 500_000),
+            app("com.fakeco.app", "cloner", clone_api, clone_segs, 300),
+        ];
+        let pairs = CloneDetector::new().code_clones(&apps);
+        assert_eq!(pairs.len(), 1);
+        let p = pairs[0];
+        assert!(p.distance <= 0.05, "distance {}", p.distance);
+        assert!(p.segment_share >= 0.85, "share {}", p.segment_share);
+        assert_eq!(p.origin(&apps), 0);
+        assert_eq!(p.copy(&apps), 1);
+    }
+
+    #[test]
+    fn unrelated_apps_are_not_clones() {
+        let apps = vec![
+            app(
+                "com.a.one",
+                "d1",
+                wide_api(0, 150),
+                (0..80u64).collect(),
+                10,
+            ),
+            app(
+                "com.b.two",
+                "d2",
+                wide_api(40_000 / 2, 150),
+                (500..580u64).collect(),
+                10,
+            ),
+        ];
+        assert!(CloneDetector::new().code_clones(&apps).is_empty());
+    }
+
+    #[test]
+    fn same_developer_pairs_are_skipped() {
+        let api = wide_api(7, 100);
+        let segs: Vec<u64> = (0..50u64).collect();
+        let apps = vec![
+            app("com.a.free", "samedev", api.clone(), segs.clone(), 100),
+            app("com.a.pro", "samedev", api, segs, 100),
+        ];
+        assert!(CloneDetector::new().code_clones(&apps).is_empty());
+    }
+
+    #[test]
+    fn same_package_pairs_are_skipped_in_code_pass() {
+        let api = wide_api(7, 100);
+        let segs: Vec<u64> = (0..50u64).collect();
+        let apps = vec![
+            app("com.same.pkg", "d1", api.clone(), segs.clone(), 100),
+            app("com.same.pkg", "d2", api, segs, 100),
+        ];
+        assert!(CloneDetector::new().code_clones(&apps).is_empty());
+        // ... but the signature pass catches them.
+        assert_eq!(CloneDetector::new().sig_clones(&apps).clusters.len(), 1);
+    }
+
+    #[test]
+    fn dissimilar_segments_fail_phase_two() {
+        // Phase 1 passes (identical API vectors) but the code segments
+        // differ: not a clone (e.g. independent apps against the same
+        // framework surface).
+        let api = wide_api(3, 120);
+        let apps = vec![
+            app("com.x.a", "d1", api.clone(), (0..100u64).collect(), 10),
+            app("com.y.b", "d2", api, (1000..1100u64).collect(), 10),
+        ];
+        assert!(CloneDetector::new().code_clones(&apps).is_empty());
+    }
+
+    #[test]
+    fn market_code_clone_rate_counts_both_sides() {
+        let api = wide_api(100, 200);
+        let segs: Vec<u64> = (0..100u64).collect();
+        let apps = vec![
+            app("com.orig.app", "victim", api.clone(), segs.clone(), 500_000),
+            app("com.thief.app", "cloner", api, segs, 10),
+            app(
+                "com.clean.app",
+                "ok",
+                wide_api(30_000 / 2, 100),
+                (900..950u64).collect(),
+                10,
+            ),
+        ];
+        let det = CloneDetector::new();
+        let pairs = det.code_clones(&apps);
+        assert_eq!(pairs.len(), 1);
+        let rate = det.market_code_clone_rate(&apps, &pairs, MarketId::GooglePlay);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_app(idx: usize) -> impl Strategy<Value = UniqueApp> {
+        (
+            proptest::collection::btree_map(0u32..5_000, 1u32..6, 10..120),
+            proptest::collection::vec(any::<u64>(), 10..120),
+        )
+            .prop_map(move |(api, mut segs)| {
+                segs.sort_unstable();
+                UniqueApp {
+                    package: format!("com.base{idx}.app"),
+                    developer: DeveloperKey::from_label(&format!("dev{idx}")),
+                    own_api: api.into_iter().collect(),
+                    own_segments: segs,
+                    markets: vec![(MarketId::GooglePlay, idx as u64)],
+                }
+            })
+    }
+
+    /// Derive a near-clone of `base`: perturb a few entries, re-key the
+    /// identity.
+    fn derive_clone(base: &UniqueApp, idx: usize, perturb: usize) -> UniqueApp {
+        let mut api = base.own_api.clone();
+        for k in 0..perturb.min(api.len()) {
+            api[k].0 = api[k].0.wrapping_add(40_001 + k as u32);
+        }
+        api.sort_unstable();
+        let mut segs = base.own_segments.clone();
+        for k in 0..perturb.min(segs.len()) {
+            segs[k] ^= 0xDEAD_0000 + k as u64;
+        }
+        segs.sort_unstable();
+        UniqueApp {
+            package: format!("com.clone{idx}.app"),
+            developer: DeveloperKey::from_label(&format!("cloner{idx}")),
+            own_api: api,
+            own_segments: segs,
+            markets: vec![(MarketId::Pp25, 1)],
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// MinHash candidate generation must find every pair the
+        /// threshold criteria accept: plant near-clones among distractors
+        /// and require them all back.
+        #[test]
+        fn minhash_recalls_planted_pairs(
+            bases in proptest::collection::vec(arb_app(0), 2..6),
+        ) {
+            let mut apps = Vec::new();
+            let mut expected = 0usize;
+            for (i, base) in bases.iter().enumerate() {
+                let mut b = base.clone();
+                b.package = format!("com.orig{i}.app");
+                b.developer = DeveloperKey::from_label(&format!("orig{i}"));
+                // 2% perturbation keeps the pair inside both thresholds.
+                let perturb = (b.own_segments.len() / 50).max(0);
+                let clone = derive_clone(&b, i, perturb);
+                let d = normalized_manhattan(&b.own_api, &clone.own_api);
+                let s = segment_overlap(&b.own_segments, &clone.own_segments);
+                if d <= 0.05 && s >= 0.85 {
+                    expected += 1;
+                }
+                apps.push(b);
+                apps.push(clone);
+            }
+            let pairs = CloneDetector::new().code_clones(&apps);
+            prop_assert!(
+                pairs.len() >= expected,
+                "found {} pairs, planted {expected}",
+                pairs.len()
+            );
+            // Every reported pair actually satisfies the thresholds.
+            for p in &pairs {
+                let (a, b) = (&apps[p.a], &apps[p.b]);
+                prop_assert!(p.distance <= 0.05);
+                prop_assert!(p.segment_share >= 0.85);
+                prop_assert!(a.package != b.package);
+                prop_assert!(a.developer != b.developer);
+            }
+        }
+
+        /// The signature pass flags exactly the packages with ≥2 keys.
+        #[test]
+        fn sig_pass_is_exact(n_pkgs in 1usize..8, dup in 0usize..8) {
+            let mut apps = Vec::new();
+            for i in 0..n_pkgs {
+                apps.push(UniqueApp {
+                    package: format!("com.pkg{i}.app"),
+                    developer: DeveloperKey::from_label(&format!("owner{i}")),
+                    own_api: vec![(1, 1)],
+                    own_segments: vec![1],
+                    markets: vec![(MarketId::GooglePlay, 0)],
+                });
+            }
+            let dup = dup % n_pkgs;
+            apps.push(UniqueApp {
+                package: format!("com.pkg{dup}.app"),
+                developer: DeveloperKey::from_label("attacker"),
+                own_api: vec![(1, 1)],
+                own_segments: vec![1],
+                markets: vec![(MarketId::PcOnline, 0)],
+            });
+            let report = CloneDetector::new().sig_clones(&apps);
+            prop_assert_eq!(report.clusters.len(), 1);
+            let key = format!("com.pkg{dup}.app");
+            prop_assert!(report.clusters.contains_key(&key));
+            let flagged = report.flagged.iter().filter(|f| **f).count();
+            prop_assert_eq!(flagged, 2);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The consolidated app-category taxonomy.
+//!
+//! Each market defines its own taxonomy (Google Play has 33 categories,
+//! Huawei only 18, ...). Section 4.1 of the paper manually consolidates
+//! them into **22 categories** so that catalogs can be compared fairly;
+//! apps whose store-reported category is missing or non-descriptive
+//! (e.g. `"102229"`) land in `NullOther`.
+
+use std::fmt;
+
+/// One of the paper's 22 consolidated app categories (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Category {
+    Books,
+    Browsers,
+    Business,
+    Communication,
+    Education,
+    Entertainment,
+    Finance,
+    Health,
+    InputMethods,
+    Lifestyle,
+    Location,
+    News,
+    Music,
+    Personalization,
+    Photography,
+    Security,
+    Shopping,
+    Social,
+    Tools,
+    Video,
+    Game,
+    NullOther,
+}
+
+impl Category {
+    /// All 22 categories in Figure 1 order.
+    pub const ALL: [Category; 22] = [
+        Category::Books,
+        Category::Browsers,
+        Category::Business,
+        Category::Communication,
+        Category::Education,
+        Category::Entertainment,
+        Category::Finance,
+        Category::Health,
+        Category::InputMethods,
+        Category::Lifestyle,
+        Category::Location,
+        Category::News,
+        Category::Music,
+        Category::Personalization,
+        Category::Photography,
+        Category::Security,
+        Category::Shopping,
+        Category::Social,
+        Category::Tools,
+        Category::Video,
+        Category::Game,
+        Category::NullOther,
+    ];
+
+    /// Stable dense index in `0..22`.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("all variants listed")
+    }
+
+    /// Display label matching the paper's Figure 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Books => "Books",
+            Category::Browsers => "Browsers",
+            Category::Business => "Business",
+            Category::Communication => "Communication",
+            Category::Education => "Education",
+            Category::Entertainment => "Entertainment",
+            Category::Finance => "Finance",
+            Category::Health => "Health",
+            Category::InputMethods => "InputMethods",
+            Category::Lifestyle => "Lifestyle",
+            Category::Location => "Location",
+            Category::News => "News",
+            Category::Music => "Music",
+            Category::Personalization => "Personalization",
+            Category::Photography => "Photography",
+            Category::Security => "Security",
+            Category::Shopping => "Shopping",
+            Category::Social => "Social",
+            Category::Tools => "Tools",
+            Category::Video => "Video",
+            Category::Game => "Game",
+            Category::NullOther => "Null/Other",
+        }
+    }
+
+    /// Consolidate a raw, store-reported category string into the unified
+    /// taxonomy. This mirrors the paper's manual mapping: it is forgiving
+    /// about case and about common store-specific synonyms, and maps
+    /// anything unrecognized (including numeric junk like `"102229"` and
+    /// `"Unclassified"`) to [`Category::NullOther`].
+    pub fn consolidate(raw: &str) -> Category {
+        let lower = raw.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "books" | "books & reference" | "reading" | "comics" | "novel" => Category::Books,
+            "browsers" | "browser" => Category::Browsers,
+            "business" | "office" | "productivity" => Category::Business,
+            "communication" | "chat" | "messaging" => Category::Communication,
+            "education" | "learning" | "study" => Category::Education,
+            "entertainment" | "fun" => Category::Entertainment,
+            "finance" | "banking" | "payment" => Category::Finance,
+            "health" | "health & fitness" | "medical" | "fitness" => Category::Health,
+            "inputmethods" | "input methods" | "input" | "keyboard" => Category::InputMethods,
+            "lifestyle" | "life" | "food & drink" | "travel" | "travel & local" => {
+                Category::Lifestyle
+            }
+            "location" | "maps" | "maps & navigation" | "navigation" => Category::Location,
+            "news" | "news & magazines" | "weather" => Category::News,
+            "music" | "music & audio" | "audio" => Category::Music,
+            "personalization" | "theme" | "themes" | "wallpaper" | "wallpapers" => {
+                Category::Personalization
+            }
+            "photography" | "photo" | "camera" => Category::Photography,
+            "security" | "antivirus" | "safety" => Category::Security,
+            "shopping" | "ecommerce" => Category::Shopping,
+            "social" | "social networking" | "dating" => Category::Social,
+            "tools" | "utilities" | "system" => Category::Tools,
+            "video" | "video players & editors" | "media & video" => Category::Video,
+            "game" | "games" | "casual" | "arcade" | "puzzle" | "action" | "strategy"
+            | "role playing" | "racing" | "sports game" => Category::Game,
+            _ => Category::NullOther,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_categories() {
+        assert_eq!(Category::ALL.len(), 22);
+    }
+
+    #[test]
+    fn indices_dense() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn consolidation_handles_synonyms() {
+        assert_eq!(Category::consolidate("Games"), Category::Game);
+        assert_eq!(Category::consolidate("ARCADE"), Category::Game);
+        assert_eq!(Category::consolidate("Music & Audio"), Category::Music);
+        assert_eq!(
+            Category::consolidate("wallpaper"),
+            Category::Personalization
+        );
+        assert_eq!(
+            Category::consolidate("Maps & Navigation"),
+            Category::Location
+        );
+    }
+
+    #[test]
+    fn consolidation_maps_junk_to_null_other() {
+        assert_eq!(Category::consolidate("102229"), Category::NullOther);
+        assert_eq!(Category::consolidate("Unclassified"), Category::NullOther);
+        assert_eq!(Category::consolidate(""), Category::NullOther);
+        assert_eq!(Category::consolidate("  "), Category::NullOther);
+    }
+
+    #[test]
+    fn labels_round_trip_via_consolidate() {
+        // Every unified label (except Null/Other) must consolidate to itself.
+        for c in Category::ALL {
+            if c == Category::NullOther {
+                continue;
+            }
+            assert_eq!(Category::consolidate(c.label()), c, "label {}", c.label());
+        }
+    }
+}

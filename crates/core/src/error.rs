@@ -1,0 +1,62 @@
+//! Error type shared by the foundation modules.
+
+use std::fmt;
+
+/// Errors produced by parsing and validation in `marketscope-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A package name failed Android's syntactic rules.
+    InvalidPackageName(String),
+    /// A JSON document could not be parsed; carries a byte offset and reason.
+    Json {
+        /// Byte offset into the input where parsing failed.
+        offset: usize,
+        /// Human-readable failure reason.
+        reason: &'static str,
+    },
+    /// A market name string did not match any known market.
+    UnknownMarket(String),
+    /// A date was outside the representable simulation window.
+    DateOutOfRange(i64),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidPackageName(p) => write!(f, "invalid package name: {p:?}"),
+            CoreError::Json { offset, reason } => {
+                write!(f, "json parse error at byte {offset}: {reason}")
+            }
+            CoreError::UnknownMarket(m) => write!(f, "unknown market: {m:?}"),
+            CoreError::DateOutOfRange(d) => write!(f, "date out of range: {d} days"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidPackageName("_bad".into());
+        assert!(e.to_string().contains("_bad"));
+        let e = CoreError::Json {
+            offset: 7,
+            reason: "expected value",
+        };
+        assert!(e.to_string().contains("byte 7"));
+        let e = CoreError::UnknownMarket("bogus".into());
+        assert!(e.to_string().contains("bogus"));
+        let e = CoreError::DateOutOfRange(-3);
+        assert!(e.to_string().contains("-3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::DateOutOfRange(1));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Self-contained hash functions.
+//!
+//! * **CRC-32** (IEEE 802.3) — ZIP entry checksums in `marketscope-apk`.
+//! * **FNV-1a 64** — fast feature hashing for library detection and clone
+//!   candidate bucketing.
+//! * **MD5** — APK content digests. The paper uses MD5 to ask "are two
+//!   listings byte-identical?" (Section 5.3); we need identity semantics
+//!   only, so MD5's cryptographic weakness is irrelevant here.
+
+/// CRC-32 (IEEE) of `data`, as used by ZIP local file headers.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming CRC-32: feed chunks into `state` (start from `0xFFFF_FFFF`,
+/// finish by XOR with `0xFFFF_FFFF`).
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state ^= b as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+/// FNV-1a 64-bit hash of `data`.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    fnv1a64_update(0xcbf2_9ce4_8422_2325, data)
+}
+
+/// Streaming FNV-1a 64: feed chunks into `state` (start from the FNV
+/// offset basis `0xcbf29ce484222325`).
+pub fn fnv1a64_update(mut state: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+/// Combine two 64-bit hashes order-sensitively (for hierarchical feature
+/// hashing of package trees).
+pub fn mix64(a: u64, b: u64) -> u64 {
+    // SplitMix64-style finalizer over the XOR-rotate combination.
+    let mut z = a ^ b.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(b | 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const MD5_S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const MD5_K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// MD5 digest of `data` (RFC 1321).
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut a0: u32 = 0x67452301;
+    let mut b0: u32 = 0xefcdab89;
+    let mut c0: u32 = 0x98badcfe;
+    let mut d0: u32 = 0x10325476;
+
+    // Pad: 0x80, zeros, then original bit length (LE u64).
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                chunk[4 * i],
+                chunk[4 * i + 1],
+                chunk[4 * i + 2],
+                chunk[4 * i + 3],
+            ]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a.wrapping_add(f).wrapping_add(MD5_K[i]).wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(MD5_S[i]));
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// Lower-case hex rendering of a digest.
+pub fn to_hex(digest: &[u8]) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(digest.len() * 2);
+    for b in digest {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md5_rfc1321_vectors() {
+        assert_eq!(to_hex(&md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(to_hex(&md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(to_hex(&md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            to_hex(&md5(b"message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            to_hex(&md5(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            to_hex(&md5(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn crc32_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"hello crc streaming world";
+        let mut st = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(7) {
+            st = crc32_update(st, chunk);
+        }
+        assert_eq!(st ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn mix64_is_order_sensitive() {
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+        assert_eq!(mix64(1, 2), mix64(1, 2));
+    }
+}

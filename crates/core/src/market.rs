@@ -1,0 +1,229 @@
+//! The 17 app markets studied by the paper.
+//!
+//! Table 1 of the paper lists Google Play plus 16 Chinese alternative
+//! stores, grouped into four kinds: the official store, stores run by
+//! Chinese web companies, hardware-vendor stores, and specialized stores.
+
+use crate::error::CoreError;
+use std::fmt;
+use std::str::FromStr;
+
+/// The kind of operator behind a market (Table 1, "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MarketKind {
+    /// Google Play, the official store.
+    Official,
+    /// A store run by a Chinese web company (Tencent, Baidu, Qihoo 360).
+    WebCompany,
+    /// A store pre-installed by a hardware vendor (Huawei, Xiaomi, ...).
+    Vendor,
+    /// A specialized app-distribution company (25PP, Wandoujia, ...).
+    Specialized,
+}
+
+/// One of the 17 studied app markets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum MarketId {
+    GooglePlay,
+    TencentMyapp,
+    BaiduMarket,
+    Market360,
+    OppoMarket,
+    XiaomiMarket,
+    MeizuMarket,
+    HuaweiMarket,
+    LenovoMm,
+    Pp25,
+    Wandoujia,
+    HiApk,
+    AnZhi,
+    Liqu,
+    PcOnline,
+    Sougou,
+    AppChina,
+}
+
+impl MarketId {
+    /// All 17 markets, in the paper's Table 1 order.
+    pub const ALL: [MarketId; 17] = [
+        MarketId::GooglePlay,
+        MarketId::TencentMyapp,
+        MarketId::BaiduMarket,
+        MarketId::Market360,
+        MarketId::OppoMarket,
+        MarketId::XiaomiMarket,
+        MarketId::MeizuMarket,
+        MarketId::HuaweiMarket,
+        MarketId::LenovoMm,
+        MarketId::Pp25,
+        MarketId::Wandoujia,
+        MarketId::HiApk,
+        MarketId::AnZhi,
+        MarketId::Liqu,
+        MarketId::PcOnline,
+        MarketId::Sougou,
+        MarketId::AppChina,
+    ];
+
+    /// The 16 Chinese alternative markets (everything but Google Play).
+    pub fn chinese() -> impl Iterator<Item = MarketId> {
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|m| *m != MarketId::GooglePlay)
+    }
+
+    /// Stable dense index in `0..17`, usable for array-backed tables.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("all variants listed")
+    }
+
+    /// The market's display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MarketId::GooglePlay => "Google Play",
+            MarketId::TencentMyapp => "Tencent Myapp",
+            MarketId::BaiduMarket => "Baidu Market",
+            MarketId::Market360 => "360 Market",
+            MarketId::OppoMarket => "OPPO Market",
+            MarketId::XiaomiMarket => "Xiaomi Market",
+            MarketId::MeizuMarket => "MeiZu Market",
+            MarketId::HuaweiMarket => "Huawei Market",
+            MarketId::LenovoMm => "Lenovo MM",
+            MarketId::Pp25 => "25PP",
+            MarketId::Wandoujia => "Wandoujia",
+            MarketId::HiApk => "HiApk",
+            MarketId::AnZhi => "AnZhi Market",
+            MarketId::Liqu => "LIQU",
+            MarketId::PcOnline => "PC Online",
+            MarketId::Sougou => "Sougou",
+            MarketId::AppChina => "App China",
+        }
+    }
+
+    /// Short machine-friendly slug (used in URLs and snapshot files).
+    pub fn slug(self) -> &'static str {
+        match self {
+            MarketId::GooglePlay => "googleplay",
+            MarketId::TencentMyapp => "tencent",
+            MarketId::BaiduMarket => "baidu",
+            MarketId::Market360 => "market360",
+            MarketId::OppoMarket => "oppo",
+            MarketId::XiaomiMarket => "xiaomi",
+            MarketId::MeizuMarket => "meizu",
+            MarketId::HuaweiMarket => "huawei",
+            MarketId::LenovoMm => "lenovo",
+            MarketId::Pp25 => "pp25",
+            MarketId::Wandoujia => "wandoujia",
+            MarketId::HiApk => "hiapk",
+            MarketId::AnZhi => "anzhi",
+            MarketId::Liqu => "liqu",
+            MarketId::PcOnline => "pconline",
+            MarketId::Sougou => "sougou",
+            MarketId::AppChina => "appchina",
+        }
+    }
+
+    /// The operator kind (Table 1, "Type").
+    pub fn kind(self) -> MarketKind {
+        match self {
+            MarketId::GooglePlay => MarketKind::Official,
+            MarketId::TencentMyapp | MarketId::BaiduMarket | MarketId::Market360 => {
+                MarketKind::WebCompany
+            }
+            MarketId::OppoMarket
+            | MarketId::XiaomiMarket
+            | MarketId::MeizuMarket
+            | MarketId::HuaweiMarket
+            | MarketId::LenovoMm => MarketKind::Vendor,
+            _ => MarketKind::Specialized,
+        }
+    }
+
+    /// Whether this market is one of the 16 Chinese alternative stores.
+    pub fn is_chinese(self) -> bool {
+        self != MarketId::GooglePlay
+    }
+}
+
+impl fmt::Display for MarketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for MarketId {
+    type Err = CoreError;
+
+    /// Accepts either the slug or the display name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        MarketId::ALL
+            .iter()
+            .copied()
+            .find(|m| m.slug() == s || m.name() == s)
+            .ok_or_else(|| CoreError::UnknownMarket(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_markets() {
+        assert_eq!(MarketId::ALL.len(), 17);
+        assert_eq!(MarketId::chinese().count(), 16);
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, m) in MarketId::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+        assert_eq!(MarketId::GooglePlay.index(), 0);
+    }
+
+    #[test]
+    fn slugs_unique() {
+        let mut slugs: Vec<_> = MarketId::ALL.iter().map(|m| m.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 17);
+    }
+
+    #[test]
+    fn kinds_match_table1() {
+        assert_eq!(MarketId::GooglePlay.kind(), MarketKind::Official);
+        assert_eq!(MarketId::TencentMyapp.kind(), MarketKind::WebCompany);
+        assert_eq!(MarketId::HuaweiMarket.kind(), MarketKind::Vendor);
+        assert_eq!(MarketId::Pp25.kind(), MarketKind::Specialized);
+        let vendors = MarketId::ALL
+            .iter()
+            .filter(|m| m.kind() == MarketKind::Vendor)
+            .count();
+        assert_eq!(vendors, 5);
+        let web = MarketId::ALL
+            .iter()
+            .filter(|m| m.kind() == MarketKind::WebCompany)
+            .count();
+        assert_eq!(web, 3);
+        let spec = MarketId::ALL
+            .iter()
+            .filter(|m| m.kind() == MarketKind::Specialized)
+            .count();
+        assert_eq!(spec, 8);
+    }
+
+    #[test]
+    fn round_trip_from_str() {
+        for m in MarketId::ALL {
+            assert_eq!(m.slug().parse::<MarketId>().unwrap(), m);
+            assert_eq!(m.name().parse::<MarketId>().unwrap(), m);
+        }
+        assert!("nosuchmarket".parse::<MarketId>().is_err());
+    }
+}

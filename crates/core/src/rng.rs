@@ -1,0 +1,369 @@
+//! Deterministic randomness and heavy-tailed samplers.
+//!
+//! The entire synthetic world flows from one `u64` seed. Sub-streams are
+//! derived by hashing a label into the parent seed, so adding a new
+//! consumer of randomness never perturbs existing streams — a property the
+//! reproducibility tests rely on.
+//!
+//! The samplers match the distributions the paper observes:
+//! * downloads follow a power law ("top 0.1% of apps account for more than
+//!   50% of total downloads", Section 4.2) — [`ZipfSampler`];
+//! * catalog growth and cluster sizes are heavy-tailed — [`pareto_u64`];
+//! * categorical choices (market mixes, malware families) —
+//!   [`WeightedIndex`].
+
+use crate::hash::{fnv1a64, mix64};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG stream with labeled sub-stream derivation.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl DetRng {
+    /// Root stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent sub-stream identified by `label`.
+    ///
+    /// Derivation depends only on `(parent seed, label)`, not on how much
+    /// of the parent stream has been consumed.
+    pub fn derive(&self, label: &str) -> DetRng {
+        DetRng::new(mix64(self.seed, fnv1a64(label.as_bytes())))
+    }
+
+    /// Derive an independent sub-stream identified by `label` and an index
+    /// (e.g. one stream per generated app).
+    pub fn derive_indexed(&self, label: &str, index: u64) -> DetRng {
+        DetRng::new(mix64(
+            mix64(self.seed, fnv1a64(label.as_bytes())),
+            index ^ 0xA5A5_5A5A,
+        ))
+    }
+
+    /// The seed identifying this stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty domain");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        // Partial Fisher-Yates over an index vector; O(n) setup but the
+        // generator only calls this with modest n.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.rng.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.rng.try_fill_bytes(dest)
+    }
+}
+
+/// Zipf-distributed ranks over `1..=n` with exponent `s`.
+///
+/// Sampled by inversion against the precomputed CDF; construction is
+/// `O(n)`, sampling `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over ranks `1..=n`. Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        assert!(s >= 0.0, "negative zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw a rank in `1..=n` (rank 1 is the most likely).
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        let hi = self.cdf[k - 1];
+        let lo = if k >= 2 { self.cdf[k - 2] } else { 0.0 };
+        hi - lo
+    }
+}
+
+/// Pareto-tailed positive integer: `floor(xm / U^(1/alpha))`, clamped to
+/// `cap`. Produces the long-tailed download counters of Figure 2.
+pub fn pareto_u64(rng: &mut DetRng, xm: f64, alpha: f64, cap: u64) -> u64 {
+    assert!(xm > 0.0 && alpha > 0.0);
+    let u = rng.unit().max(f64::MIN_POSITIVE);
+    let v = xm / u.powf(1.0 / alpha);
+    if v >= cap as f64 {
+        cap
+    } else {
+        v as u64
+    }
+}
+
+/// Log-normal-ish positive value from two uniform draws (sum of exponentials
+/// approximation; adequate for size/LoC style metadata).
+pub fn rough_lognormal(rng: &mut DetRng, median: f64, spread: f64) -> f64 {
+    let z = (rng.unit() + rng.unit() + rng.unit() + rng.unit() - 2.0) * 1.732; // ~N(0,1)
+    median * spread.powf(z)
+}
+
+/// Weighted categorical sampler over `0..weights.len()`.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Build from non-negative weights; at least one must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "no weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights zero");
+        for v in &mut cumulative {
+            *v /= acc;
+        }
+        WeightedIndex { cumulative }
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cumulative
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_stable_and_independent() {
+        let root = DetRng::new(42);
+        let mut a1 = root.derive("apps");
+        let mut a2 = root.derive("apps");
+        let mut b = root.derive("devs");
+        let xs: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn derivation_unaffected_by_parent_consumption() {
+        let mut root = DetRng::new(7);
+        let d1 = root.derive("x");
+        let _ = root.next_u64();
+        let d2 = root.derive("x");
+        assert_eq!(d1.seed(), d2.seed());
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let root = DetRng::new(1);
+        assert_ne!(
+            root.derive_indexed("a", 0).seed(),
+            root.derive_indexed("a", 1).seed()
+        );
+        assert_ne!(
+            root.derive_indexed("a", 0).seed(),
+            root.derive_indexed("b", 0).seed()
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-5.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let z = ZipfSampler::new(1000, 1.1);
+        let mut r = DetRng::new(99);
+        let mut top10 = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut r) <= 10 {
+                top10 += 1;
+            }
+        }
+        // With s=1.1 over 1000 ranks, the top-10 mass is ~45%; allow slack.
+        let share = top10 as f64 / n as f64;
+        assert!(share > 0.30 && share < 0.65, "share {share}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 0.8);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(1) > z.pmf(2));
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = ZipfSampler::new(5, 1.0);
+        let mut r = DetRng::new(5);
+        for _ in 0..1000 {
+            let k = z.sample(&mut r);
+            assert!((1..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn pareto_is_capped_and_positive_tail() {
+        let mut r = DetRng::new(11);
+        let mut max = 0;
+        for _ in 0..10_000 {
+            let v = pareto_u64(&mut r, 5.0, 0.8, 1_000_000);
+            assert!(v <= 1_000_000);
+            max = max.max(v);
+        }
+        assert!(max > 10_000, "pareto tail too light: max {max}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let w = WeightedIndex::new(&[0.0, 9.0, 1.0]);
+        let mut r = DetRng::new(123);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2] * 5, "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_index_rejects_all_zero() {
+        let _ = WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = DetRng::new(77);
+        let s = r.sample_indices(100, 30);
+        assert_eq!(s.len(), 30);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 30);
+        assert!(t.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rough_lognormal_is_positive() {
+        let mut r = DetRng::new(21);
+        for _ in 0..1000 {
+            assert!(rough_lognormal(&mut r, 100.0, 2.0) > 0.0);
+        }
+    }
+}

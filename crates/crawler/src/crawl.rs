@@ -1,0 +1,322 @@
+//! The crawl engine.
+
+use crate::snapshot::{CrawlStats, CrawledListing, MarketSnapshot, Snapshot};
+use marketscope_apk::digest::ApkDigest;
+use marketscope_core::MarketId;
+use marketscope_net::client::{ClientConfig, HttpClient};
+use marketscope_net::ratelimit::TokenBucket;
+use marketscope_net::NetError;
+use parking_lot::Mutex;
+use std::collections::{HashSet, VecDeque};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Where to crawl: one address per market, plus the offline repository.
+#[derive(Debug, Clone)]
+pub struct CrawlTargets {
+    /// Market server addresses in [`MarketId::ALL`] order.
+    pub markets: Vec<SocketAddr>,
+    /// The AndroZoo-style repository (backfill source), if any.
+    pub repository: Option<SocketAddr>,
+}
+
+impl CrawlTargets {
+    /// Address for one market.
+    pub fn addr(&self, m: MarketId) -> SocketAddr {
+        self.markets[m.index()]
+    }
+}
+
+/// Crawl configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Seed packages for BFS-mode markets (the paper's PrivacyGrade list).
+    pub seeds: Vec<String>,
+    /// Markets with no walkable index, crawled by seed+BFS instead
+    /// (Google Play in the paper).
+    pub bfs_markets: Vec<MarketId>,
+    /// Whether to harvest APKs (the second crawl campaign only re-checks
+    /// catalog presence).
+    pub fetch_apks: bool,
+    /// Upper bound on listings per market (0 = unlimited) — a safety
+    /// valve for exploratory runs.
+    pub per_market_cap: usize,
+    /// Politeness: per-market request rate cap in requests/second
+    /// (`None` = unthrottled; the paper crawled politely from 50 cloud
+    /// workers over two weeks).
+    pub politeness_rps: Option<f64>,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            seeds: Vec::new(),
+            bfs_markets: vec![MarketId::GooglePlay],
+            fetch_apks: true,
+            per_market_cap: 0,
+            politeness_rps: None,
+        }
+    }
+}
+
+/// The crawler: a shared HTTP client plus configuration.
+pub struct Crawler {
+    config: CrawlConfig,
+    client: Arc<HttpClient>,
+    /// One politeness bucket per market (when politeness is on).
+    buckets: Option<Vec<TokenBucket>>,
+}
+
+impl Crawler {
+    /// A crawler with the given configuration.
+    pub fn new(config: CrawlConfig) -> Crawler {
+        let buckets = config.politeness_rps.map(|rps| {
+            // Small burst allowance (a quarter second of budget) so the
+            // steady-state rate, not the burst, dominates.
+            let burst = (rps / 4.0).ceil().max(1.0) as u32;
+            MarketId::ALL
+                .iter()
+                .map(|_| TokenBucket::new(burst, rps))
+                .collect()
+        });
+        Crawler {
+            config,
+            client: Arc::new(HttpClient::with_config(ClientConfig {
+                pool_per_host: 4,
+                ..ClientConfig::default()
+            })),
+            buckets,
+        }
+    }
+
+    /// Block until the politeness budget allows another request to
+    /// `market` (no-op when politeness is off).
+    fn polite(&self, market: MarketId) {
+        let Some(buckets) = &self.buckets else { return };
+        let bucket = &buckets[market.index()];
+        while !bucket.try_acquire() {
+            std::thread::sleep(bucket.wait_hint().min(std::time::Duration::from_millis(25)));
+        }
+    }
+
+    /// Run a full crawl campaign against `targets`.
+    ///
+    /// Three phases, mirroring Section 3:
+    /// 1. *enumerate* every market (index walk or seed+BFS) in parallel;
+    /// 2. *parallel search*: look up every globally discovered package in
+    ///    every market that did not list it;
+    /// 3. *harvest* APKs, backfilling rate-limited fetches from the
+    ///    offline repository.
+    pub fn crawl(&self, targets: &CrawlTargets) -> Snapshot {
+        let stats = Arc::new(Mutex::new(CrawlStats::default()));
+
+        // Phase 1: enumerate.
+        let mut markets: Vec<MarketSnapshot> = std::thread::scope(|s| {
+            let handles: Vec<_> = MarketId::ALL
+                .iter()
+                .map(|m| {
+                    let stats = Arc::clone(&stats);
+                    let client = Arc::clone(&self.client);
+                    s.spawn(move || self.enumerate_market(*m, targets, &client, &stats))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("market thread"))
+                .collect()
+        });
+
+        // Phase 2: parallel search.
+        let global: HashSet<String> = markets
+            .iter()
+            .flat_map(|m| m.listings.iter().map(|l| l.package.clone()))
+            .collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = markets
+                .iter_mut()
+                .map(|snapshot| {
+                    let stats = Arc::clone(&stats);
+                    let client = Arc::clone(&self.client);
+                    let global = &global;
+                    s.spawn(move || {
+                        let have: HashSet<String> = snapshot
+                            .listings
+                            .iter()
+                            .map(|l| l.package.clone())
+                            .collect();
+                        let addr = targets.addr(snapshot.market);
+                        for pkg in global {
+                            if have.contains(pkg) {
+                                continue;
+                            }
+                            if let Some(listing) = fetch_metadata(&client, addr, pkg, &stats) {
+                                snapshot.listings.push(listing);
+                                stats.lock().parallel_search_hits += 1;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("search thread");
+            }
+        });
+
+        // Phase 3: harvest APKs.
+        if self.config.fetch_apks {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = markets
+                    .iter_mut()
+                    .map(|snapshot| {
+                        let stats = Arc::clone(&stats);
+                        let client = Arc::clone(&self.client);
+                        s.spawn(move || self.harvest_market(snapshot, targets, &client, &stats))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("harvest thread");
+                }
+            });
+        }
+
+        let stats = *stats.lock();
+        Snapshot { markets, stats }
+    }
+
+    fn enumerate_market(
+        &self,
+        market: MarketId,
+        targets: &CrawlTargets,
+        client: &HttpClient,
+        stats: &Mutex<CrawlStats>,
+    ) -> MarketSnapshot {
+        let addr = targets.addr(market);
+        let packages = if self.config.bfs_markets.contains(&market) {
+            self.bfs_enumerate(addr, client, stats)
+        } else {
+            self.index_enumerate(addr, client)
+        };
+        let mut listings = Vec::with_capacity(packages.len());
+        for pkg in packages {
+            if self.config.per_market_cap > 0 && listings.len() >= self.config.per_market_cap {
+                break;
+            }
+            self.polite(market);
+            if let Some(listing) = fetch_metadata(client, addr, &pkg, stats) {
+                listings.push(listing);
+            }
+        }
+        MarketSnapshot { market, listings }
+    }
+
+    /// Walk `/index?page=N` to exhaustion.
+    fn index_enumerate(&self, addr: SocketAddr, client: &HttpClient) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut page = 0u64;
+        loop {
+            let Ok(doc) = client.get_json(addr, &format!("/index?page={page}")) else {
+                break;
+            };
+            let Some(packages) = doc.get("packages").and_then(|p| p.as_arr()) else {
+                break;
+            };
+            for p in packages {
+                if let Some(s) = p.as_str() {
+                    out.push(s.to_owned());
+                }
+            }
+            match doc.get("next").and_then(|n| n.as_u64()) {
+                Some(n) => page = n,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Seed + BFS enumeration: expand through `/related/{pkg}`.
+    fn bfs_enumerate(
+        &self,
+        addr: SocketAddr,
+        client: &HttpClient,
+        _stats: &Mutex<CrawlStats>,
+    ) -> Vec<String> {
+        let mut visited: HashSet<String> = HashSet::new();
+        let mut found = Vec::new();
+        let mut frontier: VecDeque<String> = self.config.seeds.iter().cloned().collect();
+        while let Some(pkg) = frontier.pop_front() {
+            if !visited.insert(pkg.clone()) {
+                continue;
+            }
+            // Confirm the package exists in this market.
+            match client.get_json(addr, &format!("/app/{pkg}")) {
+                Ok(_) => found.push(pkg.clone()),
+                Err(_) => continue,
+            }
+            if let Ok(doc) = client.get_json(addr, &format!("/related/{pkg}")) {
+                if let Some(related) = doc.get("related").and_then(|r| r.as_arr()) {
+                    for r in related {
+                        if let Some(s) = r.as_str() {
+                            if !visited.contains(s) {
+                                frontier.push_back(s.to_owned());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    fn harvest_market(
+        &self,
+        snapshot: &mut MarketSnapshot,
+        targets: &CrawlTargets,
+        client: &HttpClient,
+        stats: &Mutex<CrawlStats>,
+    ) {
+        let addr = targets.addr(snapshot.market);
+        for listing in &mut snapshot.listings {
+            self.polite(snapshot.market);
+            let path = format!("/apk/{}", listing.package);
+            let bytes = match client.get(addr, &path) {
+                Ok(resp) => {
+                    stats.lock().apks_direct += 1;
+                    Some(resp.body)
+                }
+                Err(NetError::Status(429)) => {
+                    stats.lock().rate_limited += 1;
+                    // Backfill from the offline repository by (pkg, version).
+                    targets.repository.and_then(|repo| {
+                        let path = format!("/apk/{}/{}", listing.package, listing.version_code);
+                        match client.get(repo, &path) {
+                            Ok(resp) => {
+                                stats.lock().apks_backfilled += 1;
+                                Some(resp.body)
+                            }
+                            Err(_) => None,
+                        }
+                    })
+                }
+                Err(_) => None,
+            };
+            match bytes {
+                Some(bytes) => match ApkDigest::from_bytes(&bytes) {
+                    Ok(digest) => listing.digest = Some(digest),
+                    Err(_) => stats.lock().parse_failures += 1,
+                },
+                None => stats.lock().apks_missing += 1,
+            }
+        }
+    }
+}
+
+fn fetch_metadata(
+    client: &HttpClient,
+    addr: SocketAddr,
+    package: &str,
+    stats: &Mutex<CrawlStats>,
+) -> Option<CrawledListing> {
+    let doc = client.get_json(addr, &format!("/app/{package}")).ok()?;
+    stats.lock().metadata_fetched += 1;
+    CrawledListing::from_metadata(&doc)
+}

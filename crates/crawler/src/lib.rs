@@ -1,0 +1,33 @@
+//! # marketscope-crawler
+//!
+//! The harvesting side of the study (Section 3): enumerate every market,
+//! fetch each listing's metadata and APK, and assemble a [`Snapshot`] the
+//! analyses run on.
+//!
+//! Reproduced crawl mechanics:
+//!
+//! * **index walking** for stores with a browsable catalog, including
+//!   Baidu's sequential-integer detail pages;
+//! * **seed + BFS** for Google Play (no full index exists): start from an
+//!   externally provided seed list — the paper used PrivacyGrade's 1.5 M
+//!   package names — and expand through "related apps" and same-developer
+//!   links;
+//! * **parallel search** (the paper's key trick): any package discovered
+//!   in one market is immediately looked up in all the others, so
+//!   cross-market version comparisons are not skewed by crawl lag;
+//! * **rate-limit handling with offline backfill**: Google Play's APK
+//!   endpoint throttles; throttled fetches fall back to the AndroZoo-style
+//!   repository keyed by `(package, version)`, and residual misses become
+//!   the metadata/APK mismatch the paper reports.
+//!
+//! The crawler knows nothing about the synthetic world: it speaks HTTP to
+//! whatever addresses it is given and parses whatever bytes come back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawl;
+pub mod snapshot;
+
+pub use crawl::{CrawlConfig, CrawlTargets, Crawler};
+pub use snapshot::{CrawlStats, CrawledListing, MarketSnapshot, Snapshot};

@@ -1,0 +1,383 @@
+//! The threat model: malware families, payload signatures, detectability.
+//!
+//! The paper measures malware prevalence by uploading every APK to
+//! VirusTotal and thresholding the **AV-rank** (how many of ~60 engines
+//! flag a sample), then labels families with AVClass. We model the part of
+//! that world that produces those observations:
+//!
+//! * a *family* is a named strain with a region bias (Figure 12: `kuguo`
+//!   tops Chinese markets, `airpush`/`revmob` dominate Google Play);
+//! * an infected app embeds a *payload*: DEX classes whose code-segment
+//!   hashes come from the family's signature set (this is what scanners
+//!   actually key on);
+//! * each sample has a *detectability* in `[0,1]` — the probability that
+//!   a random engine recognizes it — giving the AV-rank distribution its
+//!   spread (grayware sits at rank 1–9, malware at 10+, EICAR-style
+//!   benchmark files near the top of Table 5).
+//!
+//! [`ThreatDb`] is the shared signature database: the generator uses it to
+//! build payloads, the AV simulator in `marketscope-analysis` uses it to
+//! recognize them. Sharing it is realistic — AV vendors ship signature
+//! databases of known strains.
+
+use marketscope_core::hash::{fnv1a64, mix64};
+
+/// Severity tier of an infection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreatTier {
+    /// Flagged by a handful of engines (1–9): aggressive adware and other
+    /// potentially-unwanted programs.
+    Grayware,
+    /// Flagged by ten or more engines: the paper's malware threshold.
+    Malware,
+    /// AV benchmark files (EICAR): flagged by nearly every engine.
+    Benchmark,
+}
+
+/// A malware family known to the signature database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FamilyId(pub u16);
+
+/// Region bias of a family's distribution (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyRegion {
+    /// Predominantly found in Google Play (airpush, revmob, leadbolt...).
+    GooglePlay,
+    /// Predominantly found in Chinese markets (kuguo, dowgin, secapk...).
+    Chinese,
+    /// Found everywhere (smsreg, gappusin...).
+    Both,
+}
+
+/// Static description of one family.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Canonical (AVClass-style) family name.
+    pub name: &'static str,
+    /// Distribution bias.
+    pub region: FamilyRegion,
+    /// Relative prevalence weight within its region.
+    pub weight: f64,
+    /// Default tier for samples of this family.
+    pub tier: ThreatTier,
+}
+
+/// The family table. Weights follow Figure 12's ordering: `kuguo` leads
+/// the Chinese markets (12.69% of malware there), `airpush` (29.04%) and
+/// `revmob` (15.09%) lead Google Play.
+pub const FAMILIES: [Family; 18] = [
+    Family {
+        name: "kuguo",
+        region: FamilyRegion::Chinese,
+        weight: 12.69,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "dowgin",
+        region: FamilyRegion::Chinese,
+        weight: 7.2,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "secapk",
+        region: FamilyRegion::Chinese,
+        weight: 6.0,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "youmi",
+        region: FamilyRegion::Chinese,
+        weight: 5.2,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "adwo",
+        region: FamilyRegion::Chinese,
+        weight: 4.1,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "domob",
+        region: FamilyRegion::Chinese,
+        weight: 3.6,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "commplat",
+        region: FamilyRegion::Chinese,
+        weight: 3.2,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "adend",
+        region: FamilyRegion::Chinese,
+        weight: 2.7,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "smspay",
+        region: FamilyRegion::Chinese,
+        weight: 2.4,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "jiagu",
+        region: FamilyRegion::Chinese,
+        weight: 2.0,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "ramnit",
+        region: FamilyRegion::Chinese,
+        weight: 1.6,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "airpush",
+        region: FamilyRegion::GooglePlay,
+        weight: 29.04,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "revmob",
+        region: FamilyRegion::GooglePlay,
+        weight: 15.09,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "leadbolt",
+        region: FamilyRegion::GooglePlay,
+        weight: 6.5,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "mofin",
+        region: FamilyRegion::GooglePlay,
+        weight: 1.2,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "smsreg",
+        region: FamilyRegion::Both,
+        weight: 8.1,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "gappusin",
+        region: FamilyRegion::Both,
+        weight: 6.3,
+        tier: ThreatTier::Malware,
+    },
+    Family {
+        name: "eicar",
+        region: FamilyRegion::Both,
+        weight: 0.01,
+        tier: ThreatTier::Benchmark,
+    },
+];
+
+/// Number of signature hashes per family.
+const SIGNATURES_PER_FAMILY: usize = 16;
+
+/// The shared signature database.
+#[derive(Debug, Clone)]
+pub struct ThreatDb {
+    /// Per-family signature hash sets (indexed by `FamilyId.0`).
+    signatures: Vec<[u64; SIGNATURES_PER_FAMILY]>,
+}
+
+impl ThreatDb {
+    /// The standard database covering [`FAMILIES`]. Deterministic: both
+    /// sides of the simulation construct the identical table.
+    pub fn standard() -> ThreatDb {
+        let signatures = FAMILIES
+            .iter()
+            .enumerate()
+            .map(|(fi, fam)| {
+                let base = fnv1a64(fam.name.as_bytes());
+                let mut sigs = [0u64; SIGNATURES_PER_FAMILY];
+                for (si, s) in sigs.iter_mut().enumerate() {
+                    *s = mix64(base, (fi as u64) << 32 | si as u64 | 0x7437_0000_0000);
+                }
+                sigs
+            })
+            .collect();
+        ThreatDb { signatures }
+    }
+
+    /// Look up a family id by canonical name.
+    pub fn family_by_name(&self, name: &str) -> Option<FamilyId> {
+        FAMILIES
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FamilyId(i as u16))
+    }
+
+    /// The family metadata for an id.
+    pub fn family(&self, id: FamilyId) -> &'static Family {
+        &FAMILIES[id.0 as usize]
+    }
+
+    /// The signature hashes of a family (what a payload embeds and what a
+    /// scanner greps method code-hashes for).
+    pub fn signatures(&self, id: FamilyId) -> &[u64] {
+        &self.signatures[id.0 as usize]
+    }
+
+    /// Classify a set of method code-hashes: the family whose signatures
+    /// appear, if any, and how many distinct signatures matched (more
+    /// matches → higher-confidence detection).
+    pub fn scan<'a>(
+        &self,
+        code_hashes: impl Iterator<Item = u64> + 'a,
+    ) -> Option<(FamilyId, usize)> {
+        use std::collections::HashSet;
+        let hashes: HashSet<u64> = code_hashes.collect();
+        let mut best: Option<(FamilyId, usize)> = None;
+        for (fi, sigs) in self.signatures.iter().enumerate() {
+            let matched = sigs.iter().filter(|s| hashes.contains(s)).count();
+            if matched > 0 && best.map_or(true, |(_, m)| matched > m) {
+                best = Some((FamilyId(fi as u16), matched));
+            }
+        }
+        best
+    }
+
+    /// Number of families.
+    pub fn family_count(&self) -> usize {
+        self.signatures.len()
+    }
+}
+
+/// Quantization steps for the detectability marker.
+pub const DETECTABILITY_STEPS: u8 = 64;
+
+/// The marker hash a payload embeds to encode its (quantized)
+/// detectability — the residue of how well the variant is obfuscated.
+/// Scanners decode it from bytes; nothing outside the APK is consulted.
+pub fn detectability_marker(step: u8) -> u64 {
+    mix64(
+        0xD37E_C7AB_1117_55AA,
+        step.min(DETECTABILITY_STEPS - 1) as u64,
+    )
+}
+
+/// Decode a detectability marker from a sample's code hashes.
+pub fn decode_detectability(code_hashes: &std::collections::HashSet<u64>) -> Option<f64> {
+    (0..DETECTABILITY_STEPS)
+        .find(|q| code_hashes.contains(&detectability_marker(*q)))
+        .map(|q| (q as f64 + 0.5) / DETECTABILITY_STEPS as f64)
+}
+
+/// Ground-truth infection attached to an app by the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Infection {
+    /// The family.
+    pub family: FamilyId,
+    /// Severity tier.
+    pub tier: ThreatTier,
+    /// Probability a random engine recognizes this particular variant.
+    pub detectability: f64,
+}
+
+impl Infection {
+    /// Typical detectability band for a tier: grayware lands at AV-rank
+    /// 1–9, malware at 10–40, benchmarks at 44+ (matching Table 5's top
+    /// ranks of 44–48, out of 60 engines).
+    pub fn base_detectability(tier: ThreatTier) -> (f64, f64) {
+        match tier {
+            ThreatTier::Grayware => (0.03, 0.12),
+            ThreatTier::Malware => (0.20, 0.62),
+            ThreatTier::Benchmark => (0.74, 0.82),
+        }
+    }
+
+    /// Sample a detectability within a tier's band. Malware skews toward
+    /// the low end (cube law) so the AV-rank ≥ 20 share lands near the
+    /// paper's ≈0.3 × (AV-rank ≥ 10) ratio.
+    pub fn sample_detectability(tier: ThreatTier, unit: f64) -> f64 {
+        let (lo, hi) = Self::base_detectability(tier);
+        let u = match tier {
+            ThreatTier::Malware => unit.powf(3.0),
+            _ => unit,
+        };
+        lo + (hi - lo) * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_is_deterministic() {
+        let a = ThreatDb::standard();
+        let b = ThreatDb::standard();
+        for i in 0..a.family_count() {
+            assert_eq!(
+                a.signatures(FamilyId(i as u16)),
+                b.signatures(FamilyId(i as u16))
+            );
+        }
+    }
+
+    #[test]
+    fn signatures_are_distinct_across_families() {
+        let db = ThreatDb::standard();
+        let mut all: Vec<u64> = (0..db.family_count())
+            .flat_map(|i| db.signatures(FamilyId(i as u16)).to_vec())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "signature collision");
+    }
+
+    #[test]
+    fn scan_recognizes_planted_payload() {
+        let db = ThreatDb::standard();
+        let kuguo = db.family_by_name("kuguo").unwrap();
+        let sigs = db.signatures(kuguo);
+        let code = vec![1u64, 2, sigs[0], sigs[3], 99];
+        let (fam, matched) = db.scan(code.into_iter()).unwrap();
+        assert_eq!(fam, kuguo);
+        assert_eq!(matched, 2);
+    }
+
+    #[test]
+    fn scan_clean_code_is_none() {
+        let db = ThreatDb::standard();
+        assert!(db.scan([1u64, 2, 3].into_iter()).is_none());
+    }
+
+    #[test]
+    fn scan_prefers_strongest_match() {
+        let db = ThreatDb::standard();
+        let a = db.family_by_name("airpush").unwrap();
+        let b = db.family_by_name("kuguo").unwrap();
+        let mut code = db.signatures(a)[..1].to_vec();
+        code.extend_from_slice(&db.signatures(b)[..3]);
+        let (fam, _) = db.scan(code.into_iter()).unwrap();
+        assert_eq!(fam, b);
+    }
+
+    #[test]
+    fn family_regions_match_figure12() {
+        let db = ThreatDb::standard();
+        let kuguo = db.family(db.family_by_name("kuguo").unwrap());
+        assert_eq!(kuguo.region, FamilyRegion::Chinese);
+        let airpush = db.family(db.family_by_name("airpush").unwrap());
+        assert_eq!(airpush.region, FamilyRegion::GooglePlay);
+        assert!(airpush.weight > 25.0);
+    }
+
+    #[test]
+    fn detectability_bands_are_ordered() {
+        let (g_lo, g_hi) = Infection::base_detectability(ThreatTier::Grayware);
+        let (m_lo, m_hi) = Infection::base_detectability(ThreatTier::Malware);
+        let (b_lo, b_hi) = Infection::base_detectability(ThreatTier::Benchmark);
+        assert!(g_lo < g_hi && g_hi <= m_lo + 0.1);
+        assert!(m_lo < m_hi && m_hi < b_lo);
+        assert!(b_lo < b_hi && b_hi < 1.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! The synthetic world: developers, apps, per-market listings, and the
+//! deterministic APK assembly that turns them into bytes.
+
+use crate::libs::{LibCatalog, LibUse};
+use crate::profiles::Scale;
+use crate::threat::{Infection, ThreatDb};
+use marketscope_apk::apicalls::ApiCallId;
+use marketscope_apk::builder::ApkBuilder;
+use marketscope_apk::dex::{ClassDef, DexFile, MethodDef};
+use marketscope_apk::manifest::Manifest;
+use marketscope_core::hash::mix64;
+use marketscope_core::rng::DetRng;
+use marketscope_core::{Category, DeveloperKey, MarketId, PackageName, SimDate, VersionCode};
+
+/// Index of an app in [`World::apps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u32);
+
+/// Index of a developer in [`World::developers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevId(pub u32);
+
+/// Index of a listing in [`World::listings`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListingId(pub u32);
+
+/// How an app came to exist (ground truth for the misbehaviour analyses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// A legitimate original.
+    Original,
+    /// A fake: mimics the display name of `of` under a new package.
+    Fake {
+        /// The mimicked app.
+        of: AppId,
+    },
+    /// A signature-based clone: same package as `of`, different key.
+    SigClone {
+        /// The repackaged app.
+        of: AppId,
+    },
+    /// A code-based clone: renamed package, near-identical code.
+    CodeClone {
+        /// The plagiarized app.
+        of: AppId,
+    },
+}
+
+/// A developer identity.
+#[derive(Debug, Clone)]
+pub struct Developer {
+    /// Key-derivation label (stable across runs).
+    pub label: String,
+    /// The signing key (what the paper extracts with ApkSigner).
+    pub key: DeveloperKey,
+    /// Store-visible display name.
+    pub display_name: String,
+}
+
+/// One unique application (a package signed by one developer).
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Package name. **Not** unique across [`World::apps`]: signature-based
+    /// clones reuse their victim's package.
+    pub package: PackageName,
+    /// Display name ("app name"). Fakes mimic this.
+    pub label: String,
+    /// Signing developer.
+    pub developer: DevId,
+    /// True category.
+    pub category: Category,
+    /// Global popularity quantile in `[0,1)`: drives downloads in every
+    /// market the app is listed in, rating presence, and multi-store reach.
+    pub popularity: f64,
+    /// Date of the latest release.
+    pub base_date: SimDate,
+    /// Declared minimum SDK.
+    pub min_sdk: u8,
+    /// Number of released versions (version codes `1..=version_count`).
+    pub version_count: u32,
+    /// Embedded third-party libraries.
+    pub libs: Vec<LibUse>,
+    /// Seed for the app's own code.
+    pub own_code_seed: u64,
+    /// Root path of the app's own classes (differs from `package` for
+    /// code clones, which rename).
+    pub own_package: String,
+    /// Number of own classes.
+    pub own_class_count: u32,
+    /// Optional mutation applied to own code (clones perturb the victim's
+    /// code slightly).
+    pub code_mutation: Option<u64>,
+    /// Declared manifest permissions (used ∪ over-privileged extras).
+    pub declared_permissions: Vec<String>,
+    /// Planted infection, if any.
+    pub infection: Option<Infection>,
+    /// Ground-truth provenance.
+    pub provenance: Provenance,
+}
+
+/// One (market, app) listing with store metadata.
+#[derive(Debug, Clone)]
+pub struct Listing {
+    /// The hosting market.
+    pub market: MarketId,
+    /// The listed app.
+    pub app: AppId,
+    /// The version carried by this store (`<= version_count`; lower means
+    /// the store copy is outdated).
+    pub version: u32,
+    /// Raw install counter (`None` where the store reports none).
+    pub downloads: Option<u64>,
+    /// Store rating in `[0,5]`; `0.0` means unrated unless the store
+    /// plants a default.
+    pub rating: f64,
+    /// Release/update date as reported by this store.
+    pub updated: SimDate,
+    /// The developer-supplied category string (possibly junk).
+    pub raw_category: String,
+    /// Whether this listing disappears by the second crawl.
+    pub removed_in_second_crawl: bool,
+}
+
+/// Per-market ground-truth counters recorded while planting.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Planted fake listings per market.
+    pub fakes: [u32; 17],
+    /// Planted signature-clone listings per market.
+    pub sig_clones: [u32; 17],
+    /// Planted code-clone listings per market.
+    pub code_clones: [u32; 17],
+    /// Planted malware-tier listings per market (expected AV-rank ≥ 10).
+    pub malware: [u32; 17],
+    /// Planted grayware-tier listings per market (AV-rank 1–9).
+    pub grayware: [u32; 17],
+}
+
+/// The generated world.
+#[derive(Debug)]
+pub struct World {
+    /// Generation seed.
+    pub seed: u64,
+    /// Generation scale.
+    pub scale: Scale,
+    /// Third-party library catalog.
+    pub libraries: LibCatalog,
+    /// Threat signature database.
+    pub threat_db: ThreatDb,
+    /// All developers.
+    pub developers: Vec<Developer>,
+    /// All apps.
+    pub apps: Vec<App>,
+    /// All listings.
+    pub listings: Vec<Listing>,
+    /// Ground-truth counters.
+    pub ground_truth: GroundTruth,
+    pub(crate) per_market: Vec<Vec<ListingId>>,
+}
+
+impl World {
+    /// Listing ids for a market's catalog.
+    pub fn market_listings(&self, market: MarketId) -> &[ListingId] {
+        &self.per_market[market.index()]
+    }
+
+    /// A listing by id.
+    pub fn listing(&self, id: ListingId) -> &Listing {
+        &self.listings[id.0 as usize]
+    }
+
+    /// An app by id.
+    pub fn app(&self, id: AppId) -> &App {
+        &self.apps[id.0 as usize]
+    }
+
+    /// A developer by id.
+    pub fn developer(&self, id: DevId) -> &Developer {
+        &self.developers[id.0 as usize]
+    }
+
+    /// Total number of listings.
+    pub fn listing_count(&self) -> usize {
+        self.listings.len()
+    }
+
+    /// Deterministically build the APK bytes for `(app, version)`.
+    ///
+    /// `obfuscated` applies the 360-Jiagubao-style wrapping the store
+    /// mandates (Section 2.1): the app's *own* classes are renamed under
+    /// a packer namespace and a stub loader class is added; library code
+    /// and method bodies are untouched.
+    pub fn build_apk(&self, app_id: AppId, version: u32, obfuscated: bool) -> Vec<u8> {
+        let app = self.app(app_id);
+        let version = version.clamp(1, app.version_count);
+        let mut classes = own_classes(
+            app.own_code_seed,
+            &app.own_package,
+            app.own_class_count,
+            version,
+            app.code_mutation,
+        );
+        for lu in &app.libs {
+            classes.extend(self.libraries.classes_for(*lu));
+        }
+        if let Some(inf) = app.infection {
+            classes.extend(payload_classes(&self.threat_db, inf, app.own_code_seed));
+        }
+        if obfuscated {
+            jiagu_wrap(&mut classes, &app.own_package, app.own_code_seed);
+        }
+        let manifest = Manifest {
+            package: app.package.clone(),
+            version_code: VersionCode(version),
+            version_name: format!("{}.{}.0", version / 10, version % 10),
+            min_sdk: app.min_sdk,
+            target_sdk: app.min_sdk.saturating_add(8).min(27),
+            app_label: app.label.clone(),
+            permissions: app.declared_permissions.clone(),
+            category: app.category.label().to_owned(),
+        };
+        let dev = self.developer(app.developer);
+        ApkBuilder::new(manifest, DexFile { classes })
+            .build(dev.key)
+            .expect("generated apk is structurally valid")
+    }
+}
+
+/// Generate an app's own classes.
+///
+/// * `version` perturbs the code hashes of ~20% of classes (release
+///   churn) while keeping API footprints stable;
+/// * `mutation` models a repackager's edits: ~6% of methods get one API
+///   call swapped and ~5% get their code hash changed, leaving the app
+///   well inside WuKong's ≥85%-shared-segments clone band even after a
+///   malware payload is attached.
+pub(crate) fn own_classes(
+    seed: u64,
+    package_path_dotted: &str,
+    count: u32,
+    version: u32,
+    mutation: Option<u64>,
+) -> Vec<ClassDef> {
+    let path = package_path_dotted.replace('.', "/");
+    (0..count)
+        .map(|ci| {
+            let class_seed = mix64(seed, 0x0c1a_5500 + ci as u64);
+            let churns = ci % 5 == 0;
+            let mut r = DetRng::new(class_seed);
+            let method_count = 1 + r.index(5);
+            let methods = (0..method_count)
+                .map(|mi| {
+                    let call_count = r.index(8);
+                    let mut api_calls: Vec<ApiCallId> = (0..call_count)
+                        .map(|_| {
+                            ApiCallId(
+                                r.range_u64(0, marketscope_apk::apicalls::API_CALL_RANGE as u64)
+                                    as u32,
+                            )
+                        })
+                        .collect();
+                    let mut code_hash = mix64(class_seed, 0xc0de_0000 + mi as u64);
+                    if churns {
+                        code_hash = mix64(code_hash, version as u64);
+                    }
+                    if let Some(mseed) = mutation {
+                        let mrng = mix64(mseed, mix64(class_seed, mi as u64));
+                        if mrng % 100 < 6 {
+                            if let Some(first) = api_calls.first_mut() {
+                                *first = ApiCallId(
+                                    (mix64(mrng, 0xa1)
+                                        % marketscope_apk::apicalls::API_DIMENSIONS as u64)
+                                        as u32,
+                                );
+                            }
+                        }
+                        if mix64(mrng, 0xb2) % 100 < 5 {
+                            code_hash = mix64(code_hash, mseed);
+                        }
+                    }
+                    MethodDef {
+                        api_calls,
+                        code_hash,
+                    }
+                })
+                .collect();
+            ClassDef {
+                name: format!("L{path}/K{ci};"),
+                methods,
+            }
+        })
+        .collect()
+}
+
+/// Build a malware payload: a few classes under an obfuscated namespace
+/// whose method code hashes carry the family's signatures.
+pub(crate) fn payload_classes(db: &ThreatDb, infection: Infection, app_seed: u64) -> Vec<ClassDef> {
+    let sigs = db.signatures(infection.family);
+    let ns = mix64(app_seed, 0xbad0) % 0xFFFF;
+    // 3–4 of the family's signature hashes appear in the payload. Kept
+    // small so a repackaged-malware app stays inside the clone detector's
+    // 85%-shared-segments band relative to its victim (the paper finds
+    // 38.3% of malware is repackaged — those must be detectable as both).
+    let take = 3 + (app_seed % 2) as usize;
+    let mut classes = Vec::new();
+    // Variant metadata: a marker class encoding how detectable this
+    // particular variant is (see `threat::decode_detectability`).
+    let step = ((infection.detectability * crate::threat::DETECTABILITY_STEPS as f64) as u8)
+        .min(crate::threat::DETECTABILITY_STEPS - 1);
+    classes.push(ClassDef {
+        name: format!("La{ns:x}/v;"),
+        methods: vec![MethodDef {
+            api_calls: vec![],
+            code_hash: crate::threat::detectability_marker(step),
+        }],
+    });
+    for (ci, chunk) in sigs[..take.min(sigs.len())].chunks(3).enumerate() {
+        let methods = chunk
+            .iter()
+            .enumerate()
+            .map(|(mi, &sig)| MethodDef {
+                api_calls: vec![
+                    // SMS / phone-state flavoured API ids.
+                    ApiCallId((mix64(sig, mi as u64) % 2_048) as u32),
+                ],
+                code_hash: sig,
+            })
+            .collect();
+        classes.push(ClassDef {
+            name: format!("La{ns:x}/b{ci};"),
+            methods,
+        });
+    }
+    classes
+}
+
+/// 360-style packer wrapping: rename own classes under `Lcom/jiagu/...`
+/// and prepend a stub loader.
+fn jiagu_wrap(classes: &mut Vec<ClassDef>, own_package_dotted: &str, seed: u64) {
+    let own_path = format!("L{}/", own_package_dotted.replace('.', "/"));
+    for c in classes.iter_mut() {
+        if c.name.starts_with(&own_path) {
+            let tail = c.name[own_path.len()..].trim_end_matches(';').to_owned();
+            c.name = format!("Lcom/jiagu/p{:x}/{tail};", seed % 0xFFF);
+        }
+    }
+    classes.insert(
+        0,
+        ClassDef {
+            name: "Lcom/jiagu/StubLoader;".to_owned(),
+            methods: vec![MethodDef {
+                api_calls: vec![ApiCallId(1)],
+                code_hash: mix64(seed, 0x360),
+            }],
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threat::{ThreatTier, FAMILIES};
+
+    #[test]
+    fn own_classes_deterministic_and_versioned() {
+        let a = own_classes(7, "com.x.y", 20, 3, None);
+        let b = own_classes(7, "com.x.y", 20, 3, None);
+        assert_eq!(a, b);
+        let c = own_classes(7, "com.x.y", 20, 4, None);
+        assert_ne!(a, c, "version must churn some code");
+        // API footprints are version-stable.
+        let calls = |cs: &[ClassDef]| {
+            cs.iter()
+                .flat_map(|c| &c.methods)
+                .flat_map(|m| &m.api_calls)
+                .count()
+        };
+        assert_eq!(calls(&a), calls(&c));
+    }
+
+    #[test]
+    fn mutation_stays_in_clone_band() {
+        let orig = own_classes(9, "com.a.b", 40, 1, None);
+        let cloned = own_classes(9, "com.a.b", 40, 1, Some(0x5eed));
+        let orig_hashes: std::collections::HashSet<u64> = orig
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| m.code_hash)
+            .collect();
+        let total = cloned.iter().map(|c| c.methods.len()).sum::<usize>();
+        let shared = cloned
+            .iter()
+            .flat_map(|c| &c.methods)
+            .filter(|m| orig_hashes.contains(&m.code_hash))
+            .count();
+        let ratio = shared as f64 / total as f64;
+        assert!(ratio > 0.8 && ratio < 1.0, "similarity {ratio}");
+    }
+
+    #[test]
+    fn payload_carries_family_signatures() {
+        let db = ThreatDb::standard();
+        let fam = db.family_by_name("kuguo").unwrap();
+        let inf = Infection {
+            family: fam,
+            tier: ThreatTier::Malware,
+            detectability: 0.3,
+        };
+        let classes = payload_classes(&db, inf, 1234);
+        let hashes: Vec<u64> = classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| m.code_hash)
+            .collect();
+        let (found, matched) = db.scan(hashes.into_iter()).unwrap();
+        assert_eq!(found, fam);
+        assert!(matched >= 3);
+    }
+
+    #[test]
+    fn family_table_is_nonempty() {
+        assert!(FAMILIES.len() >= 15, "need the Figure 12 families");
+    }
+
+    #[test]
+    fn jiagu_wrap_renames_only_own_code() {
+        let mut classes = own_classes(3, "com.own.app", 10, 1, None);
+        classes.push(ClassDef {
+            name: "Lcom/umeng/C0;".into(),
+            methods: vec![],
+        });
+        jiagu_wrap(&mut classes, "com.own.app", 3);
+        assert_eq!(classes[0].name, "Lcom/jiagu/StubLoader;");
+        assert!(
+            classes
+                .iter()
+                .filter(|c| c.name.starts_with("Lcom/jiagu/p"))
+                .count()
+                == 10
+        );
+        assert!(classes.iter().any(|c| c.name == "Lcom/umeng/C0;"));
+        assert!(!classes.iter().any(|c| c.name.starts_with("Lcom/own/")));
+    }
+}

@@ -1,0 +1,114 @@
+//! The full serving fleet: 17 markets plus the offline repository.
+
+use crate::repository::AndroZooServer;
+use crate::server::{CrawlPhase, MarketServer};
+use marketscope_core::MarketId;
+use marketscope_ecosystem::World;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// All 17 market servers plus the AndroZoo repository, bound to ephemeral
+/// loopback ports.
+pub struct MarketFleet {
+    servers: Vec<MarketServer>,
+    repository: AndroZooServer,
+    world: Arc<World>,
+}
+
+impl MarketFleet {
+    /// Spawn the whole fleet over a world.
+    pub fn spawn(world: Arc<World>) -> Result<MarketFleet, marketscope_net::NetError> {
+        let mut servers = Vec::with_capacity(17);
+        for m in MarketId::ALL {
+            servers.push(MarketServer::spawn(Arc::clone(&world), m)?);
+        }
+        let repository = AndroZooServer::spawn(Arc::clone(&world))?;
+        Ok(MarketFleet {
+            servers,
+            repository,
+            world,
+        })
+    }
+
+    /// Address of one market's server.
+    pub fn addr(&self, market: MarketId) -> SocketAddr {
+        self.servers[market.index()].addr()
+    }
+
+    /// Address of the offline repository.
+    pub fn repository_addr(&self) -> SocketAddr {
+        self.repository.addr()
+    }
+
+    /// The world being served.
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// Switch every market to a crawl phase.
+    pub fn set_phase(&self, phase: CrawlPhase) {
+        for s in &self.servers {
+            s.set_phase(phase);
+        }
+    }
+
+    /// Total HTTP requests served across the fleet.
+    pub fn total_requests(&self) -> u64 {
+        self.servers.iter().map(|s| s.request_count()).sum()
+    }
+
+    /// Stop every server.
+    pub fn stop(&self) {
+        for s in &self.servers {
+            s.stop();
+        }
+        self.repository.stop();
+    }
+}
+
+impl Drop for MarketFleet {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_ecosystem::{generate, Scale, WorldConfig};
+    use marketscope_net::HttpClient;
+
+    #[test]
+    fn fleet_serves_all_markets() {
+        let w = Arc::new(generate(WorldConfig {
+            seed: 1,
+            scale: Scale { divisor: 60_000 },
+        }));
+        let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
+        let client = HttpClient::new();
+        for m in MarketId::ALL {
+            let doc = client.get_json(fleet.addr(m), "/index").unwrap();
+            assert!(
+                !doc.get("packages").unwrap().as_arr().unwrap().is_empty(),
+                "{m} index empty"
+            );
+        }
+        assert!(fleet.total_requests() >= 17);
+        fleet.stop();
+    }
+
+    #[test]
+    fn addresses_are_distinct() {
+        let w = Arc::new(generate(WorldConfig {
+            seed: 2,
+            scale: Scale { divisor: 60_000 },
+        }));
+        let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
+        let mut addrs: Vec<SocketAddr> = MarketId::ALL.iter().map(|m| fleet.addr(*m)).collect();
+        addrs.push(fleet.repository_addr());
+        let n = addrs.len();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), n);
+    }
+}

@@ -1,0 +1,33 @@
+//! # marketscope-market
+//!
+//! Simulated app-market servers. Each of the 17 markets runs as a real
+//! HTTP server (loopback) over the shared synthetic [`World`], with the
+//! behaviours the paper had to engineer around:
+//!
+//! * **Google Play** bins install counts into ranges and rate-limits APK
+//!   downloads (the paper could only sample 287 K APKs directly and had to
+//!   backfill 1.55 M from AndroZoo) — the fleet therefore also runs an
+//!   [`repository::AndroZooServer`] with partial coverage;
+//! * **Baidu** exposes a sequential-integer detail index
+//!   (`/soft/{n}`, Section 3's `shouji.baidu.com/software/INTEGER.html`);
+//! * **360** serves Jiagubao-wrapped (obfuscated) APKs (Section 2.1);
+//! * most Chinese stores inject a **channel file** into `META-INF/`,
+//!   making byte-identical uploads differ per store (Section 5.3);
+//! * a **second-crawl phase** switch hides listings removed between the
+//!   paper's August 2017 and April 2018 campaigns (Section 7).
+//!
+//! [`World`]: marketscope_ecosystem::World
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoints;
+pub mod fleet;
+pub mod repository;
+pub mod server;
+pub mod submission;
+
+pub use fleet::MarketFleet;
+pub use repository::AndroZooServer;
+pub use server::{CrawlPhase, MarketServer};
+pub use submission::{evaluate, SubmissionOutcome};

@@ -1,0 +1,527 @@
+//! One market's HTTP server.
+
+use crate::endpoints::listing_json;
+use marketscope_apk::zip::ZipArchive;
+use marketscope_core::json::Json;
+use marketscope_core::MarketId;
+use marketscope_ecosystem::{profile, ListingId, World};
+use marketscope_net::http::{Request, Response, Status};
+use marketscope_net::ratelimit::TokenBucket;
+use marketscope_net::router::Router;
+use marketscope_net::server::{HttpServer, ServerHandle};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Which crawl campaign the server is serving (Section 3 vs Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlPhase {
+    /// August 2017: everything listed.
+    First,
+    /// April 2018: listings removed in between return 404 and vanish
+    /// from the index.
+    Second,
+}
+
+/// Shared per-market serving state.
+struct MarketState {
+    world: Arc<World>,
+    market: MarketId,
+    phase: RwLock<CrawlPhase>,
+    /// Catalog in stable index order.
+    catalog: Vec<ListingId>,
+    by_package: HashMap<String, ListingId>,
+    /// APK-download rate limiter (Google Play only).
+    apk_bucket: Option<TokenBucket>,
+}
+
+impl MarketState {
+    fn visible(&self, id: ListingId) -> bool {
+        match *self.phase.read() {
+            CrawlPhase::First => true,
+            CrawlPhase::Second => !self.world.listing(id).removed_in_second_crawl,
+        }
+    }
+
+    fn lookup(&self, package: &str) -> Option<ListingId> {
+        let id = *self.by_package.get(package)?;
+        self.visible(id).then_some(id)
+    }
+}
+
+/// A running market server.
+pub struct MarketServer {
+    market: MarketId,
+    handle: ServerHandle,
+    state: Arc<MarketState>,
+}
+
+/// Page size for the catalog index.
+pub const PAGE_SIZE: usize = 50;
+
+impl MarketServer {
+    /// Spawn a server for `market` over `world`.
+    pub fn spawn(
+        world: Arc<World>,
+        market: MarketId,
+    ) -> Result<MarketServer, marketscope_net::NetError> {
+        let catalog: Vec<ListingId> = world.market_listings(market).to_vec();
+        let by_package = catalog
+            .iter()
+            .map(|id| {
+                (
+                    world
+                        .app(world.listing(*id).app)
+                        .package
+                        .as_str()
+                        .to_owned(),
+                    *id,
+                )
+            })
+            .collect();
+        let p = profile(market);
+        let state = Arc::new(MarketState {
+            world,
+            market,
+            phase: RwLock::new(CrawlPhase::First),
+            catalog,
+            by_package,
+            // Tight enough that a bulk harvest only gets a small direct
+            // sample (the paper managed 287K of 2.03M directly, ~14%).
+            apk_bucket: p.rate_limited_downloads.then(|| TokenBucket::new(20, 2.0)),
+        });
+        let router = build_router(Arc::clone(&state));
+        let handle = HttpServer::spawn(router)?;
+        Ok(MarketServer {
+            market,
+            handle,
+            state,
+        })
+    }
+
+    /// The market this server simulates.
+    pub fn market(&self) -> MarketId {
+        self.market
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// Requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.handle.request_count()
+    }
+
+    /// Switch the serving phase (both campaigns run against one server).
+    pub fn set_phase(&self, phase: CrawlPhase) {
+        *self.state.phase.write() = phase;
+    }
+
+    /// Stop serving.
+    pub fn stop(&self) {
+        self.handle.stop();
+    }
+}
+
+fn build_router(state: Arc<MarketState>) -> Router {
+    let p = profile(state.market);
+    let mut router = Router::new();
+
+    // Catalog index: /index?page=N → { packages: [...], next: N+1? }
+    {
+        let st = Arc::clone(&state);
+        router = router.get("/index", move |req: &Request, _| {
+            let page: usize = req
+                .query_param("page")
+                .and_then(|p| p.parse().ok())
+                .unwrap_or(0);
+            let visible: Vec<&ListingId> =
+                st.catalog.iter().filter(|id| st.visible(**id)).collect();
+            let start = page * PAGE_SIZE;
+            if start >= visible.len() && page != 0 {
+                return Response::json(&Json::obj([("packages", Json::Arr(vec![]))]));
+            }
+            let slice = &visible[start.min(visible.len())..(start + PAGE_SIZE).min(visible.len())];
+            let packages: Vec<Json> = slice
+                .iter()
+                .map(|id| Json::from(st.world.app(st.world.listing(**id).app).package.as_str()))
+                .collect();
+            let mut fields = vec![("packages", Json::Arr(packages))];
+            if start + PAGE_SIZE < visible.len() {
+                fields.push(("next", Json::from((page + 1) as u64)));
+            }
+            Response::json(&Json::obj(fields))
+        });
+    }
+
+    // Baidu-style sequential integer detail pages: /soft/{n}.
+    if p.incremental_index {
+        let st = Arc::clone(&state);
+        router = router.get("/soft/{n}", move |_req, params| {
+            let Ok(n) = params["n"].parse::<usize>() else {
+                return Response::status(Status::BadRequest);
+            };
+            match st.catalog.get(n) {
+                Some(id) if st.visible(*id) => {
+                    Response::json(&listing_json(&st.world, st.world.listing(*id)))
+                }
+                _ => Response::status(Status::NotFound),
+            }
+        });
+    }
+
+    // App detail: /app/{pkg}.
+    {
+        let st = Arc::clone(&state);
+        router = router.get("/app/{pkg}", move |_req, params| {
+            match st.lookup(&params["pkg"]) {
+                Some(id) => Response::json(&listing_json(&st.world, st.world.listing(id))),
+                None => Response::status(Status::NotFound),
+            }
+        });
+    }
+
+    // Search by app name or package: /search?q=...
+    {
+        let st = Arc::clone(&state);
+        router = router.get("/search", move |req: &Request, _| {
+            let Some(q) = req.query_param("q") else {
+                return Response::status(Status::BadRequest);
+            };
+            let q_lower = q.to_lowercase();
+            let mut hits = Vec::new();
+            for id in &st.catalog {
+                if !st.visible(*id) {
+                    continue;
+                }
+                let app = st.world.app(st.world.listing(*id).app);
+                if app.package.as_str() == q || app.label.to_lowercase().contains(&q_lower) {
+                    hits.push(Json::from(app.package.as_str()));
+                    if hits.len() >= 50 {
+                        break;
+                    }
+                }
+            }
+            Response::json(&Json::obj([("results", Json::Arr(hits))]))
+        });
+    }
+
+    // Related apps for BFS crawling: same developer, then same category.
+    {
+        let st = Arc::clone(&state);
+        router = router.get("/related/{pkg}", move |_req, params| {
+            let Some(id) = st.lookup(&params["pkg"]) else {
+                return Response::status(Status::NotFound);
+            };
+            let seed_app = st.world.app(st.world.listing(id).app);
+            let mut related = Vec::new();
+            // Same developer everywhere in this market.
+            for other in &st.catalog {
+                if *other == id || !st.visible(*other) {
+                    continue;
+                }
+                let app = st.world.app(st.world.listing(*other).app);
+                if app.developer == seed_app.developer {
+                    related.push(Json::from(app.package.as_str()));
+                }
+            }
+            // Category neighbours: deterministic window around the seed.
+            let pos = st.catalog.iter().position(|l| *l == id).unwrap_or(0);
+            let mut scanned = 0;
+            for offset in 1..st.catalog.len() {
+                if related.len() >= 12 || scanned > 400 {
+                    break;
+                }
+                scanned += 1;
+                let other = st.catalog[(pos + offset) % st.catalog.len()];
+                if other == id || !st.visible(other) {
+                    continue;
+                }
+                let app = st.world.app(st.world.listing(other).app);
+                if app.category == seed_app.category {
+                    related.push(Json::from(app.package.as_str()));
+                }
+            }
+            Response::json(&Json::obj([("related", Json::Arr(related))]))
+        });
+    }
+
+    // Developer submission (Section 2.1): POST /upload with the APK as
+    // the body; certificates travel as headers.
+    {
+        let market = state.market;
+        router = router.post("/upload", move |req: &Request, _| {
+            let outcome = crate::submission::evaluate(market, &req.headers, &req.body);
+            let doc = crate::submission::outcome_json(&outcome);
+            match outcome {
+                crate::submission::SubmissionOutcome::Rejected(_) => Response {
+                    status: Status::BadRequest,
+                    headers: std::collections::BTreeMap::from([(
+                        "content-type".to_owned(),
+                        "application/json".to_owned(),
+                    )]),
+                    body: doc.to_string_compact().into_bytes(),
+                },
+                _ => Response::json(&doc),
+            }
+        });
+    }
+
+    // APK download: /apk/{pkg} (the listed version's bytes).
+    {
+        let st = Arc::clone(&state);
+        let obfuscate = p.requires_obfuscation;
+        // Channel injection is a web-company/specialized-store habit
+        // (user-acquisition attribution); Google Play and the vendor
+        // stores serve the developer's bytes untouched — which is what
+        // leaves some multi-store listings byte-identical (Section 5.3).
+        let channel = match state.market.kind() {
+            marketscope_core::MarketKind::WebCompany
+            | marketscope_core::MarketKind::Specialized => {
+                Some(format!("{}channel", state.market.slug()))
+            }
+            _ => None,
+        };
+        router = router.get("/apk/{pkg}", move |_req, params| {
+            if let Some(bucket) = &st.apk_bucket {
+                if !bucket.try_acquire() {
+                    return Response::status(Status::TooManyRequests);
+                }
+            }
+            let Some(id) = st.lookup(&params["pkg"]) else {
+                return Response::status(Status::NotFound);
+            };
+            let listing = st.world.listing(id);
+            let bytes = st.world.build_apk(listing.app, listing.version, obfuscate);
+            let bytes = match &channel {
+                Some(name) => match inject_channel(&bytes, name, st.market) {
+                    Ok(b) => b,
+                    Err(_) => return Response::status(Status::InternalError),
+                },
+                None => bytes,
+            };
+            Response::ok("application/vnd.android.package-archive", bytes)
+        });
+    }
+
+    router
+}
+
+/// Store-side channel injection: add `META-INF/<name>` recording the
+/// distribution source. Signature stays valid because the payload digest
+/// excludes `META-INF/` (Section 5.3's `kgchannel` mechanism).
+pub fn inject_channel(
+    apk: &[u8],
+    name: &str,
+    market: MarketId,
+) -> Result<Vec<u8>, marketscope_apk::ApkError> {
+    let mut zip = ZipArchive::parse(apk)?;
+    zip.add(
+        &format!("META-INF/{name}"),
+        format!("source={}", market.slug()).into_bytes(),
+    )?;
+    Ok(zip.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_apk::ParsedApk;
+    use marketscope_ecosystem::{generate, Scale, WorldConfig};
+    use marketscope_net::HttpClient;
+
+    fn world() -> Arc<World> {
+        Arc::new(generate(WorldConfig {
+            seed: 21,
+            scale: Scale { divisor: 40_000 },
+        }))
+    }
+
+    #[test]
+    fn index_pages_cover_catalog() {
+        let w = world();
+        let server = MarketServer::spawn(Arc::clone(&w), MarketId::HuaweiMarket).unwrap();
+        let client = HttpClient::new();
+        let mut seen = Vec::new();
+        let mut page = 0u64;
+        loop {
+            let doc = client
+                .get_json(server.addr(), &format!("/index?page={page}"))
+                .unwrap();
+            for p in doc.get("packages").unwrap().as_arr().unwrap() {
+                seen.push(p.as_str().unwrap().to_owned());
+            }
+            match doc.get("next").and_then(|n| n.as_u64()) {
+                Some(n) => page = n,
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), w.market_listings(MarketId::HuaweiMarket).len());
+    }
+
+    #[test]
+    fn detail_and_apk_round_trip() {
+        let w = world();
+        let server = MarketServer::spawn(Arc::clone(&w), MarketId::TencentMyapp).unwrap();
+        let client = HttpClient::new();
+        let doc = client.get_json(server.addr(), "/index").unwrap();
+        let pkg = doc.get("packages").unwrap().as_arr().unwrap()[0]
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let detail = client
+            .get_json(server.addr(), &format!("/app/{pkg}"))
+            .unwrap();
+        assert_eq!(detail.get("package").unwrap().as_str().unwrap(), pkg);
+        assert!(detail.get("downloads").is_some() || detail.get("installs").is_some());
+        let apk = client.get(server.addr(), &format!("/apk/{pkg}")).unwrap();
+        let parsed = ParsedApk::parse(&apk.body).unwrap();
+        assert_eq!(parsed.manifest.package.as_str(), pkg);
+        // Tencent injects its channel file; the signature must survive.
+        assert!(parsed
+            .channels
+            .iter()
+            .any(|(n, _)| n.contains("tencentchannel")));
+        assert!(parsed.signature_valid);
+    }
+
+    #[test]
+    fn google_play_reports_ranges_and_rate_limits() {
+        let w = world();
+        let server = MarketServer::spawn(Arc::clone(&w), MarketId::GooglePlay).unwrap();
+        let client = HttpClient::new();
+        let doc = client.get_json(server.addr(), "/index").unwrap();
+        let pkg = doc.get("packages").unwrap().as_arr().unwrap()[0]
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let detail = client
+            .get_json(server.addr(), &format!("/app/{pkg}"))
+            .unwrap();
+        let installs = detail.get("installs").unwrap().as_str().unwrap();
+        assert!(
+            installs.contains('-') || installs.ends_with('+'),
+            "{installs}"
+        );
+        // Hammer the APK endpoint until the bucket runs dry.
+        let mut limited = false;
+        for _ in 0..120 {
+            match client.get(server.addr(), &format!("/apk/{pkg}")) {
+                Err(marketscope_net::NetError::Status(429)) => {
+                    limited = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(limited, "rate limiter never tripped");
+    }
+
+    #[test]
+    fn market_360_serves_obfuscated_apks() {
+        let w = world();
+        let server = MarketServer::spawn(Arc::clone(&w), MarketId::Market360).unwrap();
+        let client = HttpClient::new();
+        let doc = client.get_json(server.addr(), "/index").unwrap();
+        let pkg = doc.get("packages").unwrap().as_arr().unwrap()[0]
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let apk = client.get(server.addr(), &format!("/apk/{pkg}")).unwrap();
+        let parsed = ParsedApk::parse(&apk.body).unwrap();
+        assert!(parsed
+            .dex
+            .classes
+            .iter()
+            .any(|c| c.name.starts_with("Lcom/jiagu/")));
+    }
+
+    #[test]
+    fn baidu_incremental_index_works() {
+        let w = world();
+        let server = MarketServer::spawn(Arc::clone(&w), MarketId::BaiduMarket).unwrap();
+        let client = HttpClient::new();
+        let detail = client.get_json(server.addr(), "/soft/0").unwrap();
+        assert!(detail.get("package").is_some());
+        // Far past the catalog end: 404.
+        assert!(matches!(
+            client.get(server.addr(), "/soft/99999999"),
+            Err(marketscope_net::NetError::Status(404))
+        ));
+        // Non-Baidu markets don't expose it.
+        let huawei = MarketServer::spawn(Arc::clone(&w), MarketId::HuaweiMarket).unwrap();
+        assert!(matches!(
+            client.get(huawei.addr(), "/soft/0"),
+            Err(marketscope_net::NetError::Status(404))
+        ));
+    }
+
+    #[test]
+    fn second_phase_hides_removed_listings() {
+        let w = world();
+        // Find a market+package with a removed listing.
+        let mut target = None;
+        for m in MarketId::ALL {
+            for l in w.market_listings(m) {
+                if w.listing(*l).removed_in_second_crawl {
+                    target = Some((m, w.app(w.listing(*l).app).package.as_str().to_owned()));
+                    break;
+                }
+            }
+            if target.is_some() {
+                break;
+            }
+        }
+        let (m, pkg) = target.expect("world contains removed listings");
+        let server = MarketServer::spawn(Arc::clone(&w), m).unwrap();
+        let client = HttpClient::new();
+        assert!(client
+            .get_json(server.addr(), &format!("/app/{pkg}"))
+            .is_ok());
+        server.set_phase(CrawlPhase::Second);
+        assert!(matches!(
+            client.get(server.addr(), &format!("/app/{pkg}")),
+            Err(marketscope_net::NetError::Status(404))
+        ));
+        server.set_phase(CrawlPhase::First);
+        assert!(client
+            .get_json(server.addr(), &format!("/app/{pkg}"))
+            .is_ok());
+    }
+
+    #[test]
+    fn search_finds_by_label_and_package() {
+        let w = world();
+        let m = MarketId::Wandoujia;
+        let server = MarketServer::spawn(Arc::clone(&w), m).unwrap();
+        let client = HttpClient::new();
+        let lid = w.market_listings(m)[0];
+        let app = w.app(w.listing(lid).app);
+        let by_pkg = client
+            .get_json(server.addr(), &format!("/search?q={}", app.package))
+            .unwrap();
+        let results = by_pkg.get("results").unwrap().as_arr().unwrap();
+        assert!(results
+            .iter()
+            .any(|r| r.as_str() == Some(app.package.as_str())));
+        let by_label = client
+            .get_json(
+                server.addr(),
+                &format!(
+                    "/search?q={}",
+                    marketscope_net::http::url_encode(&app.label)
+                ),
+            )
+            .unwrap();
+        assert!(!by_label
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+    }
+}

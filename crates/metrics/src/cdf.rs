@@ -1,0 +1,152 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs left"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (0 for an empty CDF).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), `None` for an empty CDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+    }
+
+    /// Sample `points` evenly spaced (x, F(x)) pairs for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        if lo == hi {
+            return vec![(lo, 1.0)];
+        }
+        (0..=points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / points as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_fractions() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(c.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(c.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(c.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_and_median() {
+        let c = Cdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(c.quantile(0.0), Some(10.0));
+        assert_eq!(c.median(), Some(30.0));
+        assert_eq!(c.quantile(1.0), Some(50.0));
+        assert_eq!(c.mean(), Some(30.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_graceful() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.0);
+        assert!(c.curve(10).is_empty());
+    }
+
+    #[test]
+    fn nans_are_dropped() {
+        let c = Cdf::new(vec![f64::NAN, 1.0, f64::NAN, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = Cdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let curve = c.curve(20);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "non-monotone: {curve:?}");
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn constant_samples() {
+        let c = Cdf::new(vec![7.0; 5]);
+        assert_eq!(c.curve(10), vec![(7.0, 1.0)]);
+        assert_eq!(c.median(), Some(7.0));
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_is_monotone_in_x(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                     a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let c = Cdf::new(xs.drain(..).collect());
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.fraction_at_or_below(lo) <= c.fraction_at_or_below(hi));
+        }
+
+        #[test]
+        fn quantile_in_sample_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                    q in 0.0f64..1.0) {
+            let c = Cdf::new(xs.clone());
+            let v = c.quantile(q).unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+}

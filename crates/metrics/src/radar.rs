@@ -1,0 +1,128 @@
+//! The multi-dimensional radar comparison (Figure 13).
+//!
+//! The paper normalizes each metric to `[0, 100]` across the compared
+//! markets and plots one polygon per market. We render the normalized
+//! values as a text matrix (and expose them for plotting elsewhere).
+
+/// A radar chart: named axes × named series.
+#[derive(Debug, Clone)]
+pub struct Radar {
+    axes: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl Radar {
+    /// A radar with the given axes.
+    pub fn new(axes: impl IntoIterator<Item = impl Into<String>>) -> Radar {
+        Radar {
+            axes: axes.into_iter().map(Into::into).collect(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series of raw (un-normalized) values, one per axis.
+    pub fn series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Radar {
+        assert_eq!(values.len(), self.axes.len(), "value count must match axes");
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Per-axis min–max normalization to `[0, 100]` across series. Axes
+    /// where all series agree collapse to 50.
+    pub fn normalized(&self) -> Vec<(String, Vec<f64>)> {
+        let n_axes = self.axes.len();
+        let mut mins = vec![f64::INFINITY; n_axes];
+        let mut maxs = vec![f64::NEG_INFINITY; n_axes];
+        for (_, vals) in &self.series {
+            for (i, v) in vals.iter().enumerate() {
+                mins[i] = mins[i].min(*v);
+                maxs[i] = maxs[i].max(*v);
+            }
+        }
+        self.series
+            .iter()
+            .map(|(name, vals)| {
+                let norm = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        if maxs[i] > mins[i] {
+                            (v - mins[i]) / (maxs[i] - mins[i]) * 100.0
+                        } else {
+                            50.0
+                        }
+                    })
+                    .collect();
+                (name.clone(), norm)
+            })
+            .collect()
+    }
+
+    /// Render normalized values as an axes × series matrix.
+    pub fn render(&self) -> String {
+        let normalized = self.normalized();
+        let axis_w = self
+            .axes
+            .iter()
+            .map(|a| a.chars().count())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!("{:axis_w$}", "axis");
+        for (name, _) in &normalized {
+            out.push_str(&format!("  {name:>14}"));
+        }
+        out.push('\n');
+        for (i, axis) in self.axes.iter().enumerate() {
+            out.push_str(&format!("{axis:axis_w$}"));
+            for (_, vals) in &normalized {
+                out.push_str(&format!("  {:>14.1}", vals[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_min_max_per_axis() {
+        let mut r = Radar::new(["malware", "downloads"]);
+        r.series("gp", vec![2.0, 193.0]);
+        r.series("pco", vec![24.0, 0.2]);
+        let n = r.normalized();
+        assert_eq!(n[0].1, vec![0.0, 100.0]);
+        assert_eq!(n[1].1, vec![100.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_axis_collapses_to_midpoint() {
+        let mut r = Radar::new(["x"]);
+        r.series("a", vec![7.0]);
+        r.series("b", vec![7.0]);
+        for (_, v) in r.normalized() {
+            assert_eq!(v, vec![50.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_series_length_panics() {
+        let mut r = Radar::new(["x", "y"]);
+        r.series("a", vec![1.0]);
+    }
+
+    #[test]
+    fn render_includes_axes_and_series() {
+        let mut r = Radar::new(["malware", "fakes"]);
+        r.series("Google Play", vec![2.0, 0.03]);
+        r.series("PC Online", vec![24.0, 1.89]);
+        let s = r.render();
+        assert!(s.contains("malware"));
+        assert!(s.contains("Google Play"));
+        assert!(s.contains("100.0"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The HTTP client: keep-alive connection pooling, timeouts, bounded
+//! retries.
+
+use crate::error::NetError;
+use crate::http::{Request, Response, Status};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Connect timeout.
+    pub connect_timeout: Duration,
+    /// How many idle connections to keep per remote address.
+    pub pool_per_host: usize,
+    /// Transparent retries on connection-level failures (not on HTTP
+    /// error statuses — those are the caller's business).
+    pub retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            io_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(5),
+            pool_per_host: 8,
+            retries: 2,
+        }
+    }
+}
+
+/// A pooled connection: reader/writer halves of one TCP stream.
+struct PooledConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A blocking HTTP client with per-host keep-alive pooling.
+///
+/// Cloneable-by-reference via `Arc` at call sites; internally synchronized
+/// so crawler worker threads can share one client.
+pub struct HttpClient {
+    config: ClientConfig,
+    pool: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
+}
+
+impl HttpClient {
+    /// Client with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(ClientConfig::default())
+    }
+
+    /// Client with explicit configuration.
+    pub fn with_config(config: ClientConfig) -> Self {
+        HttpClient {
+            config,
+            pool: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Issue a request and await the response. Pooled connections are
+    /// reused; connection-level failures on a *reused* connection are
+    /// retried on a fresh one (the server may have dropped an idle
+    /// connection between requests — the classic keep-alive race).
+    pub fn request(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
+        let mut last_err: Option<NetError> = None;
+        for attempt in 0..=self.config.retries {
+            let reused;
+            let conn = match self.take_pooled(addr) {
+                Some(c) => {
+                    reused = true;
+                    c
+                }
+                None => {
+                    reused = false;
+                    self.connect(addr)?
+                }
+            };
+            match self.round_trip(conn, req) {
+                Ok((resp, conn)) => {
+                    self.return_pooled(addr, conn);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    // A failure on a fresh connection after the first
+                    // attempt is likely a real problem; on a reused one it
+                    // is usually the keep-alive race. Retry both, bounded.
+                    let _ = reused;
+                    last_err = Some(e);
+                    if attempt == self.config.retries {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last_err.unwrap_or(NetError::Protocol("retries exhausted")))
+    }
+
+    /// Convenience: GET a path and require a 200.
+    pub fn get(&self, addr: SocketAddr, path_and_query: &str) -> Result<Response, NetError> {
+        let resp = self.request(addr, &Request::get(path_and_query))?;
+        if resp.status != Status::Ok {
+            return Err(NetError::Status(resp.status.code()));
+        }
+        Ok(resp)
+    }
+
+    /// Convenience: GET a path, parse the body as JSON, require a 200.
+    pub fn get_json(
+        &self,
+        addr: SocketAddr,
+        path_and_query: &str,
+    ) -> Result<marketscope_core::json::Json, NetError> {
+        let resp = self.get(addr, path_and_query)?;
+        let text = std::str::from_utf8(&resp.body)
+            .map_err(|_| NetError::Protocol("response body not utf-8"))?;
+        marketscope_core::json::Json::parse(text)
+            .map_err(|_| NetError::Protocol("response body not valid json"))
+    }
+
+    /// Number of idle pooled connections (for tests/metrics).
+    pub fn idle_connections(&self) -> usize {
+        self.pool.lock().values().map(Vec::len).sum()
+    }
+
+    fn connect(&self, addr: SocketAddr) -> Result<PooledConn, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(PooledConn { reader, writer })
+    }
+
+    fn take_pooled(&self, addr: SocketAddr) -> Option<PooledConn> {
+        self.pool.lock().get_mut(&addr)?.pop()
+    }
+
+    fn return_pooled(&self, addr: SocketAddr, conn: PooledConn) {
+        let mut pool = self.pool.lock();
+        let conns = pool.entry(addr).or_default();
+        if conns.len() < self.config.pool_per_host {
+            conns.push(conn);
+        }
+    }
+
+    fn round_trip(
+        &self,
+        mut conn: PooledConn,
+        req: &Request,
+    ) -> Result<(Response, PooledConn), NetError> {
+        req.write_to(&mut conn.writer)?;
+        let resp = Response::read_from(&mut conn.reader)?;
+        Ok((resp, conn))
+    }
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::HttpServer;
+    use marketscope_core::json::Json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn get_round_trip_and_pooling() {
+        let server = HttpServer::spawn(|req: &Request| {
+            Response::ok("text/plain", req.path.as_bytes().to_vec())
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        for i in 0..5 {
+            let resp = client.get(server.addr(), &format!("/ping/{i}")).unwrap();
+            assert_eq!(resp.body, format!("/ping/{i}").into_bytes());
+        }
+        // All five requests reused one pooled connection.
+        assert_eq!(client.idle_connections(), 1);
+        assert_eq!(server.live_connections(), 1);
+    }
+
+    #[test]
+    fn get_json_parses() {
+        let server = HttpServer::spawn(|_req: &Request| {
+            Response::json(&Json::obj([("apps", Json::from(vec![1i64, 2, 3]))]))
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        let doc = client.get_json(server.addr(), "/index").unwrap();
+        assert_eq!(doc.get("apps").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn non_200_statuses_surface() {
+        let server = HttpServer::spawn(|req: &Request| {
+            if req.path == "/limited" {
+                Response::status(Status::TooManyRequests)
+            } else {
+                Response::status(Status::NotFound)
+            }
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        match client.get(server.addr(), "/limited") {
+            Err(NetError::Status(429)) => {}
+            other => panic!("expected 429, got {other:?}"),
+        }
+        match client.get(server.addr(), "/nope") {
+            Err(NetError::Status(404)) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_failure_is_reported() {
+        // Bind-then-drop gives us a port that refuses connections.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = HttpClient::with_config(ClientConfig {
+            retries: 0,
+            connect_timeout: Duration::from_millis(300),
+            ..ClientConfig::default()
+        });
+        assert!(client.get(addr, "/x").is_err());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let server_hits = Arc::clone(&hits);
+        let server = HttpServer::spawn(move |_req: &Request| {
+            server_hits.fetch_add(1, Ordering::SeqCst);
+            Response::ok("text/plain", b"ok".to_vec())
+        })
+        .unwrap();
+        let client = Arc::new(HttpClient::new());
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        client.get(addr, "/x").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 40);
+        assert!(client.idle_connections() <= 4);
+    }
+
+    #[test]
+    fn pool_cap_is_respected() {
+        let server =
+            HttpServer::spawn(|_req: &Request| Response::ok("text/plain", b"ok".to_vec())).unwrap();
+        let client = HttpClient::with_config(ClientConfig {
+            pool_per_host: 1,
+            ..ClientConfig::default()
+        });
+        let addr = server.addr();
+        // Two concurrent requests force two connections; only one returns
+        // to the pool.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| client.get(addr, "/x").unwrap());
+            }
+        });
+        assert!(client.idle_connections() <= 1);
+    }
+}

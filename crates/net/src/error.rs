@@ -1,0 +1,74 @@
+//! Error type for the HTTP subset.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the HTTP client, server and parser.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket I/O failed.
+    Io(io::Error),
+    /// The peer sent bytes that are not valid for the HTTP subset.
+    Protocol(&'static str),
+    /// A header or body exceeded the configured size caps.
+    TooLarge {
+        /// What overflowed ("header", "body", ...).
+        what: &'static str,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The server answered with a non-success status the caller did not
+    /// expect (carried so callers can branch on 429 vs 404).
+    Status(u16),
+    /// The connection closed before a complete message was read.
+    UnexpectedEof,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol: {m}"),
+            NetError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds limit of {limit} bytes")
+            }
+            NetError::Status(code) => write!(f, "unexpected status {code}"),
+            NetError::UnexpectedEof => write!(f, "connection closed mid-message"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NetError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(NetError::Status(429).to_string().contains("429"));
+        assert!(NetError::TooLarge {
+            what: "body",
+            limit: 10
+        }
+        .to_string()
+        .contains("body"));
+        assert!(std::error::Error::source(&NetError::UnexpectedEof).is_none());
+    }
+}

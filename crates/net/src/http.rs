@@ -1,0 +1,592 @@
+//! HTTP/1.1-subset message types, parser and serializer.
+
+use crate::error::NetError;
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Maximum accepted size of the request/status line plus headers.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted body size (APK payloads stay far below this).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+/// Maximum number of header fields.
+pub const MAX_HEADERS: usize = 64;
+
+/// Request methods supported by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve a resource.
+    Get,
+    /// Submit a body (used by developer upload endpoints).
+    Post,
+}
+
+impl Method {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Result<Method, NetError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            _ => Err(NetError::Protocol("unsupported method")),
+        }
+    }
+}
+
+/// Response status codes used by the market simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 429 — Google Play's rate limiting (Section 3.1) surfaces as this.
+    TooManyRequests,
+    /// 500
+    InternalError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::TooManyRequests => 429,
+            Status::InternalError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::TooManyRequests => "Too Many Requests",
+            Status::InternalError => "Internal Server Error",
+        }
+    }
+
+    /// Map a numeric code back to a known status.
+    pub fn from_code(code: u16) -> Result<Status, NetError> {
+        match code {
+            200 => Ok(Status::Ok),
+            400 => Ok(Status::BadRequest),
+            404 => Ok(Status::NotFound),
+            429 => Ok(Status::TooManyRequests),
+            500 => Ok(Status::InternalError),
+            _ => Err(NetError::Protocol("unknown status code")),
+        }
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path component (no scheme/host), e.g. `/app/com.foo.bar`.
+    pub path: String,
+    /// Decoded query parameters, in document order of first occurrence.
+    pub query: Vec<(String, String)>,
+    /// Header fields (names lower-cased).
+    pub headers: BTreeMap<String, String>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a GET request for `path_and_query` (e.g. `/search?q=maps`).
+    pub fn get(path_and_query: &str) -> Request {
+        let (path, query) = split_query(path_and_query);
+        Request {
+            method: Method::Get,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// First query parameter with the given key.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialize onto a writer (adds `Content-Length`; keeps the
+    /// connection alive unless a `connection: close` header was set).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), NetError> {
+        let mut target = self.path.clone();
+        for (i, (k, v)) in self.query.iter().enumerate() {
+            target.push(if i == 0 { '?' } else { '&' });
+            target.push_str(&url_encode(k));
+            target.push('=');
+            target.push_str(&url_encode(v));
+        }
+        write!(w, "{} {} HTTP/1.1\r\n", self.method.as_str(), target)?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Parse one request from a buffered reader. Returns `Ok(None)` on a
+    /// clean EOF before any byte (keep-alive peer going away).
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, NetError> {
+        let Some(head) = read_head(r)? else {
+            return Ok(None);
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(NetError::Protocol("empty head"))?;
+        let mut parts = request_line.split(' ');
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let target = parts.next().ok_or(NetError::Protocol("missing target"))?;
+        match parts.next() {
+            Some("HTTP/1.1" | "HTTP/1.0") => {}
+            _ => return Err(NetError::Protocol("bad http version")),
+        }
+        if parts.next().is_some() {
+            return Err(NetError::Protocol("malformed request line"));
+        }
+        let mut headers = parse_headers(lines)?;
+        let body = read_body(r, &headers)?;
+        // content-length is transport framing, not message metadata.
+        headers.remove("content-length");
+        let (path, query) = split_query(target);
+        if !path.starts_with('/') {
+            return Err(NetError::Protocol("target must be absolute path"));
+        }
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+
+    /// Whether the peer asked to close the connection after this message.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Response status.
+    pub status: Status,
+    /// Header fields (names lower-cased).
+    pub headers: BTreeMap<String, String>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with a body and content type.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-type".to_owned(), content_type.to_owned());
+        Response {
+            status: Status::Ok,
+            headers,
+            body,
+        }
+    }
+
+    /// A 200 response carrying a JSON document.
+    pub fn json(doc: &marketscope_core::json::Json) -> Response {
+        Response::ok("application/json", doc.to_string_compact().into_bytes())
+    }
+
+    /// An empty response with the given status.
+    pub fn status(status: Status) -> Response {
+        Response {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Serialize onto a writer (adds `Content-Length`).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), NetError> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        )?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Parse one response from a buffered reader.
+    pub fn read_from(r: &mut impl BufRead) -> Result<Response, NetError> {
+        let head = read_head(r)?.ok_or(NetError::UnexpectedEof)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(NetError::Protocol("empty head"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        match parts.next() {
+            Some("HTTP/1.1" | "HTTP/1.0") => {}
+            _ => return Err(NetError::Protocol("bad http version")),
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or(NetError::Protocol("bad status code"))?;
+        let status = Status::from_code(code)?;
+        let mut headers = parse_headers(lines)?;
+        let body = read_body(r, &headers)?;
+        headers.remove("content-length");
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Read the head (request/status line + headers) up to the blank line.
+/// Returns `Ok(None)` on immediate EOF.
+fn read_head(r: &mut impl BufRead) -> Result<Option<String>, NetError> {
+    let mut head = Vec::new();
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(NetError::UnexpectedEof);
+        }
+        // Look for the terminator across the boundary by appending first.
+        let take = available.len().min(MAX_HEAD + 4 - head.len());
+        head.extend_from_slice(&available[..take]);
+        if let Some(pos) = find_terminator(&head) {
+            let consumed = take - (head.len() - pos - 4);
+            r.consume(consumed);
+            head.truncate(pos);
+            let s = String::from_utf8(head).map_err(|_| NetError::Protocol("head not utf-8"))?;
+            return Ok(Some(s));
+        }
+        r.consume(take);
+        if head.len() >= MAX_HEAD {
+            return Err(NetError::TooLarge {
+                what: "header",
+                limit: MAX_HEAD,
+            });
+        }
+    }
+}
+
+/// Position of the `\r\n\r\n` terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<BTreeMap<String, String>, NetError> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or(NetError::Protocol("malformed header"))?;
+        if k.is_empty() || k.contains(' ') {
+            return Err(NetError::Protocol("malformed header name"));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(NetError::TooLarge {
+                what: "header count",
+                limit: MAX_HEADERS,
+            });
+        }
+        headers.insert(k.to_ascii_lowercase(), v.trim().to_owned());
+    }
+    Ok(headers)
+}
+
+fn read_body(
+    r: &mut impl BufRead,
+    headers: &BTreeMap<String, String>,
+) -> Result<Vec<u8>, NetError> {
+    let len: usize = match headers.get("content-length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| NetError::Protocol("bad content-length"))?,
+    };
+    if len > MAX_BODY {
+        return Err(NetError::TooLarge {
+            what: "body",
+            limit: MAX_BODY,
+        });
+    }
+    let mut body = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Err(NetError::UnexpectedEof);
+        }
+        let take = available.len().min(len - read);
+        body[read..read + take].copy_from_slice(&available[..take]);
+        r.consume(take);
+        read += take;
+    }
+    Ok(body)
+}
+
+/// Split a request target into path and decoded query pairs.
+fn split_query(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_owned(), Vec::new()),
+        Some((path, q)) => {
+            let mut out = Vec::new();
+            for pair in q.split('&') {
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                out.push((url_decode(k), url_decode(v)));
+            }
+            (path.to_owned(), out)
+        }
+    }
+}
+
+/// Percent-encode everything outside the unreserved set.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                use std::fmt::Write;
+                let _ = write!(out, "%{b:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// Percent-decode; invalid escapes pass through literally (lenient, as
+/// real crawlers must be).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                out.push(hi * 16 + lo);
+                i += 3;
+                continue;
+            }
+        }
+        if bytes[i] == b'+' {
+            out.push(b' ');
+        } else {
+            out.push(bytes[i]);
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        Request::read_from(&mut reader).unwrap().unwrap()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = Request::get("/app/com.foo.bar?fields=all&lang=zh");
+        req.headers.insert("x-crawler".into(), "marketscope".into());
+        let back = round_trip_request(&req);
+        assert_eq!(back.method, Method::Get);
+        assert_eq!(back.path, "/app/com.foo.bar");
+        assert_eq!(back.query_param("fields"), Some("all"));
+        assert_eq!(back.query_param("lang"), Some("zh"));
+        assert_eq!(back.headers.get("x-crawler").unwrap(), "marketscope");
+    }
+
+    #[test]
+    fn request_with_body_round_trip() {
+        let mut req = Request::get("/upload");
+        req.method = Method::Post;
+        req.body = vec![1, 2, 3, 255, 0];
+        let back = round_trip_request(&req);
+        assert_eq!(back.body, vec![1, 2, 3, 255, 0]);
+    }
+
+    #[test]
+    fn query_encoding_round_trips_special_chars() {
+        let mut req = Request::get("/search");
+        req.query.push(("q".into(), "酷狗 music & more".into()));
+        let back = round_trip_request(&req);
+        assert_eq!(back.query_param("q"), Some("酷狗 music & more"));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::ok("application/octet-stream", vec![9u8; 1000]);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let back = Response::read_from(&mut reader).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn empty_status_responses() {
+        for s in [
+            Status::NotFound,
+            Status::TooManyRequests,
+            Status::InternalError,
+        ] {
+            let resp = Response::status(s);
+            let mut wire = Vec::new();
+            resp.write_to(&mut wire).unwrap();
+            let back = Response::read_from(&mut BufReader::new(wire.as_slice())).unwrap();
+            assert_eq!(back.status, s);
+            assert!(back.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn keep_alive_two_requests_one_stream() {
+        let mut wire = Vec::new();
+        Request::get("/a").write_to(&mut wire).unwrap();
+        Request::get("/b").write_to(&mut wire).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        assert_eq!(Request::read_from(&mut reader).unwrap().unwrap().path, "/a");
+        assert_eq!(Request::read_from(&mut reader).unwrap().unwrap().path, "/b");
+        assert!(Request::read_from(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let mut reader = BufReader::new(&[][..]);
+        assert!(Request::read_from(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_unexpected_eof() {
+        let wire = b"GET /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        let mut reader = BufReader::new(&wire[..]);
+        assert!(matches!(
+            Request::read_from(&mut reader),
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn rejects_protocol_violations() {
+        for bad in [
+            "BREW /x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            "GET /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+        ] {
+            let mut reader = BufReader::new(bad.as_bytes());
+            assert!(Request::read_from(&mut reader).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut wire = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..2000 {
+            wire.push_str(&format!("x-h{i}: {}\r\n", "v".repeat(20)));
+        }
+        wire.push_str("\r\n");
+        let mut reader = BufReader::new(wire.as_bytes());
+        assert!(matches!(
+            Request::read_from(&mut reader),
+            Err(NetError::TooLarge { what: "header", .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let wire = format!(
+            "GET /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let mut reader = BufReader::new(wire.as_bytes());
+        assert!(matches!(
+            Request::read_from(&mut reader),
+            Err(NetError::TooLarge { what: "body", .. })
+        ));
+    }
+
+    #[test]
+    fn url_codec_round_trip() {
+        for s in ["hello", "a b+c", "100%", "中文/路径", "a=b&c=d"] {
+            assert_eq!(url_decode(&url_encode(s)), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn url_decode_lenient_on_invalid() {
+        assert_eq!(url_decode("%zz"), "%zz");
+        assert_eq!(url_decode("%"), "%");
+        assert_eq!(url_decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn wants_close_header() {
+        let mut req = Request::get("/");
+        assert!(!req.wants_close());
+        req.headers.insert("connection".into(), "close".into());
+        assert!(req.wants_close());
+        req.headers.insert("connection".into(), "keep-alive".into());
+        assert!(!req.wants_close());
+    }
+}

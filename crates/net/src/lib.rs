@@ -1,0 +1,34 @@
+//! # marketscope-net
+//!
+//! The networking substrate: a deliberately small, blocking HTTP/1.1
+//! subset over `std::net::TcpStream`, plus a path router and a token-bucket
+//! rate limiter.
+//!
+//! The paper's crawl is loopback-scale for us (simulated market servers on
+//! `127.0.0.1`), so per the networking guides' advice ("when not to use
+//! Tokio": mostly-CPU-bound or low-fan-out workloads gain nothing from an
+//! async runtime) we use blocking sockets with explicit threads: the server
+//! runs one accept loop and one thread per connection; the client keeps a
+//! keep-alive connection pool.
+//!
+//! Protocol subset: `GET`/`POST`, `Content-Length` bodies (no chunked
+//! encoding), `Connection: keep-alive`/`close`, status codes the market
+//! simulation needs (200, 400, 404, 429, 500). The parser is total and
+//! size-capped so a misbehaving peer cannot wedge or balloon a worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod ratelimit;
+pub mod router;
+pub mod server;
+
+pub use client::HttpClient;
+pub use error::NetError;
+pub use http::{Method, Request, Response, Status};
+pub use ratelimit::TokenBucket;
+pub use router::Router;
+pub use server::{HttpServer, ServerHandle};

@@ -1,0 +1,209 @@
+//! Path routing with named parameters.
+//!
+//! Market servers register patterns like `/app/{pkg}` or
+//! `/apk/{pkg}/{version}`; the router matches a request path, binds the
+//! parameters, and dispatches to the registered handler. Longest-literal
+//! patterns win ties, so `/index/all` beats `/index/{page}`.
+
+use crate::http::{Request, Response, Status};
+use crate::server::Handler;
+use std::collections::BTreeMap;
+
+/// The parameters bound by a pattern match.
+pub type Params = BTreeMap<String, String>;
+
+/// A routed handler.
+type RouteFn = Box<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: crate::http::Method,
+    segments: Vec<Segment>,
+    handler: RouteFn,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// A method+pattern router implementing [`Handler`].
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Empty router (answers 404 to everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a GET route. Pattern segments wrapped in `{}` bind
+    /// parameters; all others match literally.
+    pub fn get(
+        mut self,
+        pattern: &str,
+        f: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            method: crate::http::Method::Get,
+            segments: parse_pattern(pattern),
+            handler: Box::new(f),
+        });
+        self
+    }
+
+    /// Register a POST route.
+    pub fn post(
+        mut self,
+        pattern: &str,
+        f: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            method: crate::http::Method::Post,
+            segments: parse_pattern(pattern),
+            handler: Box::new(f),
+        });
+        self
+    }
+
+    /// Match a path against the routing table.
+    fn resolve(&self, method: crate::http::Method, path: &str) -> Option<(&Route, Params)> {
+        let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut best: Option<(&Route, Params, usize)> = None;
+        for route in &self.routes {
+            if route.method != method || route.segments.len() != segs.len() {
+                continue;
+            }
+            let mut params = Params::new();
+            let mut literals = 0usize;
+            let mut ok = true;
+            for (pat, seg) in route.segments.iter().zip(&segs) {
+                match pat {
+                    Segment::Literal(l) => {
+                        if l != seg {
+                            ok = false;
+                            break;
+                        }
+                        literals += 1;
+                    }
+                    Segment::Param(name) => {
+                        params.insert(name.clone(), crate::http::url_decode(seg));
+                    }
+                }
+            }
+            if ok && best.as_ref().map_or(true, |(_, _, l)| literals > *l) {
+                best = Some((route, params, literals));
+            }
+        }
+        best.map(|(r, p, _)| (r, p))
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Segment> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if let Some(name) = s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                Segment::Param(name.to_owned())
+            } else {
+                Segment::Literal(s.to_owned())
+            }
+        })
+        .collect()
+}
+
+impl Handler for Router {
+    fn handle(&self, req: &Request) -> Response {
+        match self.resolve(req.method, &req.path) {
+            Some((route, params)) => (route.handler)(req, &params),
+            None => Response::status(Status::NotFound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Method, Request};
+
+    fn req(path: &str) -> Request {
+        Request::get(path)
+    }
+
+    fn body(r: Response) -> String {
+        String::from_utf8(r.body).unwrap()
+    }
+
+    fn router() -> Router {
+        Router::new()
+            .get("/index", |_, _| {
+                Response::ok("text/plain", b"index".to_vec())
+            })
+            .get("/app/{pkg}", |_, p| {
+                Response::ok("text/plain", format!("app:{}", p["pkg"]).into_bytes())
+            })
+            .get("/apk/{pkg}/{version}", |_, p| {
+                Response::ok(
+                    "text/plain",
+                    format!("apk:{}:{}", p["pkg"], p["version"]).into_bytes(),
+                )
+            })
+            .get("/app/featured", |_, _| {
+                Response::ok("text/plain", b"featured".to_vec())
+            })
+            .post("/upload", |r, _| {
+                Response::ok(
+                    "text/plain",
+                    format!("got {} bytes", r.body.len()).into_bytes(),
+                )
+            })
+    }
+
+    #[test]
+    fn literal_and_param_matching() {
+        let r = router();
+        assert_eq!(body(r.handle(&req("/index"))), "index");
+        assert_eq!(body(r.handle(&req("/app/com.foo.bar"))), "app:com.foo.bar");
+        assert_eq!(body(r.handle(&req("/apk/com.x.y/12"))), "apk:com.x.y:12");
+    }
+
+    #[test]
+    fn literal_beats_param() {
+        let r = router();
+        assert_eq!(body(r.handle(&req("/app/featured"))), "featured");
+    }
+
+    #[test]
+    fn unmatched_is_404() {
+        let r = router();
+        assert_eq!(r.handle(&req("/nope")).status, Status::NotFound);
+        assert_eq!(r.handle(&req("/app")).status, Status::NotFound);
+        assert_eq!(r.handle(&req("/apk/only.one")).status, Status::NotFound);
+    }
+
+    #[test]
+    fn method_mismatch_is_404() {
+        let r = router();
+        let mut post = req("/index");
+        post.method = Method::Post;
+        assert_eq!(r.handle(&post).status, Status::NotFound);
+        let mut upload = req("/upload");
+        upload.method = Method::Post;
+        upload.body = vec![0; 5];
+        assert_eq!(body(r.handle(&upload)), "got 5 bytes");
+    }
+
+    #[test]
+    fn params_are_url_decoded() {
+        let r = router();
+        assert_eq!(body(r.handle(&req("/app/com%2Efoo"))), "app:com.foo");
+    }
+
+    #[test]
+    fn trailing_slash_is_tolerated() {
+        let r = router();
+        assert_eq!(body(r.handle(&req("/index/"))), "index");
+    }
+}

@@ -1,0 +1,263 @@
+//! The blocking HTTP server: one accept loop, one thread per connection,
+//! keep-alive, graceful shutdown.
+
+use crate::error::NetError;
+use crate::http::{Request, Response, Status};
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A request handler. Handlers must be panic-free; a panicking handler
+/// poisons only its own connection thread (the server keeps serving), but
+/// the peer sees a dropped connection rather than a 500.
+pub trait Handler: Send + Sync + 'static {
+    /// Produce a response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// An HTTP server bound to a local address.
+pub struct HttpServer;
+
+impl HttpServer {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving `handler`
+    /// on a background accept thread. Returns a handle carrying the bound
+    /// address and the shutdown switch.
+    pub fn spawn(handler: impl Handler) -> Result<ServerHandle, NetError> {
+        Self::spawn_on("127.0.0.1:0", handler)
+    }
+
+    /// Bind to an explicit address and start serving.
+    pub fn spawn_on(addr: &str, handler: impl Handler) -> Result<ServerHandle, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicU64::new(0));
+        let requests = Arc::new(AtomicU64::new(0));
+        let handler: Arc<dyn Handler> = Arc::new(handler);
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_live = Arc::clone(&live);
+        let accept_requests = Arc::clone(&requests);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("http-accept-{local}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let handler = Arc::clone(&handler);
+                    let live = Arc::clone(&accept_live);
+                    let requests = Arc::clone(&accept_requests);
+                    let conn_shutdown = Arc::clone(&accept_shutdown);
+                    live.fetch_add(1, Ordering::SeqCst);
+                    let _ = std::thread::Builder::new()
+                        .name("http-conn".to_owned())
+                        .spawn(move || {
+                            let _ = serve_connection(
+                                stream,
+                                handler.as_ref(),
+                                &requests,
+                                &conn_shutdown,
+                            );
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        });
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(ServerHandle {
+            addr: local,
+            shutdown,
+            live,
+            requests,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+}
+
+/// Serve requests on one connection until close, error, or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    requests: &AtomicU64,
+    shutdown: &AtomicBool,
+) -> Result<(), NetError> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let req = match Request::read_from(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // peer closed cleanly
+            Err(NetError::Io(e)) => return Err(NetError::Io(e)),
+            Err(NetError::UnexpectedEof) => return Ok(()),
+            Err(_) => {
+                // Malformed request: answer 400 and close.
+                let _ = Response::status(Status::BadRequest).write_to(&mut writer);
+                return Ok(());
+            }
+        };
+        let close = req.wants_close();
+        let resp = handler.handle(&req);
+        requests.fetch_add(1, Ordering::Relaxed);
+        resp.write_to(&mut writer)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Handle to a running server: address, counters, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<AtomicU64>,
+    requests: Arc<AtomicU64>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn live_connections(&self) -> u64 {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, wake the accept loop, and join it. Connection
+    /// threads drain on their own (their next request check sees the
+    /// flag, and read timeouts bound their lifetime).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn echo_server() -> ServerHandle {
+        HttpServer::spawn(|req: &Request| {
+            Response::ok("text/plain", format!("path={}", req.path).into_bytes())
+        })
+        .unwrap()
+    }
+
+    fn raw_round_trip(addr: SocketAddr, wire: &[u8]) -> Vec<u8> {
+        use std::io::Read;
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(wire).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_and_stops() {
+        let server = echo_server();
+        let out = raw_round_trip(
+            server.addr(),
+            b"GET /hello HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.ends_with("path=/hello"), "{text}");
+        assert_eq!(server.request_count(), 1);
+        server.stop();
+        // Stop is idempotent.
+        server.stop();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let server = echo_server();
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let out = raw_round_trip(server.addr(), wire);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("path=/a"));
+        assert!(text.contains("path=/b"));
+        assert_eq!(server.request_count(), 2);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = echo_server();
+        let out = raw_round_trip(server.addr(), b"NONSENSE\r\n\r\n");
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_connections() {
+        let server = Arc::new(echo_server());
+        let mut threads = Vec::new();
+        for i in 0..8 {
+            let server = Arc::clone(&server);
+            threads.push(std::thread::spawn(move || {
+                let wire = format!("GET /t{i} HTTP/1.1\r\nconnection: close\r\n\r\n");
+                let out = raw_round_trip(server.addr(), wire.as_bytes());
+                assert!(String::from_utf8_lossy(&out).contains(&format!("path=/t{i}")));
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.request_count(), 8);
+    }
+
+    #[test]
+    fn rejects_connections_after_stop() {
+        let server = echo_server();
+        let addr = server.addr();
+        server.stop();
+        // After stop, either connect fails or the connection is dropped
+        // without a response.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n");
+            use std::io::Read;
+            let mut out = Vec::new();
+            let _ = s.read_to_end(&mut out);
+            assert!(out.is_empty(), "stopped server must not answer");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the HTTP subset: total parsing over hostile bytes,
+//! lossless round-trips over arbitrary content.
+
+use marketscope_net::http::{url_decode, url_encode, Method, Request, Response, Status};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut reader = BufReader::new(bytes.as_slice());
+        let _ = Request::read_from(&mut reader);
+    }
+
+    #[test]
+    fn response_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut reader = BufReader::new(bytes.as_slice());
+        let _ = Response::read_from(&mut reader);
+    }
+
+    #[test]
+    fn request_round_trips(
+        path_seg in "[a-zA-Z0-9._-]{1,24}",
+        params in proptest::collection::vec(("[a-z]{1,8}", "\\PC{0,24}"), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+        post in any::<bool>(),
+    ) {
+        let mut req = Request::get(&format!("/x/{path_seg}"));
+        req.method = if post { Method::Post } else { Method::Get };
+        for (k, v) in &params {
+            req.query.push((k.clone(), v.clone()));
+        }
+        req.body = body;
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let back = Request::read_from(&mut BufReader::new(wire.as_slice()))
+            .unwrap()
+            .expect("complete request");
+        prop_assert_eq!(back.method, req.method);
+        prop_assert_eq!(&back.path, &req.path);
+        prop_assert_eq!(&back.body, &req.body);
+        // Query params survive in order with exact values.
+        prop_assert_eq!(&back.query, &req.query);
+    }
+
+    #[test]
+    fn response_round_trips(
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+        ct in "[a-z]{3,12}/[a-z]{3,12}",
+    ) {
+        let resp = Response::ok(&ct, body);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let back = Response::read_from(&mut BufReader::new(wire.as_slice())).unwrap();
+        prop_assert_eq!(back.status, Status::Ok);
+        prop_assert_eq!(&back.body, &resp.body);
+        prop_assert_eq!(back.headers.get("content-type"), resp.headers.get("content-type"));
+    }
+
+    #[test]
+    fn url_codec_round_trips(s in "\\PC{0,64}") {
+        prop_assert_eq!(url_decode(&url_encode(&s)), s);
+    }
+
+    #[test]
+    fn url_decode_total(s in "\\PC{0,64}") {
+        let _ = url_decode(&s); // must not panic, whatever the input
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order(n in 1usize..6) {
+        let mut wire = Vec::new();
+        for i in 0..n {
+            Request::get(&format!("/req/{i}")).write_to(&mut wire).unwrap();
+        }
+        let mut reader = BufReader::new(wire.as_slice());
+        for i in 0..n {
+            let req = Request::read_from(&mut reader).unwrap().expect("request");
+            prop_assert_eq!(req.path, format!("/req/{i}"));
+        }
+        prop_assert!(Request::read_from(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Regenerate every table and figure of the paper from a full simulated
+//! campaign.
+//!
+//! ```text
+//! reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR]
+//! ```
+
+use marketscope_ecosystem::Scale;
+use marketscope_report::experiments as ex;
+use marketscope_report::{run_campaign, Campaign, CampaignConfig};
+
+fn main() {
+    let mut config = CampaignConfig::default();
+    let mut only: Option<String> = None;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--scale" => {
+                config.scale = match args.next().as_deref() {
+                    Some("small") => Scale::SMALL,
+                    Some("medium") => Scale::MEDIUM,
+                    Some("large") => Scale::LARGE,
+                    _ => usage("--scale needs small|medium|large"),
+                };
+            }
+            "--only" => {
+                only = Some(args.next().unwrap_or_else(|| usage("--only needs a name")));
+            }
+            "--out" => {
+                out_dir = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--out needs a directory")),
+                ));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!(
+        "generating world (seed {:#x}) and crawling {} target listings ...",
+        config.seed,
+        config.scale.total_listings()
+    );
+    let start = std::time::Instant::now();
+    let campaign = run_campaign(config);
+    eprintln!(
+        "campaign done in {:.1}s: {} listings, {} APK digests, {} unique apps",
+        start.elapsed().as_secs_f64(),
+        campaign.snapshot.total_listings(),
+        campaign.snapshot.total_apks(),
+        campaign.analyzed.apps.len()
+    );
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    for (name, render) in artifacts(&campaign) {
+        if only.as_deref().map_or(true, |o| o == name) {
+            println!("{render}");
+            println!();
+            if let Some(dir) = &out_dir {
+                std::fs::write(dir.join(format!("{name}.txt")), &render)
+                    .expect("write artifact file");
+            }
+        }
+    }
+    if let Some(dir) = &out_dir {
+        eprintln!("artifacts written to {}", dir.display());
+    }
+}
+
+/// All artifacts in paper order.
+fn artifacts(c: &Campaign) -> Vec<(&'static str, String)> {
+    vec![
+        ("table1", ex::table1::run(&c.snapshot).render()),
+        ("fig1", ex::fig1::run(&c.snapshot).render()),
+        ("fig2", ex::fig2::run(&c.snapshot).render()),
+        ("fig3", ex::fig3::run(&c.snapshot).render()),
+        ("fig4", ex::fig4::run(&c.snapshot).render()),
+        ("fig5", ex::fig5::run(&c.analyzed, &c.labels).render()),
+        (
+            "table2",
+            ex::table2::run(&c.analyzed, &c.labels, 10).render(),
+        ),
+        ("fig6", ex::fig6::run(&c.snapshot).render()),
+        ("fig7", ex::fig7::run(&c.analyzed).render()),
+        ("fig8", ex::fig8::run(&c.snapshot).render()),
+        ("fig9", ex::fig9::run(&c.snapshot).render()),
+        ("table3", ex::table3::run(&c.analyzed).render()),
+        ("fig10", ex::fig10::run(&c.analyzed).render()),
+        ("fig11", ex::fig11::run(&c.analyzed).render()),
+        ("table4", ex::table4::run(&c.analyzed).render()),
+        ("table5", ex::table5::run(&c.analyzed, 10).render()),
+        ("fig12", ex::fig12::run(&c.analyzed, 15).render()),
+        ("table6", ex::table6::run(&c.analyzed, &c.second).render()),
+        ("fig13", ex::fig13::run(&c.analyzed, &c.snapshot).render()),
+        ("sec53", ex::sec53_identity::run(&c.snapshot).render()),
+        ("sec64", ex::sec64_repackaged::run(&c.analyzed).render()),
+    ]
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR]"
+    );
+    eprintln!("artifacts: table1..table6, fig1..fig13, sec53, sec64");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

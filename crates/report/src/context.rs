@@ -1,0 +1,240 @@
+//! Shared analysis context: cross-market deduplication and the one-time
+//! expensive passes every experiment reads from.
+
+use marketscope_analysis::av::{AvReport, AvSimulator};
+use marketscope_analysis::fake::{FakeDetector, FakeInput, FakeReport};
+use marketscope_analysis::overpriv::{OverprivilegeAnalyzer, OverprivilegeResult};
+use marketscope_apk::digest::ApkDigest;
+use marketscope_clonedetect::{CloneDetector, ClonePair, SigCloneReport};
+use marketscope_core::{DeveloperKey, MarketId};
+use marketscope_crawler::Snapshot;
+use marketscope_ecosystem::{LibCategory, World};
+use marketscope_libdetect::{LibraryDetector, LibraryReport};
+use std::collections::{HashMap, HashSet};
+
+/// The stand-in for the paper's *manual* library labelling (AppBrain /
+/// PrivacyGrade / Common-Library classifications): a map from library
+/// root package to functional label, plus the ad-library subset.
+#[derive(Debug, Clone, Default)]
+pub struct LabelSource {
+    /// Library package → human label ("Advertisement", "Development", ...).
+    pub labels: HashMap<String, &'static str>,
+    /// The ad-library package set (Figure 5b's input).
+    pub ad_packages: HashSet<String>,
+}
+
+impl LabelSource {
+    /// Derive labels from the generated world's catalog — the analogue of
+    /// the paper's researchers looking up each top library's vendor.
+    pub fn from_world(world: &World) -> LabelSource {
+        let mut labels = HashMap::new();
+        let mut ad_packages = HashSet::new();
+        for spec in world.libraries.specs() {
+            let label = match spec.category {
+                LibCategory::Ad => "Advertisement",
+                LibCategory::Analytics => "Analytics",
+                LibCategory::SocialNetworking => "Social Networking",
+                LibCategory::Development => "Development",
+                LibCategory::Payment => "Payment",
+                LibCategory::GameEngine => "Game Engine",
+            };
+            labels.insert(spec.package.clone(), label);
+            if spec.category == LibCategory::Ad {
+                ad_packages.insert(spec.package.clone());
+            }
+        }
+        LabelSource {
+            labels,
+            ad_packages,
+        }
+    }
+
+    /// Label for a detected library package (default "Unknown").
+    pub fn label(&self, package: &str) -> &'static str {
+        self.labels.get(package).copied().unwrap_or("Unknown")
+    }
+}
+
+/// One unique app across markets: the paper's identity is
+/// `(package, developer signature)`.
+#[derive(Debug, Clone)]
+pub struct UniqueApp {
+    /// Package name.
+    pub package: String,
+    /// Display label.
+    pub label: String,
+    /// Signing key.
+    pub developer: DeveloperKey,
+    /// A representative digest (highest version seen).
+    pub digest: ApkDigest,
+    /// Markets listing the app, with the normalized install counter.
+    pub markets: Vec<(MarketId, u64)>,
+    /// Highest version code seen anywhere.
+    pub max_version: u32,
+}
+
+/// All one-time analysis artifacts, aligned index-wise with `apps`.
+pub struct Analyzed {
+    /// Unique apps (with harvested APKs).
+    pub apps: Vec<UniqueApp>,
+    /// Library detection output.
+    pub lib_report: LibraryReport,
+    /// Detected library root packages.
+    pub lib_packages: HashSet<String>,
+    /// Clone-detection inputs (library code excluded).
+    pub clone_inputs: Vec<marketscope_clonedetect::UniqueApp>,
+    /// Signature-clone report.
+    pub sig_report: SigCloneReport,
+    /// Confirmed code-clone pairs.
+    pub code_pairs: Vec<ClonePair>,
+    /// Fake-detection inputs.
+    pub fake_inputs: Vec<FakeInput>,
+    /// Fake-detection report.
+    pub fake_report: FakeReport,
+    /// AV ensemble scans.
+    pub av_reports: Vec<AvReport>,
+    /// Over-privilege results.
+    pub overpriv: Vec<OverprivilegeResult>,
+}
+
+/// The paper's malware bar: AV-rank ≥ 10.
+pub const MALWARE_AV_RANK: usize = 10;
+
+impl Analyzed {
+    /// Run every shared pass over a snapshot.
+    pub fn compute(snapshot: &Snapshot) -> Analyzed {
+        // Deduplicate by (package, developer), keeping the
+        // highest-version digest as representative.
+        let mut index: HashMap<(String, DeveloperKey), usize> = HashMap::new();
+        let mut apps: Vec<UniqueApp> = Vec::new();
+        for (market, listing) in snapshot.iter() {
+            let Some(digest) = &listing.digest else {
+                continue;
+            };
+            let key = (listing.package.clone(), digest.developer);
+            let downloads = listing.downloads.unwrap_or(0);
+            match index.get(&key) {
+                Some(&i) => {
+                    let app = &mut apps[i];
+                    app.markets.push((market, downloads));
+                    if digest.version_code.0 > app.max_version {
+                        app.max_version = digest.version_code.0;
+                        app.digest = digest.clone();
+                    }
+                }
+                None => {
+                    index.insert(key, apps.len());
+                    apps.push(UniqueApp {
+                        package: listing.package.clone(),
+                        label: listing.label.clone(),
+                        developer: digest.developer,
+                        digest: digest.clone(),
+                        markets: vec![(market, downloads)],
+                        max_version: digest.version_code.0,
+                    });
+                }
+            }
+        }
+
+        // Library detection over the unique corpus.
+        let digest_refs: Vec<&ApkDigest> = apps.iter().map(|a| &a.digest).collect();
+        let lib_report = LibraryDetector::new().detect(&digest_refs);
+        let lib_packages: HashSet<String> = lib_report
+            .libraries
+            .iter()
+            .map(|l| l.package.clone())
+            .collect();
+
+        // Clone detection (library code excluded per WuKong/LibRadar).
+        // Download counters feeding the origin heuristic are binned to
+        // Google Play's range lower bounds: GP reports ranges, so raw
+        // counters from Chinese stores would otherwise always win the
+        // "more downloads = original" comparison.
+        let clone_inputs: Vec<marketscope_clonedetect::UniqueApp> = apps
+            .iter()
+            .map(|a| {
+                let binned: Vec<(MarketId, u64)> = a
+                    .markets
+                    .iter()
+                    .map(|(m, d)| {
+                        (
+                            *m,
+                            marketscope_core::InstallRange::from_count(*d).lower_bound(),
+                        )
+                    })
+                    .collect();
+                marketscope_clonedetect::UniqueApp::from_digest(&a.digest, &lib_packages, binned)
+            })
+            .collect();
+        let detector = CloneDetector::new();
+        let sig_report = detector.sig_clones(&clone_inputs);
+        let code_pairs = detector.code_clones(&clone_inputs);
+
+        // Fake detection.
+        let fake_inputs: Vec<FakeInput> = apps
+            .iter()
+            .map(|a| FakeInput {
+                package: a.package.clone(),
+                label: a.label.clone(),
+                developer: a.developer,
+                max_downloads: a.markets.iter().map(|(_, d)| *d).max().unwrap_or(0),
+                markets: a.markets.iter().map(|(m, _)| *m).collect(),
+            })
+            .collect();
+        let fake_report = FakeDetector::new().detect(&fake_inputs);
+
+        // AV ensemble and over-privilege, one scan per unique app.
+        let av = AvSimulator::new();
+        let av_reports: Vec<AvReport> = apps.iter().map(|a| av.scan(&a.digest)).collect();
+        let op = OverprivilegeAnalyzer::new();
+        let overpriv: Vec<OverprivilegeResult> =
+            apps.iter().map(|a| op.analyze(&a.digest)).collect();
+
+        Analyzed {
+            apps,
+            lib_report,
+            lib_packages,
+            clone_inputs,
+            sig_report,
+            code_pairs,
+            fake_inputs,
+            fake_report,
+            av_reports,
+            overpriv,
+        }
+    }
+
+    /// Indices of apps listed in a market.
+    pub fn apps_in(&self, market: MarketId) -> impl Iterator<Item = usize> + '_ {
+        self.apps
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.markets.iter().any(|(m, _)| *m == market))
+            .map(|(i, _)| i)
+    }
+
+    /// Malware share of a market at the given AV-rank threshold.
+    pub fn malware_share(&self, market: MarketId, threshold: usize) -> f64 {
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for i in self.apps_in(market) {
+            total += 1;
+            if self.av_reports[i].rank >= threshold {
+                hit += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+
+    /// Malware packages (AV-rank ≥ 10) listed in a market.
+    pub fn malware_packages(&self, market: MarketId) -> Vec<String> {
+        self.apps_in(market)
+            .filter(|i| self.av_reports[*i].rank >= MALWARE_AV_RANK)
+            .map(|i| self.apps[i].package.clone())
+            .collect()
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 1: distribution of app categories per market, under the
+//! consolidated 22-category taxonomy.
+
+use marketscope_core::{Category, MarketId};
+use marketscope_crawler::Snapshot;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+
+/// Per-market category shares (rows follow [`Category::ALL`]).
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// `shares[market][category]`.
+    pub shares: Vec<[f64; 22]>,
+}
+
+/// Consolidate every listing's raw category and tally per market.
+pub fn run(snapshot: &Snapshot) -> Fig1 {
+    let shares = MarketId::ALL
+        .iter()
+        .map(|&market| {
+            let ms = snapshot.market(market);
+            let mut counts = [0u64; 22];
+            for l in &ms.listings {
+                counts[Category::consolidate(&l.raw_category).index()] += 1;
+            }
+            let total = counts.iter().sum::<u64>().max(1) as f64;
+            let mut out = [0.0; 22];
+            for (o, c) in out.iter_mut().zip(counts) {
+                *o = c as f64 / total;
+            }
+            out
+        })
+        .collect();
+    Fig1 { shares }
+}
+
+impl Fig1 {
+    /// Share of one category in one market.
+    pub fn share(&self, market: MarketId, category: Category) -> f64 {
+        self.shares[market.index()][category.index()]
+    }
+
+    /// Render as a category × market matrix.
+    pub fn render(&self) -> String {
+        let mut header = vec!["Category".to_owned()];
+        header.extend(MarketId::ALL.iter().map(|m| m.slug().to_owned()));
+        let mut t = Table::new(header);
+        for c in Category::ALL {
+            let mut row = vec![c.label().to_owned()];
+            for m in MarketId::ALL {
+                row.push(pct(self.share(m, c)));
+            }
+            t.row(row);
+        }
+        format!("Figure 1: distribution of app categories\n{}", t.render())
+    }
+}

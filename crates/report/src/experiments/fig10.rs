@@ -1,0 +1,58 @@
+//! Figure 10: intra- and inter-market clone flows. Cell `(X, Y)` counts
+//! code clones found in market Y whose likely original (the
+//! more-downloaded side) was published in market X.
+
+use crate::context::Analyzed;
+use marketscope_core::MarketId;
+use marketscope_metrics::Heatmap;
+
+/// The heatmap plus headline aggregates.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// 17×17 origin × destination counts.
+    pub heatmap: Heatmap,
+}
+
+/// Attribute every confirmed pair.
+pub fn run(analyzed: &Analyzed) -> Fig10 {
+    let mut heatmap = Heatmap::new(MarketId::ALL.iter().map(|m| m.slug()));
+    for pair in &analyzed.code_pairs {
+        let origin_idx = pair.origin(&analyzed.clone_inputs);
+        let copy_idx = pair.copy(&analyzed.clone_inputs);
+        let Some(origin_market) = analyzed.clone_inputs[origin_idx].top_market() else {
+            continue;
+        };
+        for (dest, _) in &analyzed.clone_inputs[copy_idx].markets {
+            heatmap.add(origin_market.index(), dest.index(), 1);
+        }
+    }
+    Fig10 { heatmap }
+}
+
+impl Fig10 {
+    /// Clones flowing out of one market (row total).
+    pub fn cloned_from(&self, market: MarketId) -> u64 {
+        self.heatmap.row_total(market.index())
+    }
+
+    /// Clones landing in one market (column total).
+    pub fn cloned_into(&self, market: MarketId) -> u64 {
+        self.heatmap.col_total(market.index())
+    }
+
+    /// Intra-market clone count.
+    pub fn intra_market(&self) -> u64 {
+        self.heatmap.diagonal_total()
+    }
+
+    /// Render the shaded matrix plus totals.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 10: clone flows (total {}, intra-market {}, from Google Play {})\n{}",
+            self.heatmap.total(),
+            self.intra_market(),
+            self.cloned_from(MarketId::GooglePlay),
+            self.heatmap.render()
+        )
+    }
+}

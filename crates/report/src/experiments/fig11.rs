@@ -1,0 +1,135 @@
+//! Figure 11: distribution of over-privileged apps — Google Play against
+//! the Chinese-market spread, bucketed by number of unused permissions.
+
+use crate::context::Analyzed;
+use marketscope_analysis::overpriv::unused_histogram;
+use marketscope_core::MarketId;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+use std::collections::HashMap;
+
+/// Bucket labels (0..9 unused permissions, then >9).
+pub const BUCKETS: [&str; 11] = ["0", "1", "2", "3", "4", "5", "6", "7", "8", "9", ">9"];
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// Google Play's share per bucket.
+    pub google_play: [f64; 11],
+    /// Aggregated Chinese-market share per bucket.
+    pub chinese: [f64; 11],
+    /// Per-market bucket shares (market × bucket) — the paper plots box
+    /// plots over the 16 Chinese markets against Google Play's marker.
+    pub per_market: Vec<[f64; 11]>,
+    /// Share of over-privileged apps per market.
+    pub overprivileged_share: Vec<f64>,
+    /// The most commonly unused permissions (short name → share of all
+    /// over-privileged declarations).
+    pub top_unused: Vec<(String, f64)>,
+}
+
+/// Aggregate the shared over-privilege results.
+pub fn run(analyzed: &Analyzed) -> Fig11 {
+    let shares = |indices: Vec<usize>| -> [f64; 11] {
+        let results: Vec<_> = indices
+            .iter()
+            .map(|i| analyzed.overpriv[*i].clone())
+            .collect();
+        let h = unused_histogram(&results);
+        let total = h.iter().sum::<u64>().max(1) as f64;
+        let mut out = [0.0; 11];
+        for (o, c) in out.iter_mut().zip(h) {
+            *o = c as f64 / total;
+        }
+        out
+    };
+    let gp: Vec<usize> = analyzed.apps_in(MarketId::GooglePlay).collect();
+    let cn: Vec<usize> = (0..analyzed.apps.len())
+        .filter(|i| {
+            analyzed.apps[*i]
+                .markets
+                .iter()
+                .any(|(m, _)| m.is_chinese())
+        })
+        .collect();
+    let per_market: Vec<[f64; 11]> = MarketId::ALL
+        .iter()
+        .map(|&m| shares(analyzed.apps_in(m).collect()))
+        .collect();
+    let overprivileged_share = MarketId::ALL
+        .iter()
+        .map(|&m| {
+            let idx: Vec<usize> = analyzed.apps_in(m).collect();
+            if idx.is_empty() {
+                return 0.0;
+            }
+            idx.iter()
+                .filter(|i| analyzed.overpriv[**i].is_overprivileged())
+                .count() as f64
+                / idx.len() as f64
+        })
+        .collect();
+    // Most over-requested permissions across the corpus.
+    let mut unused_counts: HashMap<&'static str, usize> = HashMap::new();
+    let mut over_apps = 0usize;
+    for r in &analyzed.overpriv {
+        if r.is_overprivileged() {
+            over_apps += 1;
+            for p in &r.unused {
+                *unused_counts.entry(p.0).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut top_unused: Vec<(String, f64)> = unused_counts
+        .into_iter()
+        .map(|(p, n)| {
+            let short = p.rsplit('.').next().unwrap_or(p).to_owned();
+            (short, n as f64 / over_apps.max(1) as f64)
+        })
+        .collect();
+    top_unused.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    top_unused.truncate(6);
+    Fig11 {
+        google_play: shares(gp),
+        chinese: shares(cn),
+        per_market,
+        overprivileged_share,
+        top_unused,
+    }
+}
+
+impl Fig11 {
+    /// Over-privileged share of one market.
+    pub fn market_share(&self, m: MarketId) -> f64 {
+        self.overprivileged_share[m.index()]
+    }
+
+    /// Render Google Play against the Chinese-market box plots and the
+    /// top unused permissions.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["#Unused", "Google Play", "CN q1", "CN median", "CN q3"]);
+        for (i, b) in BUCKETS.iter().enumerate() {
+            let cn: Vec<f64> = MarketId::chinese()
+                .map(|m| self.per_market[m.index()][i])
+                .collect();
+            let bp = marketscope_metrics::BoxPlot::new(&cn).expect("16 markets");
+            t.row([
+                (*b).to_owned(),
+                pct(self.google_play[i]),
+                pct(bp.q1),
+                pct(bp.median),
+                pct(bp.q3),
+            ]);
+        }
+        let tops: Vec<String> = self
+            .top_unused
+            .iter()
+            .map(|(p, s)| format!("{p} {}", pct(*s)))
+            .collect();
+        format!(
+            "Figure 11: over-privileged apps (top unused: {})\n{}",
+            tops.join(", "),
+            t.render()
+        )
+    }
+}

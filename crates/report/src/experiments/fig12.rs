@@ -1,0 +1,84 @@
+//! Figure 12: distribution of the top malware families — Google Play
+//! versus the Chinese markets — via AVClass plurality labels.
+
+use crate::context::{Analyzed, MALWARE_AV_RANK};
+use marketscope_analysis::avclass::plurality_family;
+use marketscope_core::MarketId;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::{LabelledHistogram, Table};
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Family share among Google Play malware.
+    pub google_play: Vec<(String, f64)>,
+    /// Family share among Chinese-market malware.
+    pub chinese: Vec<(String, f64)>,
+}
+
+/// Label every malware sample and tally families per population.
+pub fn run(analyzed: &Analyzed, top: usize) -> Fig12 {
+    let tally = |filter: &dyn Fn(usize) -> bool| -> Vec<(String, f64)> {
+        let mut hist = LabelledHistogram::new();
+        let mut total = 0u64;
+        for i in 0..analyzed.apps.len() {
+            if analyzed.av_reports[i].rank < MALWARE_AV_RANK || !filter(i) {
+                continue;
+            }
+            if let Some(f) = plurality_family(&analyzed.av_reports[i].labels) {
+                hist.bump(&f);
+                total += 1;
+            }
+        }
+        hist.ranked()
+            .into_iter()
+            .take(top)
+            .map(|(f, n)| (f, n as f64 / total.max(1) as f64))
+            .collect()
+    };
+    let gp = tally(&|i| {
+        analyzed.apps[i]
+            .markets
+            .iter()
+            .any(|(m, _)| *m == MarketId::GooglePlay)
+    });
+    let cn = tally(&|i| analyzed.apps[i].markets.iter().any(|(m, _)| m.is_chinese()));
+    Fig12 {
+        google_play: gp,
+        chinese: cn,
+    }
+}
+
+impl Fig12 {
+    /// Share of a family among Chinese-market malware.
+    pub fn chinese_share(&self, family: &str) -> f64 {
+        self.chinese
+            .iter()
+            .find(|(f, _)| f == family)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// Share of a family among Google Play malware.
+    pub fn gp_share(&self, family: &str) -> f64 {
+        self.google_play
+            .iter()
+            .find(|(f, _)| f == family)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// Render both rankings side by side.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 12: top malware families\n");
+        for (title, list) in [
+            ("Google Play", &self.google_play),
+            ("Chinese markets", &self.chinese),
+        ] {
+            let mut t = Table::new(["Family", "Share"]);
+            for (f, s) in list {
+                t.row([f.clone(), pct(*s)]);
+            }
+            out.push_str(&format!("\n[{title}]\n{}", t.render()));
+        }
+        out
+    }
+}

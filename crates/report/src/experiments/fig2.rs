@@ -1,0 +1,74 @@
+//! Figure 2: distribution of downloads across markets (seven install
+//! buckets, normalized to Google Play's ranges).
+
+use marketscope_core::installs::InstallHistogram;
+use marketscope_core::{InstallRange, MarketId};
+use marketscope_crawler::Snapshot;
+use marketscope_metrics::powerlaw::top_share;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+
+/// Per-market bucket shares plus the concentration statistics the paper
+/// quotes in Section 4.2.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// `shares[market][bucket]`; all-zero when the store reports nothing.
+    pub shares: Vec<[f64; 7]>,
+    /// Share of total downloads held by the top 0.1% of apps, per market.
+    pub top_01pct_share: Vec<f64>,
+    /// Share held by the top 1%.
+    pub top_1pct_share: Vec<f64>,
+}
+
+/// Bucket every reported download counter.
+pub fn run(snapshot: &Snapshot) -> Fig2 {
+    let mut shares = Vec::with_capacity(17);
+    let mut top_01 = Vec::with_capacity(17);
+    let mut top_1 = Vec::with_capacity(17);
+    for &market in &MarketId::ALL {
+        let ms = snapshot.market(market);
+        let mut hist = InstallHistogram::new();
+        let mut values = Vec::new();
+        for l in &ms.listings {
+            if let Some(d) = l.downloads {
+                hist.record(d);
+                values.push(d);
+            }
+        }
+        shares.push(hist.shares());
+        top_01.push(top_share(&values, 0.001));
+        top_1.push(top_share(&values, 0.01));
+    }
+    Fig2 {
+        shares,
+        top_01pct_share: top_01,
+        top_1pct_share: top_1,
+    }
+}
+
+impl Fig2 {
+    /// Bucket share for one market.
+    pub fn share(&self, market: MarketId, range: InstallRange) -> f64 {
+        self.shares[market.index()][range.index()]
+    }
+
+    /// Render the matrix plus the concentration lines.
+    pub fn render(&self) -> String {
+        let mut header = vec!["Market".to_owned()];
+        header.extend(InstallRange::ALL.iter().map(|r| r.label().to_owned()));
+        header.push("top0.1%→dl".into());
+        let mut t = Table::new(header);
+        for m in MarketId::ALL {
+            let mut row = vec![m.name().to_owned()];
+            for r in InstallRange::ALL {
+                row.push(pct(self.share(m, r)));
+            }
+            row.push(pct(self.top_01pct_share[m.index()]));
+            t.row(row);
+        }
+        format!(
+            "Figure 2: distribution of downloads across markets\n{}",
+            t.render()
+        )
+    }
+}

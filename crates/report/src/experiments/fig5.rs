@@ -1,0 +1,90 @@
+//! Figure 5: presence of third-party libraries (a) and advertisement
+//! libraries (b) across app stores.
+
+use crate::context::{Analyzed, LabelSource};
+use marketscope_core::MarketId;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+
+/// One market's library statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// The market.
+    pub market: MarketId,
+    /// Share of apps embedding at least one detected library.
+    pub tpl_presence: f64,
+    /// Mean detected libraries per app.
+    pub avg_tpls: f64,
+    /// Share of apps embedding at least one ad library.
+    pub ad_presence: f64,
+    /// Mean ad libraries per app.
+    pub avg_ads: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Rows in market order.
+    pub rows: Vec<Fig5Row>,
+}
+
+/// Aggregate the per-app library lists per market.
+pub fn run(analyzed: &Analyzed, labels: &LabelSource) -> Fig5 {
+    let rows = MarketId::ALL
+        .iter()
+        .map(|&market| {
+            let (mut apps, mut with_tpl, mut tpl_total) = (0usize, 0usize, 0usize);
+            let (mut with_ad, mut ad_total) = (0usize, 0usize);
+            for i in analyzed.apps_in(market) {
+                apps += 1;
+                let libs = &analyzed.lib_report.per_app[i];
+                if !libs.is_empty() {
+                    with_tpl += 1;
+                }
+                tpl_total += libs.len();
+                let ads = libs
+                    .iter()
+                    .filter(|l| labels.ad_packages.contains(*l))
+                    .count();
+                if ads > 0 {
+                    with_ad += 1;
+                }
+                ad_total += ads;
+            }
+            let apps_f = apps.max(1) as f64;
+            Fig5Row {
+                market,
+                tpl_presence: with_tpl as f64 / apps_f,
+                avg_tpls: tpl_total as f64 / apps_f,
+                ad_presence: with_ad as f64 / apps_f,
+                avg_ads: ad_total as f64 / apps_f,
+            }
+        })
+        .collect();
+    Fig5 { rows }
+}
+
+impl Fig5 {
+    /// Row for one market.
+    pub fn row(&self, market: MarketId) -> &Fig5Row {
+        &self.rows[market.index()]
+    }
+
+    /// Render both panels.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["Market", "%TPL apps", "avg TPLs", "%Ad apps", "avg Ads"]);
+        for r in &self.rows {
+            t.row([
+                r.market.name().to_owned(),
+                pct(r.tpl_presence),
+                format!("{:.1}", r.avg_tpls),
+                pct(r.ad_presence),
+                format!("{:.2}", r.avg_ads),
+            ]);
+        }
+        format!(
+            "Figure 5: third-party and ad library presence\n{}",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 6: distribution of app ratings across markets.
+
+use marketscope_core::MarketId;
+use marketscope_crawler::Snapshot;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::{Cdf, Table};
+
+/// One market's rating distribution summary.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// The market.
+    pub market: MarketId,
+    /// Share of listings with rating 0 (never rated).
+    pub unrated_share: f64,
+    /// Share of listings rated above 4 (among all listings).
+    pub above_4_share: f64,
+    /// Share sitting in the suspicious 2.5–3.0 default band.
+    pub default_band_share: f64,
+    /// The full CDF (for plotting).
+    pub cdf: Cdf,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Rows in market order.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Summarize store ratings.
+pub fn run(snapshot: &Snapshot) -> Fig6 {
+    let rows = MarketId::ALL
+        .iter()
+        .map(|&market| {
+            let ratings: Vec<f64> = snapshot
+                .market(market)
+                .listings
+                .iter()
+                .map(|l| l.rating)
+                .collect();
+            let n = ratings.len().max(1) as f64;
+            let unrated = ratings.iter().filter(|r| **r == 0.0).count() as f64 / n;
+            let above4 = ratings.iter().filter(|r| **r > 4.0).count() as f64 / n;
+            let band = ratings.iter().filter(|r| (2.5..=3.0).contains(*r)).count() as f64 / n;
+            Fig6Row {
+                market,
+                unrated_share: unrated,
+                above_4_share: above4,
+                default_band_share: band,
+                cdf: Cdf::new(ratings),
+            }
+        })
+        .collect();
+    Fig6 { rows }
+}
+
+impl Fig6 {
+    /// Row for one market.
+    pub fn row(&self, market: MarketId) -> &Fig6Row {
+        &self.rows[market.index()]
+    }
+
+    /// Render the summary columns.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["Market", "%Unrated", "%>4.0", "%2.5–3.0", "Median"]);
+        for r in &self.rows {
+            t.row([
+                r.market.name().to_owned(),
+                pct(r.unrated_share),
+                pct(r.above_4_share),
+                pct(r.default_band_share),
+                format!("{:.1}", r.cdf.median().unwrap_or(0.0)),
+            ]);
+        }
+        format!("Figure 6: app rating distributions\n{}", t.render())
+    }
+}

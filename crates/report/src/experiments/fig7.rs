@@ -1,0 +1,99 @@
+//! Figure 7: CDF of the number of markets each developer publishes in,
+//! plus Section 5.1's developer-population splits.
+
+use crate::context::Analyzed;
+use marketscope_core::MarketId;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+use std::collections::{HashMap, HashSet};
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// `cdf[k-1]` = share of developers publishing in ≤ k markets.
+    pub cdf: [f64; 17],
+    /// Developers seen in all 17 markets.
+    pub in_all_markets: usize,
+    /// Share of developers present on Google Play.
+    pub on_google_play: f64,
+    /// Of the Google Play developers, the share absent from every
+    /// Chinese market (the paper's 57%).
+    pub gp_only_share: f64,
+    /// Share of developers publishing exclusively in Chinese markets.
+    pub chinese_only_share: f64,
+}
+
+/// Compute the developer market spread.
+pub fn run(analyzed: &Analyzed) -> Fig7 {
+    let mut dev_markets: HashMap<_, HashSet<MarketId>> = HashMap::new();
+    for app in &analyzed.apps {
+        let entry = dev_markets.entry(app.developer).or_default();
+        for (m, _) in &app.markets {
+            entry.insert(*m);
+        }
+    }
+    let total = dev_markets.len().max(1) as f64;
+    let mut counts = [0usize; 17];
+    let mut in_all = 0usize;
+    let (mut on_gp, mut gp_only, mut cn_only) = (0usize, 0usize, 0usize);
+    for markets in dev_markets.values() {
+        counts[markets.len() - 1] += 1;
+        if markets.len() == 17 {
+            in_all += 1;
+        }
+        let has_gp = markets.contains(&MarketId::GooglePlay);
+        let has_cn = markets.iter().any(|m| m.is_chinese());
+        if has_gp {
+            on_gp += 1;
+            if !has_cn {
+                gp_only += 1;
+            }
+        } else if has_cn {
+            cn_only += 1;
+        }
+    }
+    let mut cdf = [0.0; 17];
+    let mut acc = 0usize;
+    for (k, c) in counts.iter().enumerate() {
+        acc += c;
+        cdf[k] = acc as f64 / total;
+    }
+    Fig7 {
+        cdf,
+        in_all_markets: in_all,
+        on_google_play: on_gp as f64 / total,
+        gp_only_share: if on_gp == 0 {
+            0.0
+        } else {
+            gp_only as f64 / on_gp as f64
+        },
+        chinese_only_share: cn_only as f64 / total,
+    }
+}
+
+impl Fig7 {
+    /// Share of developers publishing in more than `k` markets.
+    pub fn share_above(&self, k: usize) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            1.0 - self.cdf[(k - 1).min(16)]
+        }
+    }
+
+    /// Render the CDF and the population splits.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["#Markets", "CDF"]);
+        for (k, v) in self.cdf.iter().enumerate() {
+            t.row([(k + 1).to_string(), pct(*v)]);
+        }
+        format!(
+            "Figure 7: developer market spread (on GP {}, GP-only {}, CN-only {}, in all 17: {})\n{}",
+            pct(self.on_google_play),
+            pct(self.gp_only_share),
+            pct(self.chinese_only_share),
+            self.in_all_markets,
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 8: three cluster CDFs — (a) versions per package cluster,
+//! (b) apps per identical display name, (c) developers per package
+//! cluster.
+
+use marketscope_crawler::Snapshot;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+use std::collections::{HashMap, HashSet};
+
+/// A discrete CDF over cluster sizes.
+#[derive(Debug, Clone, Default)]
+pub struct SizeCdf {
+    /// `(size, cumulative share)` in ascending size order.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl SizeCdf {
+    fn from_counts(counts: impl Iterator<Item = usize>) -> SizeCdf {
+        let mut tally: HashMap<usize, usize> = HashMap::new();
+        let mut total = 0usize;
+        for c in counts {
+            *tally.entry(c).or_insert(0) += 1;
+            total += 1;
+        }
+        let mut sizes: Vec<usize> = tally.keys().copied().collect();
+        sizes.sort_unstable();
+        let mut acc = 0usize;
+        let points = sizes
+            .into_iter()
+            .map(|s| {
+                acc += tally[&s];
+                (s, acc as f64 / total.max(1) as f64)
+            })
+            .collect();
+        SizeCdf { points }
+    }
+
+    /// Cumulative share at or below `size`.
+    pub fn at(&self, size: usize) -> f64 {
+        let mut last = 0.0;
+        for (s, v) in &self.points {
+            if *s > size {
+                break;
+            }
+            last = *v;
+        }
+        last
+    }
+
+    /// Largest observed size.
+    pub fn max_size(&self) -> usize {
+        self.points.last().map_or(0, |(s, _)| *s)
+    }
+}
+
+/// All three panels.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// (a) distinct version codes per `(package, developer)` cluster.
+    pub versions_per_cluster: SizeCdf,
+    /// (b) distinct packages per identical display name.
+    pub name_cluster_size: SizeCdf,
+    /// (c) distinct developer keys per package.
+    pub developers_per_package: SizeCdf,
+    /// Share of apps sharing their name with at least one other app
+    /// (the paper's ~22%).
+    pub shared_name_share: f64,
+    /// Share of packages signed by ≥2 developers (the paper's ~12%).
+    pub multi_developer_share: f64,
+}
+
+/// Compute the clusters from listing metadata and digests.
+pub fn run(snapshot: &Snapshot) -> Fig8 {
+    // (a) versions per (package, developer) across markets.
+    let mut versions: HashMap<(String, [u8; 20]), HashSet<u32>> = HashMap::new();
+    // (c) developers per package.
+    let mut devs: HashMap<String, HashSet<[u8; 20]>> = HashMap::new();
+    // (b) packages per label.
+    let mut names: HashMap<String, HashSet<String>> = HashMap::new();
+    for (_, listing) in snapshot.iter() {
+        names
+            .entry(listing.label.clone())
+            .or_default()
+            .insert(listing.package.clone());
+        if let Some(d) = &listing.digest {
+            versions
+                .entry((listing.package.clone(), d.developer.0))
+                .or_default()
+                .insert(d.version_code.0);
+            devs.entry(listing.package.clone())
+                .or_default()
+                .insert(d.developer.0);
+        }
+    }
+    let name_sizes: HashMap<&String, usize> =
+        names.iter().map(|(l, pkgs)| (l, pkgs.len())).collect();
+    // Share of apps (unique packages) in a >1 name cluster.
+    let mut in_shared = 0usize;
+    let mut total_pkgs = 0usize;
+    let mut seen: HashSet<&String> = HashSet::new();
+    for (label, pkgs) in &names {
+        for p in pkgs {
+            if seen.insert(p) {
+                total_pkgs += 1;
+                if name_sizes[label] > 1 {
+                    in_shared += 1;
+                }
+            }
+        }
+    }
+    let multi_dev =
+        devs.values().filter(|d| d.len() >= 2).count() as f64 / devs.len().max(1) as f64;
+    Fig8 {
+        versions_per_cluster: SizeCdf::from_counts(versions.values().map(HashSet::len)),
+        name_cluster_size: SizeCdf::from_counts(names.values().map(HashSet::len)),
+        developers_per_package: SizeCdf::from_counts(devs.values().map(HashSet::len)),
+        shared_name_share: in_shared as f64 / total_pkgs.max(1) as f64,
+        multi_developer_share: multi_dev,
+    }
+}
+
+impl Fig8 {
+    /// Render the three panels' key points.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["Panel", "size=1", "≤2", "≤5", "max"]);
+        for (name, cdf) in [
+            ("(a) versions/cluster", &self.versions_per_cluster),
+            ("(b) name cluster size", &self.name_cluster_size),
+            ("(c) devs/package", &self.developers_per_package),
+        ] {
+            t.row([
+                name.to_owned(),
+                pct(cdf.at(1)),
+                pct(cdf.at(2)),
+                pct(cdf.at(5)),
+                cdf.max_size().to_string(),
+            ]);
+        }
+        format!(
+            "Figure 8: cluster CDFs (shared-name apps {}, multi-developer packages {})\n{}",
+            pct(self.shared_name_share),
+            pct(self.multi_developer_share),
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 9: share of each market's copies carrying the highest version
+//! seen anywhere ("up-to-date"). Single-store apps are excluded by
+//! definition, and so are apps whose observed copies all agree on one
+//! version — only packages with *version skew across stores* can show a
+//! store lagging.
+
+use marketscope_core::MarketId;
+use marketscope_crawler::Snapshot;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+use std::collections::HashMap;
+
+/// Per-market up-to-date shares.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// `share[market]`; `None` when the market has no multi-store apps.
+    pub share: Vec<Option<f64>>,
+}
+
+/// Compare version codes across stores.
+pub fn run(snapshot: &Snapshot) -> Fig9 {
+    // Global version sets and store counts per package.
+    let mut versions: HashMap<&str, (u32, u32, usize)> = HashMap::new(); // (min, max, stores)
+    for (_, listing) in snapshot.iter() {
+        let e = versions.entry(&listing.package).or_insert((u32::MAX, 0, 0));
+        e.0 = e.0.min(listing.version_code);
+        e.1 = e.1.max(listing.version_code);
+        e.2 += 1;
+    }
+    let share = MarketId::ALL
+        .iter()
+        .map(|&market| {
+            let mut eligible = 0usize;
+            let mut current = 0usize;
+            for l in &snapshot.market(market).listings {
+                let (lo, hi, stores) = versions[l.package.as_str()];
+                if stores < 2 || lo == hi {
+                    continue; // single-store, or no cross-store skew
+                }
+                eligible += 1;
+                if l.version_code == hi {
+                    current += 1;
+                }
+            }
+            if eligible == 0 {
+                None
+            } else {
+                Some(current as f64 / eligible as f64)
+            }
+        })
+        .collect();
+    Fig9 { share }
+}
+
+impl Fig9 {
+    /// Up-to-date share for a market (0 when undefined).
+    pub fn market(&self, m: MarketId) -> f64 {
+        self.share[m.index()].unwrap_or(0.0)
+    }
+
+    /// Render sorted descending, as the paper plots it.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<(MarketId, f64)> = MarketId::ALL
+            .iter()
+            .map(|m| (*m, self.market(*m)))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut t = Table::new(["Market", "%Up-to-date"]);
+        for (m, s) in rows {
+            t.row([m.name().to_owned(), pct(s)]);
+        }
+        format!("Figure 9: app updates across markets\n{}", t.render())
+    }
+}

@@ -1,0 +1,47 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module   | Paper artifact                                   |
+//! |----------|--------------------------------------------------|
+//! | `table1` | Table 1 — dataset size & market features         |
+//! | `fig1`   | Figure 1 — app category distribution             |
+//! | `fig2`   | Figure 2 — download-range distribution           |
+//! | `fig3`   | Figure 3 — minimum API level distribution        |
+//! | `fig4`   | Figure 4 — release/update date distribution      |
+//! | `fig5`   | Figure 5 — third-party / ad library presence     |
+//! | `table2` | Table 2 — top-10 third-party libraries           |
+//! | `fig6`   | Figure 6 — app rating distributions              |
+//! | `fig7`   | Figure 7 — developer market-spread CDF           |
+//! | `fig8`   | Figure 8 — version / name / developer clusters   |
+//! | `fig9`   | Figure 9 — up-to-date share per market           |
+//! | `table3` | Table 3 — fake and cloned apps                   |
+//! | `fig10`  | Figure 10 — clone source→destination heatmap     |
+//! | `fig11`  | Figure 11 — over-privileged permission counts    |
+//! | `table4` | Table 4 — malware by AV-rank                     |
+//! | `table5` | Table 5 — top-10 malicious apps                  |
+//! | `fig12`  | Figure 12 — malware family distribution          |
+//! | `table6` | Table 6 — malware removal after 8 months         |
+//! | `fig13`  | Figure 13 — multi-dimensional radar comparison   |
+//! | `sec53_identity` | Section 5.3 — byte identity & store-introduced bias |
+//! | `sec64_repackaged` | Section 6.4 — repackaged-malware share   |
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sec53_identity;
+pub mod sec64_repackaged;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

@@ -1,0 +1,70 @@
+//! Section 6.4, "Repackaged Malware": merging the malware verdicts with
+//! the clone-detection results.
+//!
+//! The Android Genome Project (2011) found 86% of malware was repackaged;
+//! the paper re-measures on its 2017 corpus and finds only **38.3%** —
+//! repackaging is no longer the dominant distribution channel. This
+//! experiment reproduces that join.
+
+use crate::context::{Analyzed, MALWARE_AV_RANK};
+use marketscope_metrics::table::pct;
+
+/// The join result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sec64 {
+    /// Unique apps flagged as malware (AV-rank ≥ 10).
+    pub malware: usize,
+    /// ... of which are also in a clone relation (signature or code).
+    pub repackaged: usize,
+}
+
+/// Join AV verdicts with clone involvement.
+pub fn run(analyzed: &Analyzed) -> Sec64 {
+    let mut involved = vec![false; analyzed.apps.len()];
+    for p in &analyzed.code_pairs {
+        involved[p.a] = true;
+        involved[p.b] = true;
+    }
+    for (i, flagged) in analyzed.sig_report.flagged.iter().enumerate() {
+        if *flagged {
+            involved[i] = true;
+        }
+    }
+    let mut malware = 0usize;
+    let mut repackaged = 0usize;
+    for i in 0..analyzed.apps.len() {
+        if analyzed.av_reports[i].rank >= MALWARE_AV_RANK {
+            malware += 1;
+            if involved[i] {
+                repackaged += 1;
+            }
+        }
+    }
+    Sec64 {
+        malware,
+        repackaged,
+    }
+}
+
+impl Sec64 {
+    /// Share of malware that is repackaged.
+    pub fn share(&self) -> f64 {
+        if self.malware == 0 {
+            0.0
+        } else {
+            self.repackaged as f64 / self.malware as f64
+        }
+    }
+
+    /// Render the finding.
+    pub fn render(&self) -> String {
+        format!(
+            "Section 6.4: repackaged malware\n{} of {} malware samples ({}) are repackaged \
+             apps — repackaging is no longer the dominant distribution channel \
+             (Genome 2011: 86%; paper 2017: 38.3%)\n",
+            self.repackaged,
+            self.malware,
+            pct(self.share())
+        )
+    }
+}

@@ -1,0 +1,131 @@
+//! Table 1: dataset size and market features.
+//!
+//! Measured columns — catalog size, aggregated downloads, developer count
+//! and the share of developers unique to the market — come from the
+//! crawl; the qualitative feature columns (vetting, copyright checks,
+//! incentives) came from the paper's manual review of developer policies
+//! and are reprinted from the market profiles.
+
+use marketscope_core::{DeveloperKey, MarketId};
+use marketscope_crawler::Snapshot;
+use marketscope_ecosystem::profile;
+use marketscope_metrics::table::{count, pct};
+use marketscope_metrics::Table;
+use std::collections::{HashMap, HashSet};
+
+/// One market's measured row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The market.
+    pub market: MarketId,
+    /// Catalog size (listings crawled).
+    pub apps: usize,
+    /// Aggregated downloads (Google Play: sum of range lower bounds).
+    pub aggregated_downloads: u64,
+    /// Distinct developer signatures seen.
+    pub developers: usize,
+    /// Share of those signatures seen in no other market.
+    pub unique_developer_share: f64,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows in Table 1 order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Compute the measured columns from a snapshot.
+pub fn run(snapshot: &Snapshot) -> Table1 {
+    // Developer → set of markets (via harvested digests).
+    let mut dev_markets: HashMap<DeveloperKey, HashSet<MarketId>> = HashMap::new();
+    for (market, listing) in snapshot.iter() {
+        if let Some(d) = &listing.digest {
+            dev_markets.entry(d.developer).or_default().insert(market);
+        }
+    }
+    let rows = MarketId::ALL
+        .iter()
+        .map(|&market| {
+            let ms = snapshot.market(market);
+            let aggregated_downloads = ms.listings.iter().filter_map(|l| l.downloads).sum();
+            let devs: HashSet<DeveloperKey> = ms
+                .listings
+                .iter()
+                .filter_map(|l| l.digest.as_ref())
+                .map(|d| d.developer)
+                .collect();
+            let unique = devs
+                .iter()
+                .filter(|k| dev_markets.get(k).map_or(false, |s| s.len() == 1))
+                .count();
+            Table1Row {
+                market,
+                apps: ms.listings.len(),
+                aggregated_downloads,
+                developers: devs.len(),
+                unique_developer_share: if devs.is_empty() {
+                    0.0
+                } else {
+                    unique as f64 / devs.len() as f64
+                },
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Total listings (the paper's 6,267,247 analogue).
+    pub fn total_apps(&self) -> usize {
+        self.rows.iter().map(|r| r.apps).sum()
+    }
+
+    /// Render alongside the paper's qualitative feature columns.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "Market",
+            "Type",
+            "#Apps",
+            "Agg. Downloads",
+            "#Developers",
+            "%Unique Devs",
+            "Copyright",
+            "Vetting",
+            "Security",
+            "Vet. days",
+            "Quality",
+            "Privacy",
+            "Ads",
+            "IAP",
+        ]);
+        for r in &self.rows {
+            let p = profile(r.market);
+            t.row([
+                r.market.name().to_owned(),
+                format!("{:?}", r.market.kind()),
+                count(r.apps as u64),
+                count(r.aggregated_downloads),
+                count(r.developers as u64),
+                pct(r.unique_developer_share),
+                tick(p.copyright_check),
+                tick(p.app_vetting),
+                tick(p.security_check),
+                p.vetting_days.map_or("N/A".into(), |d| format!("{d:.0}")),
+                tick(p.quality_rating),
+                tick(p.privacy_policy),
+                tick(p.reports_ads),
+                tick(p.reports_iap),
+            ]);
+        }
+        format!("Table 1: dataset size and market features\n{}", t.render())
+    }
+}
+
+fn tick(b: bool) -> String {
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
+}

@@ -1,0 +1,104 @@
+//! Table 2: top-10 third-party libraries for Google Play apps and for
+//! Chinese-market apps, with usage percentages and labels.
+
+use crate::context::{Analyzed, LabelSource};
+use marketscope_core::MarketId;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+use std::collections::HashMap;
+
+/// One ranked library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibUsage {
+    /// Library root package.
+    pub package: String,
+    /// Functional label from the labelling source.
+    pub label: &'static str,
+    /// Share of the population's apps embedding it.
+    pub usage: f64,
+}
+
+/// Both halves of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Top libraries among Google Play apps.
+    pub google_play: Vec<LibUsage>,
+    /// Top libraries among Chinese-market apps.
+    pub chinese: Vec<LibUsage>,
+}
+
+/// Rank library usage within each population.
+pub fn run(analyzed: &Analyzed, labels: &LabelSource, top: usize) -> Table2 {
+    let rank = |indices: Vec<usize>| -> Vec<LibUsage> {
+        let apps = indices.len().max(1) as f64;
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for i in &indices {
+            for lib in &analyzed.lib_report.per_app[*i] {
+                *counts.entry(lib.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<LibUsage> = counts
+            .into_iter()
+            .map(|(package, n)| LibUsage {
+                label: labels.label(package),
+                usage: n as f64 / apps,
+                package: package.to_owned(),
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.usage
+                .partial_cmp(&a.usage)
+                .unwrap()
+                .then_with(|| a.package.cmp(&b.package))
+        });
+        ranked.truncate(top);
+        ranked
+    };
+    let gp: Vec<usize> = analyzed.apps_in(MarketId::GooglePlay).collect();
+    let cn: Vec<usize> = (0..analyzed.apps.len())
+        .filter(|i| {
+            analyzed.apps[*i]
+                .markets
+                .iter()
+                .any(|(m, _)| m.is_chinese())
+        })
+        .collect();
+    Table2 {
+        google_play: rank(gp),
+        chinese: rank(cn),
+    }
+}
+
+impl Table2 {
+    /// Usage of a package among Google Play apps (0 if outside the top).
+    pub fn gp_usage(&self, package: &str) -> f64 {
+        self.google_play
+            .iter()
+            .find(|l| l.package == package)
+            .map_or(0.0, |l| l.usage)
+    }
+
+    /// Usage of a package among Chinese-market apps.
+    pub fn cn_usage(&self, package: &str) -> f64 {
+        self.chinese
+            .iter()
+            .find(|l| l.package == package)
+            .map_or(0.0, |l| l.usage)
+    }
+
+    /// Render both halves.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table 2: top third-party libraries\n");
+        for (title, list) in [
+            ("Google Play", &self.google_play),
+            ("Chinese markets", &self.chinese),
+        ] {
+            let mut t = Table::new(["Package", "Type", "Usage"]);
+            for l in list {
+                t.row([l.package.clone(), l.label.to_owned(), pct(l.usage)]);
+            }
+            out.push_str(&format!("\n[{title}]\n{}", t.render()));
+        }
+        out
+    }
+}

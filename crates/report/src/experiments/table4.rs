@@ -1,0 +1,90 @@
+//! Table 4: percentage of apps labeled as malware per market, by AV-rank
+//! threshold (≥1, ≥10, ≥20).
+
+use crate::context::Analyzed;
+use marketscope_core::MarketId;
+use marketscope_metrics::table::pct;
+use marketscope_metrics::Table;
+
+/// One market's detection shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// The market.
+    pub market: MarketId,
+    /// Share flagged by ≥1 engine.
+    pub av1: f64,
+    /// Share flagged by ≥10 engines (the malware bar).
+    pub av10: f64,
+    /// Share flagged by ≥20 engines.
+    pub av20: f64,
+    /// Absolute count at ≥10.
+    pub malware_count: usize,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// Rows in market order.
+    pub rows: Vec<Table4Row>,
+}
+
+/// Threshold the shared AV scans per market.
+pub fn run(analyzed: &Analyzed) -> Table4 {
+    let rows = MarketId::ALL
+        .iter()
+        .map(|&market| {
+            let idx: Vec<usize> = analyzed.apps_in(market).collect();
+            let total = idx.len().max(1) as f64;
+            let at = |t: usize| {
+                idx.iter()
+                    .filter(|i| analyzed.av_reports[**i].rank >= t)
+                    .count()
+            };
+            Table4Row {
+                market,
+                av1: at(1) as f64 / total,
+                av10: at(10) as f64 / total,
+                av20: at(20) as f64 / total,
+                malware_count: at(10),
+            }
+        })
+        .collect();
+    Table4 { rows }
+}
+
+impl Table4 {
+    /// Row for one market.
+    pub fn row(&self, market: MarketId) -> &Table4Row {
+        &self.rows[market.index()]
+    }
+
+    /// Averages across markets (the paper's bottom row).
+    pub fn average(&self) -> (f64, f64, f64) {
+        let n = self.rows.len() as f64;
+        (
+            self.rows.iter().map(|r| r.av1).sum::<f64>() / n,
+            self.rows.iter().map(|r| r.av10).sum::<f64>() / n,
+            self.rows.iter().map(|r| r.av20).sum::<f64>() / n,
+        )
+    }
+
+    /// Render with the average row.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["Market", ">=1", ">=10", ">=20", "#>=10"]);
+        for r in &self.rows {
+            t.row([
+                r.market.name().to_owned(),
+                pct(r.av1),
+                pct(r.av10),
+                pct(r.av20),
+                r.malware_count.to_string(),
+            ]);
+        }
+        let (a, b, c) = self.average();
+        t.row(["Average".to_owned(), pct(a), pct(b), pct(c), String::new()]);
+        format!(
+            "Table 4: apps labeled as malware by AV-rank\n{}",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,74 @@
+//! Table 5: the top-10 malicious apps by AV-rank, with their AVClass
+//! family label and hosting markets.
+
+use crate::context::Analyzed;
+use marketscope_analysis::avclass::plurality_family;
+use marketscope_core::MarketId;
+use marketscope_metrics::Table;
+
+/// One ranked malicious app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Package name.
+    pub package: String,
+    /// AVClass plurality family.
+    pub family: Option<String>,
+    /// AV-rank.
+    pub rank: usize,
+    /// Markets hosting it.
+    pub markets: Vec<MarketId>,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// Top rows, rank-descending.
+    pub rows: Vec<Table5Row>,
+}
+
+/// Rank every scanned app.
+pub fn run(analyzed: &Analyzed, top: usize) -> Table5 {
+    let mut ranked: Vec<usize> = (0..analyzed.apps.len())
+        .filter(|i| analyzed.av_reports[*i].rank > 0)
+        .collect();
+    ranked.sort_by(|a, b| {
+        analyzed.av_reports[*b]
+            .rank
+            .cmp(&analyzed.av_reports[*a].rank)
+            .then_with(|| analyzed.apps[*a].package.cmp(&analyzed.apps[*b].package))
+    });
+    let rows = ranked
+        .into_iter()
+        .take(top)
+        .map(|i| {
+            let mut markets: Vec<MarketId> =
+                analyzed.apps[i].markets.iter().map(|(m, _)| *m).collect();
+            markets.sort_by_key(|m| m.index());
+            markets.dedup();
+            Table5Row {
+                package: analyzed.apps[i].package.clone(),
+                family: plurality_family(&analyzed.av_reports[i].labels),
+                rank: analyzed.av_reports[i].rank,
+                markets,
+            }
+        })
+        .collect();
+    Table5 { rows }
+}
+
+impl Table5 {
+    /// Render the ranking.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["Package (family)", "AV-Rank", "Markets"]);
+        for r in &self.rows {
+            let fam = r.family.as_deref().unwrap_or("?");
+            let markets: Vec<&str> = r.markets.iter().map(|m| m.name()).collect();
+            t.row([
+                format!("{} ({fam})", r.package),
+                r.rank.to_string(),
+                markets.join(", "),
+            ]);
+        }
+        format!("Table 5: top malicious apps by AV-rank\n{}", t.render())
+    }
+}

@@ -1,0 +1,23 @@
+//! # marketscope-report
+//!
+//! The experiment harness: given a crawled [`Snapshot`] (and, for the
+//! post-analysis, a second one), regenerate every table and figure of the
+//! paper's evaluation. Each experiment lives in its own module under
+//! [`experiments`] and both *renders* a human-readable artifact and
+//! returns structured numbers for assertions and benchmarking.
+//!
+//! The expensive shared work — deduplicating apps across markets, library
+//! detection, clone detection, fake detection, AV scanning,
+//! over-privilege analysis — happens once in [`Analyzed::compute`].
+//!
+//! [`Snapshot`]: marketscope_crawler::Snapshot
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod pipeline;
+
+pub use context::{Analyzed, LabelSource, UniqueApp};
+pub use pipeline::{run_campaign, Campaign, CampaignConfig};

@@ -1,0 +1,139 @@
+//! Play the role of an app developer (Section 2.1): build an APK, then
+//! try to publish it to every one of the 17 stores and compare their
+//! publication rules — copyright certificates, company-only policies,
+//! category restrictions, mandatory packers, size caps and vetting times.
+//!
+//! ```text
+//! cargo run --release --example publish_app
+//! ```
+
+use marketscope::apk::builder::ApkBuilder;
+use marketscope::apk::dex::{ClassDef, DexFile, MethodDef};
+use marketscope::apk::manifest::Manifest;
+use marketscope::core::json::Json;
+use marketscope::core::{DeveloperKey, MarketId, PackageName, VersionCode};
+use marketscope::ecosystem::{generate, Scale, WorldConfig};
+use marketscope::market::MarketFleet;
+use marketscope::net::http::{Method, Request};
+use marketscope::net::HttpClient;
+use std::sync::Arc;
+
+fn build_app(category: &str, jiagu: bool) -> Vec<u8> {
+    let manifest = Manifest {
+        package: PackageName::new("com.indie.megarunner").unwrap(),
+        version_code: VersionCode(1),
+        version_name: "1.0".into(),
+        min_sdk: 14,
+        target_sdk: 25,
+        app_label: "Mega Runner".into(),
+        permissions: vec!["android.permission.INTERNET".into()],
+        category: category.into(),
+    };
+    let mut classes = vec![ClassDef {
+        name: "Lcom/indie/megarunner/Main;".into(),
+        methods: vec![MethodDef {
+            api_calls: vec![],
+            code_hash: 0xC0FFEE,
+        }],
+    }];
+    if jiagu {
+        // 360 requires packing with Jiagubao before submission.
+        classes.push(ClassDef {
+            name: "Lcom/jiagu/StubLoader;".into(),
+            methods: vec![],
+        });
+    }
+    ApkBuilder::new(manifest, DexFile { classes })
+        .build(DeveloperKey::from_label("indie-dev"))
+        .unwrap()
+}
+
+fn submit(
+    client: &HttpClient,
+    addr: std::net::SocketAddr,
+    body: Vec<u8>,
+    certs: &[(&str, &str)],
+) -> String {
+    let mut req = Request::get("/upload");
+    req.method = Method::Post;
+    req.body = body;
+    for (k, v) in certs {
+        req.headers.insert((*k).to_owned(), (*v).to_owned());
+    }
+    match client.request(addr, &req) {
+        Ok(resp) => {
+            let doc =
+                Json::parse(std::str::from_utf8(&resp.body).unwrap_or("{}")).unwrap_or(Json::Null);
+            match doc.get("status").and_then(Json::as_str) {
+                Some("pending") => format!(
+                    "pending (vetting ≈ {} days)",
+                    doc.get("vetting_days")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                ),
+                Some("listed") => "listed immediately — no vetting".to_owned(),
+                Some("rejected") => format!(
+                    "REJECTED: {}",
+                    doc.get("reason").and_then(Json::as_str).unwrap_or("?")
+                ),
+                _ => "unexpected response".to_owned(),
+            }
+        }
+        Err(e) => format!("transport error: {e}"),
+    }
+}
+
+fn main() {
+    let world = Arc::new(generate(WorldConfig {
+        seed: 6,
+        scale: Scale { divisor: 60_000 },
+    }));
+    let fleet = MarketFleet::spawn(world).expect("fleet");
+    let client = HttpClient::new();
+
+    println!("=== first attempt: a games app, no certificates ===");
+    for m in [MarketId::TencentMyapp, MarketId::HiApk, MarketId::LenovoMm] {
+        let verdict = submit(&client, fleet.addr(m), build_app("Game", false), &[]);
+        println!("  {:<14} {verdict}", m.slug());
+    }
+
+    println!("\n=== second attempt: with a Software Copyright Certificate ===");
+    let certs = [("x-copyright-cert", "SCC-2017-0042")];
+    for m in MarketId::ALL {
+        let verdict = submit(&client, fleet.addr(m), build_app("Game", false), &certs);
+        println!("  {:<14} {verdict}", m.slug());
+    }
+
+    println!("\n=== fixing the rejections ===");
+    println!(
+        "  lenovo (as a company): {}",
+        submit(
+            &client,
+            fleet.addr(MarketId::LenovoMm),
+            build_app("Game", false),
+            &[
+                ("x-copyright-cert", "SCC-2017-0042"),
+                ("x-company-cert", "Indie Ltd.")
+            ],
+        )
+    );
+    println!(
+        "  oppo (as a theme app): {}",
+        submit(
+            &client,
+            fleet.addr(MarketId::OppoMarket),
+            build_app("Personalization", false),
+            &certs
+        )
+    );
+    println!(
+        "  360 (packed with Jiagubao): {}",
+        submit(
+            &client,
+            fleet.addr(MarketId::Market360),
+            build_app("Game", true),
+            &certs
+        )
+    );
+    fleet.stop();
+}

@@ -1,0 +1,88 @@
+//! Audit a single store the way Section 8 compares markets: pick one
+//! Chinese market, measure its misbehaviour surface against Google Play,
+//! and print a verdict card. Pass a market slug as the first argument
+//! (default: `pconline`).
+//!
+//! ```text
+//! cargo run --release --example store_audit -- tencent
+//! ```
+
+use marketscope::core::MarketId;
+use marketscope::report::experiments::{fig13, table3, table4, table6};
+use marketscope::report::{run_campaign, CampaignConfig};
+
+fn main() {
+    let slug = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pconline".to_owned());
+    let market: MarketId = slug.parse().unwrap_or_else(|_| {
+        eprintln!("unknown market {slug:?}; use one of:");
+        for m in MarketId::ALL {
+            eprintln!("  {}", m.slug());
+        }
+        std::process::exit(2);
+    });
+
+    let campaign = run_campaign(CampaignConfig {
+        seed: 2018,
+        ..CampaignConfig::default()
+    });
+    let t3 = table3::run(&campaign.analyzed);
+    let t4 = table4::run(&campaign.analyzed);
+    let t6 = table6::run(&campaign.analyzed, &campaign.second);
+
+    let gp = MarketId::GooglePlay;
+    println!("=== store audit: {} (vs Google Play) ===\n", market.name());
+    let rows = [
+        (
+            "malware (AV-rank ≥ 10)",
+            t4.row(market).av10,
+            t4.row(gp).av10,
+        ),
+        ("flagged at all (≥ 1)", t4.row(market).av1, t4.row(gp).av1),
+        ("fake apps", t3.row(market).fake, t3.row(gp).fake),
+        (
+            "signature clones",
+            t3.row(market).sig_clone,
+            t3.row(gp).sig_clone,
+        ),
+        (
+            "code clones",
+            t3.row(market).code_clone,
+            t3.row(gp).code_clone,
+        ),
+    ];
+    println!(
+        "{:<26} {:>10} {:>13}",
+        "metric",
+        market.slug(),
+        "googleplay"
+    );
+    for (name, ours, gps) in rows {
+        println!("{:<26} {:>9.2}% {:>12.2}%", name, ours * 100.0, gps * 100.0);
+    }
+
+    match (t6.market(market), t6.market(gp)) {
+        (Some(m), Some(g)) => println!(
+            "{:<26} {:>9.2}% {:>12.2}%",
+            "malware removed in 8 mo",
+            m.rate * 100.0,
+            g.rate * 100.0
+        ),
+        _ => println!("{:<26} {:>10}", "malware removed in 8 mo", "excluded"),
+    }
+
+    // The radar comparison (Figure 13) for broader context.
+    if fig13::COMPARED.contains(&market) {
+        println!(
+            "\n{}",
+            fig13::run(&campaign.analyzed, &campaign.snapshot).render()
+        );
+    }
+
+    let verdict = t4.row(market).av10 / t4.row(gp).av10.max(1e-9);
+    println!(
+        "\nverdict: {} hosts {verdict:.1}× Google Play's malware share",
+        market.name()
+    );
+}

@@ -1,0 +1,274 @@
+//! End-to-end pipeline test: generate → serve → crawl → analyze, then
+//! check the pipeline *recovered what was planted*, consulting ground
+//! truth only for validation.
+
+use marketscope::core::MarketId;
+use marketscope::ecosystem::{Provenance, Scale, ThreatTier};
+use marketscope::report::experiments as ex;
+use marketscope::report::{run_campaign, Campaign, CampaignConfig};
+use std::sync::OnceLock;
+
+fn campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        run_campaign(CampaignConfig {
+            seed: 0xE2E,
+            scale: Scale { divisor: 8_000 },
+            seed_share: 0.8,
+        })
+    })
+}
+
+#[test]
+fn crawl_covers_the_world() {
+    let c = campaign();
+    // Chinese markets are fully enumerable; GP via seeds+BFS+parallel search.
+    for m in MarketId::chinese() {
+        assert!(
+            c.snapshot.market(m).listings.len() >= c.world.market_listings(m).len(),
+            "{m} under-crawled"
+        );
+    }
+    let gp_cov = c.snapshot.market(MarketId::GooglePlay).listings.len() as f64
+        / c.world.market_listings(MarketId::GooglePlay).len() as f64;
+    assert!(gp_cov > 0.7, "GP coverage {gp_cov}");
+    // Most listings have APK digests; GP is rate-limited but backfilled.
+    let apk_share = c.snapshot.total_apks() as f64 / c.snapshot.total_listings() as f64;
+    assert!(apk_share > 0.85, "APK share {apk_share}");
+    assert!(c.snapshot.stats.rate_limited > 0);
+    assert!(c.snapshot.stats.apks_backfilled > 0);
+    assert_eq!(c.snapshot.stats.parse_failures, 0);
+}
+
+#[test]
+fn library_detection_recovers_planted_catalog() {
+    let c = campaign();
+    // Every Table 2 head library the generator planted heavily must be
+    // recovered by clustering (no oracle: pure feature recurrence).
+    for must in [
+        "com.google.android.gms",
+        "com.google.ads",
+        "com.umeng",
+        "com.tencent.mm",
+    ] {
+        assert!(
+            c.analyzed.lib_packages.contains(must),
+            "library {must} not detected"
+        );
+    }
+    // Version counting works: apps concentrate on a library's three
+    // most recent versions, all of which recur enough to be detected.
+    let gms = c
+        .analyzed
+        .lib_report
+        .libraries
+        .iter()
+        .find(|l| l.package == "com.google.android.gms")
+        .unwrap();
+    assert!(
+        (2..=3).contains(&gms.versions),
+        "gms versions {}",
+        gms.versions
+    );
+}
+
+#[test]
+fn clone_detection_finds_planted_clones() {
+    let c = campaign();
+    // Count planted code clones that made it into the crawl.
+    let planted: usize = c
+        .world
+        .apps
+        .iter()
+        .filter(|a| matches!(a.provenance, Provenance::CodeClone { .. }))
+        .count();
+    let mut found = 0usize;
+    let mut involved = vec![false; c.analyzed.clone_inputs.len()];
+    for p in &c.analyzed.code_pairs {
+        involved[p.a] = true;
+        involved[p.b] = true;
+    }
+    for (i, input) in c.analyzed.clone_inputs.iter().enumerate() {
+        let is_planted_clone = c.world.apps.iter().any(|a| {
+            matches!(a.provenance, Provenance::CodeClone { .. })
+                && a.package.as_str() == input.package
+        });
+        if is_planted_clone && involved[i] {
+            found += 1;
+        }
+    }
+    assert!(
+        found as f64 > planted as f64 * 0.6,
+        "recall too low: {found}/{planted} planted code clones recovered"
+    );
+}
+
+#[test]
+fn sig_clones_match_planted_packages() {
+    let c = campaign();
+    for app in &c.world.apps {
+        if let Provenance::SigClone { .. } = app.provenance {
+            // If the crawl saw both sides, the cluster must be flagged.
+            let keys: std::collections::HashSet<_> = c
+                .analyzed
+                .clone_inputs
+                .iter()
+                .filter(|i| i.package == app.package.as_str())
+                .map(|i| i.developer)
+                .collect();
+            if keys.len() >= 2 {
+                assert!(
+                    c.analyzed
+                        .sig_report
+                        .clusters
+                        .contains_key(app.package.as_str()),
+                    "sig cluster missed for {}",
+                    app.package
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn av_recovers_planted_infections() {
+    let c = campaign();
+    // For each crawled unique app, compare AV verdict to planted truth.
+    let mut tp = 0usize;
+    let mut fn_ = 0usize;
+    let mut fp = 0usize;
+    for (i, app) in c.analyzed.apps.iter().enumerate() {
+        let truth = c
+            .world
+            .apps
+            .iter()
+            .find(|a| {
+                a.package.as_str() == app.package
+                    && c.world.developer(a.developer).key == app.developer
+            })
+            .and_then(|a| a.infection);
+        let malicious_truth = truth.map_or(false, |inf| inf.tier != ThreatTier::Grayware);
+        let flagged = c.analyzed.av_reports[i].rank >= 10;
+        match (malicious_truth, flagged) {
+            (true, true) => tp += 1,
+            (true, false) => fn_ += 1,
+            (false, true) => fp += 1,
+            _ => {}
+        }
+    }
+    assert!(tp > 0, "no malware recovered at all");
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    assert!(recall > 0.8, "AV recall {recall} (tp {tp}, fn {fn_})");
+    assert!(fp <= tp / 5, "too many false positives: {fp} vs tp {tp}");
+}
+
+#[test]
+fn removal_measurement_is_consistent() {
+    let c = campaign();
+    let t6 = ex::table6::run(&c.analyzed, &c.second);
+    let gp = t6.market(MarketId::GooglePlay).expect("GP included");
+    // GP's flagged set is tiny at this scale (a handful of samples), so
+    // only the contrast is asserted here; paper_shape.rs checks the rate
+    // itself at a larger scale.
+    assert!(gp.rate > 0.3, "GP removal rate {}", gp.rate);
+    let pco = t6.market(MarketId::PcOnline).expect("PC Online included");
+    assert!(pco.rate < 0.15, "PC Online removal rate {}", pco.rate);
+    assert!(gp.rate > pco.rate);
+    assert!(
+        t6.market(MarketId::HiApk).is_none(),
+        "HiApk must be excluded"
+    );
+    assert!(
+        t6.market(MarketId::OppoMarket).is_none(),
+        "OPPO must be excluded"
+    );
+    for r in &t6.reports {
+        assert!(r.removed <= r.flagged, "{:?}", r);
+        assert!(r.gprm_removed <= r.gprm_overlap, "{:?}", r);
+    }
+}
+
+#[test]
+fn every_artifact_renders_nonempty() {
+    let c = campaign();
+    let renders = vec![
+        ex::table1::run(&c.snapshot).render(),
+        ex::fig1::run(&c.snapshot).render(),
+        ex::fig2::run(&c.snapshot).render(),
+        ex::fig3::run(&c.snapshot).render(),
+        ex::fig4::run(&c.snapshot).render(),
+        ex::fig5::run(&c.analyzed, &c.labels).render(),
+        ex::table2::run(&c.analyzed, &c.labels, 10).render(),
+        ex::fig6::run(&c.snapshot).render(),
+        ex::fig7::run(&c.analyzed).render(),
+        ex::fig8::run(&c.snapshot).render(),
+        ex::fig9::run(&c.snapshot).render(),
+        ex::table3::run(&c.analyzed).render(),
+        ex::fig10::run(&c.analyzed).render(),
+        ex::fig11::run(&c.analyzed).render(),
+        ex::table4::run(&c.analyzed).render(),
+        ex::table5::run(&c.analyzed, 10).render(),
+        ex::fig12::run(&c.analyzed, 15).render(),
+        ex::table6::run(&c.analyzed, &c.second).render(),
+        ex::fig13::run(&c.analyzed, &c.snapshot).render(),
+    ];
+    assert_eq!(renders.len(), 19, "all 19 paper artifacts");
+    for (i, r) in renders.iter().enumerate() {
+        assert!(r.lines().count() >= 3, "artifact {i} too small:\n{r}");
+    }
+}
+
+#[test]
+fn sec53_divergences_are_all_explained() {
+    let c = campaign();
+    let r = ex::sec53_identity::run(&c.snapshot);
+    assert!(r.multi_store_triples > 10, "too few multi-store triples");
+    // Every byte divergence must be attributable to channel files or
+    // store re-packing; an unexplained divergence would mean tampering
+    // the generator never planted.
+    assert_eq!(
+        r.cause(ex::sec53_identity::DivergenceCause::Unexplained),
+        0,
+        "unexplained divergences"
+    );
+    assert!(
+        r.cause(ex::sec53_identity::DivergenceCause::ChannelFiles) > 0,
+        "channel-file divergence missing"
+    );
+    assert_eq!(
+        r.byte_identical + r.total_diverging(),
+        r.multi_store_triples
+    );
+}
+
+#[test]
+fn sec64_repackaging_is_not_dominant() {
+    let c = campaign();
+    let r = ex::sec64_repackaged::run(&c.analyzed);
+    assert!(r.malware > 0);
+    // Well below Genome-2011's 86%, in the same regime as the paper's 38%.
+    assert!(r.share() < 0.70, "repackaged share {}", r.share());
+    assert!(r.share() > 0.10, "repackaged share {}", r.share());
+}
+
+#[test]
+fn second_crawl_is_a_subset() {
+    let c = campaign();
+    assert!(c.second.total_listings() < c.snapshot.total_listings());
+    for m in MarketId::chinese() {
+        let first: std::collections::HashSet<&str> = c
+            .snapshot
+            .market(m)
+            .listings
+            .iter()
+            .map(|l| l.package.as_str())
+            .collect();
+        for l in &c.second.market(m).listings {
+            assert!(
+                first.contains(l.package.as_str()),
+                "{m}: {} new in 2nd",
+                l.package
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! input, not just the golden path.
+
+use marketscope::apk::apicalls::{ApiCallId, API_DIMENSIONS};
+use marketscope::apk::builder::ApkBuilder;
+use marketscope::apk::dex::{ClassDef, DexFile, MethodDef};
+use marketscope::apk::digest::ApkDigest;
+use marketscope::apk::manifest::Manifest;
+use marketscope::apk::zip::ZipArchive;
+use marketscope::clonedetect::{normalized_manhattan, segment_overlap};
+use marketscope::core::json::Json;
+use marketscope::core::{DeveloperKey, PackageName, SimDate, VersionCode};
+use proptest::prelude::*;
+
+// ---------- generators ----------
+
+fn arb_package() -> impl Strategy<Value = String> {
+    (
+        "[a-z][a-z0-9_]{0,6}",
+        "[a-z][a-z0-9_]{0,6}",
+        "[a-z][a-z0-9_]{0,6}",
+    )
+        .prop_map(|(a, b, c)| format!("{a}.{b}.{c}"))
+}
+
+fn arb_method() -> impl Strategy<Value = MethodDef> {
+    (
+        proptest::collection::vec(0u32..API_DIMENSIONS, 0..6),
+        any::<u64>(),
+    )
+        .prop_map(|(calls, hash)| MethodDef {
+            api_calls: calls.into_iter().map(ApiCallId).collect(),
+            code_hash: hash,
+        })
+}
+
+fn arb_class() -> impl Strategy<Value = ClassDef> {
+    (
+        "[a-z][a-z0-9]{0,5}",
+        "[a-z][a-z0-9]{0,5}",
+        "[A-Z][a-zA-Z0-9]{0,6}",
+        proptest::collection::vec(arb_method(), 0..4),
+    )
+        .prop_map(|(p1, p2, cls, methods)| ClassDef {
+            name: format!("L{p1}/{p2}/{cls};"),
+            methods,
+        })
+}
+
+fn arb_manifest() -> impl Strategy<Value = Manifest> {
+    (
+        arb_package(),
+        1u32..500,
+        0u8..28,
+        proptest::collection::vec("android\\.permission\\.[A-Z_]{3,20}", 0..6),
+        "[ -~]{0,30}",
+    )
+        .prop_map(|(pkg, vc, sdk, perms, label)| Manifest {
+            package: PackageName::new(&pkg).expect("generated packages are valid"),
+            version_code: VersionCode(vc),
+            version_name: format!("{vc}.0"),
+            min_sdk: sdk.max(1),
+            target_sdk: sdk.max(1).saturating_add(5),
+            app_label: label,
+            permissions: perms,
+            category: "Tools".into(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- APK container ----------
+
+    #[test]
+    fn any_built_apk_parses_back(
+        manifest in arb_manifest(),
+        classes in proptest::collection::vec(arb_class(), 0..12),
+        dev in "[a-z0-9]{1,12}",
+        channel in proptest::option::of("[a-z]{1,10}"),
+    ) {
+        let dex = DexFile { classes };
+        let key = DeveloperKey::from_label(&dev);
+        let mut builder = ApkBuilder::new(manifest.clone(), dex.clone());
+        if let Some(ch) = &channel {
+            builder = builder.channel(ch, b"chan".to_vec());
+        }
+        let bytes = builder.build(key).unwrap();
+        let parsed = marketscope::apk::ParsedApk::parse(&bytes).unwrap();
+        prop_assert_eq!(&parsed.manifest, &manifest);
+        prop_assert_eq!(&parsed.dex, &dex);
+        prop_assert!(parsed.signature_valid);
+        prop_assert_eq!(parsed.developer(), key);
+        prop_assert_eq!(parsed.channels.len(), usize::from(channel.is_some()));
+        // The digest agrees with the parse.
+        let digest = ApkDigest::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&digest.package, &manifest.package);
+        prop_assert_eq!(digest.code_segments().count(), dex.method_count());
+    }
+
+    #[test]
+    fn apk_parser_never_panics_on_mutations(
+        manifest in arb_manifest(),
+        classes in proptest::collection::vec(arb_class(), 0..4),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let bytes = ApkBuilder::new(manifest, DexFile { classes })
+            .build(DeveloperKey::from_label("d"))
+            .unwrap();
+        let mut corrupted = bytes.clone();
+        for (pos, val) in flips {
+            let i = pos as usize % corrupted.len();
+            corrupted[i] ^= val;
+        }
+        // Must never panic; any Result is acceptable.
+        let _ = marketscope::apk::ParsedApk::parse(&corrupted);
+        let _ = ZipArchive::parse(&corrupted);
+    }
+
+    // ---------- JSON ----------
+
+    #[test]
+    fn json_strings_round_trip(s in "\\PC*") {
+        let doc = Json::Str(s.clone());
+        let wire = doc.to_string_compact();
+        prop_assert_eq!(Json::parse(&wire).unwrap(), doc);
+    }
+
+    #[test]
+    fn json_numbers_round_trip(i in any::<i64>()) {
+        let wire = Json::Int(i).to_string_compact();
+        prop_assert_eq!(Json::parse(&wire).unwrap(), Json::Int(i));
+    }
+
+    #[test]
+    fn json_parser_never_panics(input in "\\PC*") {
+        let _ = Json::parse(&input);
+    }
+
+    // ---------- clone metrics ----------
+
+    #[test]
+    fn manhattan_distance_is_a_semimetric(
+        a in proptest::collection::btree_map(0u32..2000, 1u32..50, 0..40),
+        b in proptest::collection::btree_map(0u32..2000, 1u32..50, 0..40),
+    ) {
+        let va: Vec<(u32, u32)> = a.into_iter().collect();
+        let vb: Vec<(u32, u32)> = b.into_iter().collect();
+        let dab = normalized_manhattan(&va, &vb);
+        let dba = normalized_manhattan(&vb, &va);
+        prop_assert!((dab - dba).abs() < 1e-12, "asymmetric: {dab} vs {dba}");
+        prop_assert!((0.0..=1.0).contains(&dab), "out of range: {dab}");
+        prop_assert!(normalized_manhattan(&va, &va) == 0.0 || va.is_empty());
+    }
+
+    #[test]
+    fn segment_overlap_is_bounded_and_symmetric(
+        a in proptest::collection::vec(any::<u64>(), 0..60),
+        b in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let mut a = a; a.sort_unstable();
+        let mut b = b; b.sort_unstable();
+        let sab = segment_overlap(&a, &b);
+        let sba = segment_overlap(&b, &a);
+        prop_assert!((sab - sba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&sab));
+        if !a.is_empty() {
+            prop_assert_eq!(segment_overlap(&a, &a), 1.0);
+        }
+    }
+
+    // ---------- dates ----------
+
+    #[test]
+    fn simdate_roundtrips_through_strings(days in -14000i64..60000) {
+        let d = SimDate::from_days(days).unwrap();
+        let s = d.to_string();
+        let back: SimDate = s.parse().unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    // ---------- install ranges ----------
+
+    #[test]
+    fn install_range_string_parses_to_lower_bound(v in any::<u64>()) {
+        use marketscope::core::InstallRange;
+        let r = InstallRange::from_count(v);
+        prop_assert!(v >= r.lower_bound());
+        if let Some(hi) = r.upper_bound() {
+            prop_assert!(v < hi);
+        }
+    }
+}
+
+// ---------- deterministic cross-crate invariants ----------
+
+#[test]
+fn world_generation_is_reproducible_across_processes_shape() {
+    use marketscope::ecosystem::{generate, Scale, WorldConfig};
+    // Byte-stable across two in-process generations (the cross-process
+    // guarantee follows from no ambient state: no clock, no OS RNG).
+    let a = generate(WorldConfig {
+        seed: 1234,
+        scale: Scale { divisor: 30_000 },
+    });
+    let b = generate(WorldConfig {
+        seed: 1234,
+        scale: Scale { divisor: 30_000 },
+    });
+    assert_eq!(a.listing_count(), b.listing_count());
+    for (x, y) in a.apps.iter().zip(&b.apps) {
+        assert_eq!(x.package, y.package);
+        assert_eq!(x.declared_permissions, y.declared_permissions);
+    }
+    let ax = a.build_apk(marketscope::ecosystem::AppId(3), 1, false);
+    let bx = b.build_apk(marketscope::ecosystem::AppId(3), 1, false);
+    assert_eq!(ax, bx);
+}
+
+#[test]
+fn different_seeds_produce_different_worlds() {
+    use marketscope::ecosystem::{generate, Scale, WorldConfig};
+    let a = generate(WorldConfig {
+        seed: 1,
+        scale: Scale { divisor: 30_000 },
+    });
+    let b = generate(WorldConfig {
+        seed: 2,
+        scale: Scale { divisor: 30_000 },
+    });
+    let pa: Vec<&str> = a.apps.iter().take(20).map(|x| x.package.as_str()).collect();
+    let pb: Vec<&str> = b.apps.iter().take(20).map(|x| x.package.as_str()).collect();
+    assert_ne!(pa, pb);
+}
