@@ -87,7 +87,7 @@ impl AvSimulator {
         // Detectability from the variant marker; fall back to a value
         // implied by how many signatures are present.
         let detectability =
-            decode_detectability(&hashes).unwrap_or_else(|| 0.05 + 0.03 * sig_count as f64);
+            decode_detectability(&hashes).unwrap_or(0.05 + 0.03 * sig_count as f64);
         let fam = self.db.family(family);
         let variant_key = mix64(fnv1a64(fam.name.as_bytes()), md5_key(digest));
         let mut rank = 0;

@@ -38,7 +38,7 @@ pub fn campaign() -> &'static Campaign {
         run_campaign(CampaignConfig {
             seed: 0xBE7C_4,
             scale: bench_scale(),
-            seed_share: 0.75,
+            ..CampaignConfig::default()
         })
     })
 }

@@ -341,7 +341,7 @@ impl CloneDetector {
                 }
             }
         }
-        out.sort_by(|x, y| (x.a, x.b).cmp(&(y.a, y.b)));
+        out.sort_by_key(|x| (x.a, x.b));
         out
     }
 

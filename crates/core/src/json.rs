@@ -444,7 +444,7 @@ impl<'a> Parser<'a> {
 
     fn number(&mut self) -> Result<Json, CoreError> {
         let start = self.pos;
-        if self.eat(b'-') {}
+        self.eat(b'-');
         // Integer part: '0' alone or nonzero digit run.
         match self.peek() {
             Some(b'0') => {

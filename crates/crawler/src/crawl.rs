@@ -3,13 +3,15 @@
 use crate::snapshot::{CrawlStats, CrawledListing, MarketSnapshot, Snapshot};
 use marketscope_apk::digest::ApkDigest;
 use marketscope_core::MarketId;
-use marketscope_net::client::{ClientConfig, HttpClient};
-use marketscope_net::ratelimit::TokenBucket;
+use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
+use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::NetError;
+use marketscope_telemetry::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Where to crawl: one address per market, plus the offline repository.
 #[derive(Debug, Clone)]
@@ -59,44 +61,127 @@ impl Default for CrawlConfig {
     }
 }
 
+/// Burst allowance for a politeness bucket running at `rps`
+/// requests/second: a quarter-second of budget, floored at one token.
+///
+/// The floor matters: [`TokenBucket::new`] rejects zero-capacity buckets,
+/// and any `rps < 4.0` would otherwise truncate to a zero burst. With the
+/// floor, sub-1 rps configurations (e.g. one request every ten seconds)
+/// still get exactly one token of burst and are governed purely by the
+/// refill rate; fast configurations get `ceil(rps / 4)` so the
+/// steady-state rate, not the burst, dominates.
+pub fn politeness_burst(rps: f64) -> u32 {
+    (rps / 4.0).ceil().max(1.0) as u32
+}
+
+/// Per-market crawl instruments (names under `marketscope_crawler_*`,
+/// one `market=<slug>` label per market).
+#[derive(Debug)]
+struct MarketMetrics {
+    /// `marketscope_crawler_listings_fetched_total`
+    listings: Arc<Counter>,
+    /// `marketscope_crawler_apks_harvested_total`
+    apks: Arc<Counter>,
+    /// `marketscope_crawler_dedup_hits_total` (BFS frontier re-visits)
+    dedup_hits: Arc<Counter>,
+    /// `marketscope_crawler_bfs_queue_depth` (live frontier size)
+    queue_depth: Arc<Gauge>,
+}
+
+impl MarketMetrics {
+    fn register(registry: &Registry, market: MarketId) -> MarketMetrics {
+        let labels = [("market", market.slug())];
+        MarketMetrics {
+            listings: registry.counter("marketscope_crawler_listings_fetched_total", &labels),
+            apks: registry.counter("marketscope_crawler_apks_harvested_total", &labels),
+            dedup_hits: registry.counter("marketscope_crawler_dedup_hits_total", &labels),
+            queue_depth: registry.gauge("marketscope_crawler_bfs_queue_depth", &labels),
+        }
+    }
+}
+
 /// The crawler: a shared HTTP client plus configuration.
 pub struct Crawler {
     config: CrawlConfig,
     client: Arc<HttpClient>,
     /// One politeness bucket per market (when politeness is on).
     buckets: Option<Vec<TokenBucket>>,
+    /// Telemetry registry every crawler instrument lives in.
+    registry: Arc<Registry>,
+    /// Per-market instruments, in [`MarketId::ALL`] order.
+    metrics: Vec<MarketMetrics>,
 }
 
 impl Crawler {
-    /// A crawler with the given configuration.
+    /// A crawler with the given configuration and a private telemetry
+    /// registry (see [`Crawler::registry`]).
     pub fn new(config: CrawlConfig) -> Crawler {
+        Crawler::with_registry(config, Arc::new(Registry::new()))
+    }
+
+    /// A crawler whose instruments are registered in `registry` — pass a
+    /// shared registry to scrape crawler progress alongside other
+    /// components.
+    pub fn with_registry(config: CrawlConfig, registry: Arc<Registry>) -> Crawler {
         let buckets = config.politeness_rps.map(|rps| {
-            // Small burst allowance (a quarter second of budget) so the
-            // steady-state rate, not the burst, dominates.
-            let burst = (rps / 4.0).ceil().max(1.0) as u32;
             MarketId::ALL
                 .iter()
-                .map(|_| TokenBucket::new(burst, rps))
+                .map(|m| {
+                    TokenBucket::instrumented(
+                        politeness_burst(rps),
+                        rps,
+                        RateLimitMetrics::register(
+                            &registry,
+                            &[("limiter", "politeness"), ("market", m.slug())],
+                        ),
+                    )
+                })
                 .collect()
         });
+        let metrics = MarketId::ALL
+            .iter()
+            .map(|m| MarketMetrics::register(&registry, *m))
+            .collect();
+        let client_metrics = ClientMetrics::register(&registry, &[]);
         Crawler {
             config,
-            client: Arc::new(HttpClient::with_config(ClientConfig {
-                pool_per_host: 4,
-                ..ClientConfig::default()
-            })),
+            client: Arc::new(HttpClient::with_metrics(
+                ClientConfig {
+                    pool_per_host: 4,
+                    ..ClientConfig::default()
+                },
+                client_metrics,
+            )),
             buckets,
+            registry,
+            metrics,
         }
     }
 
+    /// The registry holding this crawler's instruments: per-market
+    /// listing/APK/dedup counters, BFS queue depth, politeness-bucket
+    /// grants and waits, and HTTP client latency/retries/errors.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Block until the politeness budget allows another request to
-    /// `market` (no-op when politeness is off).
+    /// `market` (no-op when politeness is off). Time actually spent
+    /// blocked is recorded on the market's rate-limit instruments.
     fn polite(&self, market: MarketId) {
         let Some(buckets) = &self.buckets else { return };
         let bucket = &buckets[market.index()];
-        while !bucket.try_acquire() {
-            std::thread::sleep(bucket.wait_hint().min(std::time::Duration::from_millis(25)));
+        if bucket.try_acquire() {
+            return;
         }
+        let started = Instant::now();
+        loop {
+            std::thread::sleep(bucket.wait_hint().min(std::time::Duration::from_millis(25)));
+            if bucket.try_acquire() {
+                break;
+            }
+        }
+        bucket.note_wait(started.elapsed());
     }
 
     /// Run a full crawl campaign against `targets`.
@@ -138,6 +223,7 @@ impl Crawler {
                     let stats = Arc::clone(&stats);
                     let client = Arc::clone(&self.client);
                     let global = &global;
+                    let metrics = &self.metrics[snapshot.market.index()];
                     s.spawn(move || {
                         let have: HashSet<String> = snapshot
                             .listings
@@ -149,7 +235,9 @@ impl Crawler {
                             if have.contains(pkg) {
                                 continue;
                             }
-                            if let Some(listing) = fetch_metadata(&client, addr, pkg, &stats) {
+                            if let Some(listing) =
+                                fetch_metadata(&client, addr, pkg, &stats, &metrics.listings)
+                            {
                                 snapshot.listings.push(listing);
                                 stats.lock().parallel_search_hits += 1;
                             }
@@ -192,7 +280,7 @@ impl Crawler {
     ) -> MarketSnapshot {
         let addr = targets.addr(market);
         let packages = if self.config.bfs_markets.contains(&market) {
-            self.bfs_enumerate(addr, client, stats)
+            self.bfs_enumerate(market, addr, client)
         } else {
             self.index_enumerate(addr, client)
         };
@@ -202,7 +290,8 @@ impl Crawler {
                 break;
             }
             self.polite(market);
-            if let Some(listing) = fetch_metadata(client, addr, &pkg, stats) {
+            let listings_fetched = &self.metrics[market.index()].listings;
+            if let Some(listing) = fetch_metadata(client, addr, &pkg, stats, listings_fetched) {
                 listings.push(listing);
             }
         }
@@ -213,10 +302,7 @@ impl Crawler {
     fn index_enumerate(&self, addr: SocketAddr, client: &HttpClient) -> Vec<String> {
         let mut out = Vec::new();
         let mut page = 0u64;
-        loop {
-            let Ok(doc) = client.get_json(addr, &format!("/index?page={page}")) else {
-                break;
-            };
+        while let Ok(doc) = client.get_json(addr, &format!("/index?page={page}")) {
             let Some(packages) = doc.get("packages").and_then(|p| p.as_arr()) else {
                 break;
             };
@@ -234,17 +320,15 @@ impl Crawler {
     }
 
     /// Seed + BFS enumeration: expand through `/related/{pkg}`.
-    fn bfs_enumerate(
-        &self,
-        addr: SocketAddr,
-        client: &HttpClient,
-        _stats: &Mutex<CrawlStats>,
-    ) -> Vec<String> {
+    fn bfs_enumerate(&self, market: MarketId, addr: SocketAddr, client: &HttpClient) -> Vec<String> {
+        let metrics = &self.metrics[market.index()];
         let mut visited: HashSet<String> = HashSet::new();
         let mut found = Vec::new();
         let mut frontier: VecDeque<String> = self.config.seeds.iter().cloned().collect();
         while let Some(pkg) = frontier.pop_front() {
+            metrics.queue_depth.set(frontier.len() as i64);
             if !visited.insert(pkg.clone()) {
+                metrics.dedup_hits.inc();
                 continue;
             }
             // Confirm the package exists in this market.
@@ -264,6 +348,7 @@ impl Crawler {
                 }
             }
         }
+        metrics.queue_depth.set(0);
         found
     }
 
@@ -275,6 +360,7 @@ impl Crawler {
         stats: &Mutex<CrawlStats>,
     ) {
         let addr = targets.addr(snapshot.market);
+        let metrics = &self.metrics[snapshot.market.index()];
         for listing in &mut snapshot.listings {
             self.polite(snapshot.market);
             let path = format!("/apk/{}", listing.package);
@@ -300,10 +386,13 @@ impl Crawler {
                 Err(_) => None,
             };
             match bytes {
-                Some(bytes) => match ApkDigest::from_bytes(&bytes) {
-                    Ok(digest) => listing.digest = Some(digest),
-                    Err(_) => stats.lock().parse_failures += 1,
-                },
+                Some(bytes) => {
+                    metrics.apks.inc();
+                    match ApkDigest::from_bytes(&bytes) {
+                        Ok(digest) => listing.digest = Some(digest),
+                        Err(_) => stats.lock().parse_failures += 1,
+                    }
+                }
                 None => stats.lock().apks_missing += 1,
             }
         }
@@ -315,8 +404,66 @@ fn fetch_metadata(
     addr: SocketAddr,
     package: &str,
     stats: &Mutex<CrawlStats>,
+    listings_fetched: &Counter,
 ) -> Option<CrawledListing> {
     let doc = client.get_json(addr, &format!("/app/{package}")).ok()?;
     stats.lock().metadata_fetched += 1;
+    listings_fetched.inc();
     CrawledListing::from_metadata(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn politeness_burst_is_quarter_second_of_budget() {
+        assert_eq!(politeness_burst(8.0), 2);
+        assert_eq!(politeness_burst(100.0), 25);
+        // Non-multiples round up, never down.
+        assert_eq!(politeness_burst(9.0), 3);
+    }
+
+    #[test]
+    fn politeness_burst_never_drops_below_one_token() {
+        // rps < 4 truncates to zero without the floor; TokenBucket::new
+        // panics on zero capacity, so these must all stay at 1.
+        assert_eq!(politeness_burst(4.0), 1);
+        assert_eq!(politeness_burst(1.0), 1);
+        assert_eq!(politeness_burst(0.1), 1);
+        // ...and the bucket construction they feed must not panic.
+        let _ = TokenBucket::new(politeness_burst(0.1), 0.1);
+    }
+
+    #[test]
+    fn slow_politeness_config_builds_a_crawler() {
+        // Regression: sub-1 rps politeness used to be one `ceil` away from
+        // a zero-capacity bucket panic.
+        let crawler = Crawler::new(CrawlConfig {
+            politeness_rps: Some(0.5),
+            ..CrawlConfig::default()
+        });
+        assert!(crawler.buckets.as_ref().map(Vec::len) == Some(MarketId::ALL.len()));
+    }
+
+    #[test]
+    fn crawler_registers_per_market_instruments() {
+        let crawler = Crawler::new(CrawlConfig::default());
+        crawler.metrics[0].listings.inc();
+        let snap = crawler.registry().snapshot();
+        let slug = MarketId::ALL[0].slug();
+        assert_eq!(
+            snap.counter_value(
+                "marketscope_crawler_listings_fetched_total",
+                &[("market", slug)]
+            ),
+            Some(1)
+        );
+        // Every market got its own instrument set.
+        assert_eq!(
+            snap.label_values("market").len(),
+            MarketId::ALL.len(),
+            "one market label per market"
+        );
+    }
 }

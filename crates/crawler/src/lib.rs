@@ -22,12 +22,21 @@
 //!
 //! The crawler knows nothing about the synthetic world: it speaks HTTP to
 //! whatever addresses it is given and parses whatever bytes come back.
+//!
+//! Every crawl is instrumented through `marketscope-telemetry`: per-market
+//! listing/APK/dedup counters, BFS queue depth, politeness-bucket waits,
+//! and HTTP client latency all land in the crawler's
+//! [`Registry`](marketscope_telemetry::Registry) (shareable via
+//! [`Crawler::with_registry`]), and [`CrawlProgress`] turns that registry
+//! into structured per-market progress lines while a crawl runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crawl;
+pub mod progress;
 pub mod snapshot;
 
-pub use crawl::{CrawlConfig, CrawlTargets, Crawler};
+pub use crawl::{politeness_burst, CrawlConfig, CrawlTargets, Crawler};
+pub use progress::{progress_lines, CrawlProgress};
 pub use snapshot::{CrawlStats, CrawledListing, MarketSnapshot, Snapshot};

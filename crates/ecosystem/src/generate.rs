@@ -329,10 +329,10 @@ impl Generator {
             let weights: Vec<f64> = MarketId::ALL
                 .iter()
                 .map(|m| {
-                    if set.contains(m) || remaining[m.index()] == 0 {
+                    // GP inclusion was decided above, so it is excluded
+                    // here alongside exhausted and already-chosen markets.
+                    if set.contains(m) || remaining[m.index()] == 0 || *m == MarketId::GooglePlay {
                         0.0
-                    } else if *m == MarketId::GooglePlay {
-                        0.0 // GP inclusion decided above
                     } else {
                         remaining[m.index()] as f64
                     }
@@ -1109,7 +1109,7 @@ impl Generator {
             .iter()
             .map(|(_, a)| *a)
             .filter(|a| {
-                app_markets.get(a).map_or(false, |ms| {
+                app_markets.get(a).is_some_and(|ms| {
                     ms.iter()
                         .all(|m2| *m2 == m_self || profile(*m2).av10_rate >= 0.08)
                         && ms.len() >= 2

@@ -84,7 +84,8 @@ fn group(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        let remaining = s.len() - i;
+        if i > 0 && remaining % 3 == 0 {
             out.push(',');
         }
         out.push(c);

@@ -4,30 +4,49 @@ use crate::repository::AndroZooServer;
 use crate::server::{CrawlPhase, MarketServer};
 use marketscope_core::MarketId;
 use marketscope_ecosystem::World;
+use marketscope_telemetry::Registry;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// All 17 market servers plus the AndroZoo repository, bound to ephemeral
 /// loopback ports.
+///
+/// The whole fleet shares one telemetry [`Registry`]: every server's
+/// request counters, latency histograms and rate-limiter instruments
+/// carry a `market="<slug>"` label, and any market's `GET /__metrics`
+/// endpoint serves the combined fleet exposition.
 pub struct MarketFleet {
     servers: Vec<MarketServer>,
     repository: AndroZooServer,
     world: Arc<World>,
+    registry: Arc<Registry>,
 }
 
 impl MarketFleet {
     /// Spawn the whole fleet over a world.
     pub fn spawn(world: Arc<World>) -> Result<MarketFleet, marketscope_net::NetError> {
+        let registry = Arc::new(Registry::new());
         let mut servers = Vec::with_capacity(17);
         for m in MarketId::ALL {
-            servers.push(MarketServer::spawn(Arc::clone(&world), m)?);
+            servers.push(MarketServer::spawn_with_registry(
+                Arc::clone(&world),
+                m,
+                Arc::clone(&registry),
+            )?);
         }
-        let repository = AndroZooServer::spawn(Arc::clone(&world))?;
+        let repository =
+            AndroZooServer::spawn_with_registry(Arc::clone(&world), Arc::clone(&registry))?;
         Ok(MarketFleet {
             servers,
             repository,
             world,
+            registry,
         })
+    }
+
+    /// The registry shared by every server in the fleet.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Address of one market's server.
@@ -95,6 +114,46 @@ mod tests {
         }
         assert!(fleet.total_requests() >= 17);
         fleet.stop();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_fleet_exposition() {
+        let w = Arc::new(generate(WorldConfig {
+            seed: 5,
+            scale: Scale { divisor: 60_000 },
+        }));
+        let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
+        let client = HttpClient::new();
+        // Generate some traffic on two markets.
+        let gp = MarketId::GooglePlay;
+        let huawei = MarketId::HuaweiMarket;
+        client.get_json(fleet.addr(gp), "/index").unwrap();
+        client.get_json(fleet.addr(huawei), "/index").unwrap();
+
+        // Any market's /__metrics serves the combined registry.
+        let resp = client.get(fleet.addr(gp), "/__metrics").unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        let samples = marketscope_telemetry::parse(&text).unwrap();
+        assert!(!samples.is_empty());
+        for slug in [gp.slug(), huawei.slug()] {
+            assert!(
+                samples.iter().any(|s| {
+                    s.name == "marketscope_net_requests_total"
+                        && s.labels.iter().any(|(k, v)| k == "market" && v == slug)
+                        && s.value >= 1.0
+                }),
+                "no request counter for {slug} in exposition"
+            );
+        }
+        // The exposition matches the in-process registry's view.
+        let snap = fleet.registry().snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "marketscope_net_requests_total",
+                &[("market", huawei.slug())]
+            ),
+            Some(1)
+        );
     }
 
     #[test]

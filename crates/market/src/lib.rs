@@ -16,6 +16,11 @@
 //! * a **second-crawl phase** switch hides listings removed between the
 //!   paper's August 2017 and April 2018 campaigns (Section 7).
 //!
+//! The fleet shares one `marketscope-telemetry` registry: per-market
+//! request/status counters, handler-latency histograms and the Google
+//! Play APK limiter's grant/rejection counts, all scrapeable from any
+//! server's `GET /__metrics` endpoint.
+//!
 //! [`World`]: marketscope_ecosystem::World
 
 #![forbid(unsafe_code)]

@@ -13,7 +13,8 @@ use marketscope_core::MarketId;
 use marketscope_ecosystem::{ListingId, World};
 use marketscope_net::http::{Response, Status};
 use marketscope_net::router::Router;
-use marketscope_net::server::{HttpServer, ServerHandle};
+use marketscope_net::server::{HttpServer, ServerHandle, ServerMetrics};
+use marketscope_telemetry::Registry;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -30,6 +31,15 @@ pub struct AndroZooServer {
 impl AndroZooServer {
     /// Spawn the repository over `world`'s Google Play catalog.
     pub fn spawn(world: Arc<World>) -> Result<AndroZooServer, marketscope_net::NetError> {
+        AndroZooServer::spawn_with_registry(world, Arc::new(Registry::new()))
+    }
+
+    /// Spawn the repository with its request instruments registered in
+    /// `registry` under `market="androzoo"`.
+    pub fn spawn_with_registry(
+        world: Arc<World>,
+        registry: Arc<Registry>,
+    ) -> Result<AndroZooServer, marketscope_net::NetError> {
         let mut index: HashMap<String, ListingId> = HashMap::new();
         for id in world.market_listings(MarketId::GooglePlay) {
             let listing = world.listing(*id);
@@ -59,7 +69,8 @@ impl AndroZooServer {
                 Response::ok("application/vnd.android.package-archive", bytes)
             })
         };
-        let handle = HttpServer::spawn(router)?;
+        let metrics = ServerMetrics::register(&registry, &[("market", "androzoo")]);
+        let handle = HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?;
         Ok(AndroZooServer { handle, holdings })
     }
 

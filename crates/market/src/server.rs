@@ -6,9 +6,10 @@ use marketscope_core::json::Json;
 use marketscope_core::MarketId;
 use marketscope_ecosystem::{profile, ListingId, World};
 use marketscope_net::http::{Request, Response, Status};
-use marketscope_net::ratelimit::TokenBucket;
+use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::router::Router;
-use marketscope_net::server::{HttpServer, ServerHandle};
+use marketscope_net::server::{HttpServer, ServerHandle, ServerMetrics};
+use marketscope_telemetry::Registry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -55,16 +56,31 @@ pub struct MarketServer {
     market: MarketId,
     handle: ServerHandle,
     state: Arc<MarketState>,
+    registry: Arc<Registry>,
 }
 
 /// Page size for the catalog index.
 pub const PAGE_SIZE: usize = 50;
 
 impl MarketServer {
-    /// Spawn a server for `market` over `world`.
+    /// Spawn a server for `market` over `world` with a private telemetry
+    /// registry.
     pub fn spawn(
         world: Arc<World>,
         market: MarketId,
+    ) -> Result<MarketServer, marketscope_net::NetError> {
+        MarketServer::spawn_with_registry(world, market, Arc::new(Registry::new()))
+    }
+
+    /// Spawn a server whose instruments live in `registry` (shared across
+    /// the fleet by [`MarketFleet`](crate::MarketFleet)). Every server
+    /// instrument carries a `market="<slug>"` label, and the server
+    /// exposes the whole registry at `GET /__metrics` in Prometheus text
+    /// format.
+    pub fn spawn_with_registry(
+        world: Arc<World>,
+        market: MarketId,
+        registry: Arc<Registry>,
     ) -> Result<MarketServer, marketscope_net::NetError> {
         let catalog: Vec<ListingId> = world.market_listings(market).to_vec();
         let by_package = catalog
@@ -89,15 +105,36 @@ impl MarketServer {
             by_package,
             // Tight enough that a bulk harvest only gets a small direct
             // sample (the paper managed 287K of 2.03M directly, ~14%).
-            apk_bucket: p.rate_limited_downloads.then(|| TokenBucket::new(20, 2.0)),
+            apk_bucket: p.rate_limited_downloads.then(|| {
+                TokenBucket::instrumented(
+                    20,
+                    2.0,
+                    RateLimitMetrics::register(
+                        &registry,
+                        &[("limiter", "apk_download"), ("market", market.slug())],
+                    ),
+                )
+            }),
         });
-        let router = build_router(Arc::clone(&state));
-        let handle = HttpServer::spawn(router)?;
+        let router = build_router(Arc::clone(&state)).get("/__metrics", {
+            let registry = Arc::clone(&registry);
+            move |_req: &Request, _: &marketscope_net::router::Params| {
+                Response::ok("text/plain; version=0.0.4", registry.render().into_bytes())
+            }
+        });
+        let metrics = ServerMetrics::register(&registry, &[("market", market.slug())]);
+        let handle = HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?;
         Ok(MarketServer {
             market,
             handle,
             state,
+            registry,
         })
+    }
+
+    /// The registry this server's instruments are registered in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The market this server simulates.
@@ -228,14 +265,13 @@ fn build_router(state: Arc<MarketState>) -> Router {
                     related.push(Json::from(app.package.as_str()));
                 }
             }
-            // Category neighbours: deterministic window around the seed.
+            // Category neighbours: deterministic window around the seed
+            // (at most 401 listings scanned, as before).
             let pos = st.catalog.iter().position(|l| *l == id).unwrap_or(0);
-            let mut scanned = 0;
-            for offset in 1..st.catalog.len() {
-                if related.len() >= 12 || scanned > 400 {
+            for offset in (1..st.catalog.len()).take(401) {
+                if related.len() >= 12 {
                     break;
                 }
-                scanned += 1;
                 let other = st.catalog[(pos + offset) % st.catalog.len()];
                 if other == id || !st.visible(other) {
                     continue;

@@ -20,6 +20,10 @@
 //! 6. [`report`] regenerates every table and figure of the paper's
 //!    evaluation, rendered with [`metrics`].
 //!
+//! Throughout, [`telemetry`] provides lock-free counters, log2-bucketed
+//! latency histograms and span timers; every server exposes the shared
+//! registry at `GET /__metrics` in Prometheus text format.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -44,3 +48,4 @@ pub use marketscope_market as market;
 pub use marketscope_metrics as metrics;
 pub use marketscope_net as net;
 pub use marketscope_report as report;
+pub use marketscope_telemetry as telemetry;

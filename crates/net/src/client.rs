@@ -3,10 +3,12 @@
 
 use crate::error::NetError;
 use crate::http::{Request, Response, Status};
+use marketscope_telemetry::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Client configuration.
@@ -40,6 +42,52 @@ struct PooledConn {
     writer: BufWriter<TcpStream>,
 }
 
+/// Error kinds the client counts separately (see [`NetError::kind`]).
+const ERROR_KINDS: [&str; 5] = ["io", "protocol", "too_large", "status", "eof"];
+
+/// Client-side instruments: request latency, transparent retries, and
+/// errors broken down by kind.
+#[derive(Debug)]
+pub struct ClientMetrics {
+    request_nanos: Arc<Histogram>,
+    retries: Arc<Counter>,
+    errors: Vec<(&'static str, Arc<Counter>)>,
+}
+
+impl ClientMetrics {
+    /// Register the client instruments in `registry` under the given base
+    /// labels. Metric names:
+    ///
+    /// * `marketscope_net_client_request_nanos`
+    /// * `marketscope_net_client_retries_total`
+    /// * `marketscope_net_client_errors_total{kind="..."}`
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> ClientMetrics {
+        let errors = ERROR_KINDS
+            .iter()
+            .map(|&kind| {
+                let mut with_kind = labels.to_vec();
+                with_kind.push(("kind", kind));
+                (
+                    kind,
+                    registry.counter("marketscope_net_client_errors_total", &with_kind),
+                )
+            })
+            .collect();
+        ClientMetrics {
+            request_nanos: registry.histogram("marketscope_net_client_request_nanos", labels),
+            retries: registry.counter("marketscope_net_client_retries_total", labels),
+            errors,
+        }
+    }
+
+    fn note_error(&self, e: &NetError) {
+        let kind = e.kind();
+        if let Some((_, c)) = self.errors.iter().find(|(k, _)| *k == kind) {
+            c.inc();
+        }
+    }
+}
+
 /// A blocking HTTP client with per-host keep-alive pooling.
 ///
 /// Cloneable-by-reference via `Arc` at call sites; internally synchronized
@@ -47,6 +95,7 @@ struct PooledConn {
 pub struct HttpClient {
     config: ClientConfig,
     pool: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
+    metrics: Option<ClientMetrics>,
 }
 
 impl HttpClient {
@@ -60,6 +109,17 @@ impl HttpClient {
         HttpClient {
             config,
             pool: Mutex::new(HashMap::new()),
+            metrics: None,
+        }
+    }
+
+    /// Client with configuration and registered instruments: every
+    /// request records its latency; retries and errors are counted.
+    pub fn with_metrics(config: ClientConfig, metrics: ClientMetrics) -> Self {
+        HttpClient {
+            config,
+            pool: Mutex::new(HashMap::new()),
+            metrics: Some(metrics),
         }
     }
 
@@ -68,8 +128,26 @@ impl HttpClient {
     /// retried on a fresh one (the server may have dropped an idle
     /// connection between requests — the classic keep-alive race).
     pub fn request(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.request_nanos.start_span());
+        let result = self.request_inner(addr, req);
+        drop(span); // record the latency, success or failure
+        if let (Some(m), Err(e)) = (&self.metrics, &result) {
+            m.note_error(e);
+        }
+        result
+    }
+
+    fn request_inner(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
         let mut last_err: Option<NetError> = None;
         for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                if let Some(m) = &self.metrics {
+                    m.retries.inc();
+                }
+            }
             let reused;
             let conn = match self.take_pooled(addr) {
                 Some(c) => {
@@ -105,7 +183,11 @@ impl HttpClient {
     pub fn get(&self, addr: SocketAddr, path_and_query: &str) -> Result<Response, NetError> {
         let resp = self.request(addr, &Request::get(path_and_query))?;
         if resp.status != Status::Ok {
-            return Err(NetError::Status(resp.status.code()));
+            let err = NetError::Status(resp.status.code());
+            if let Some(m) = &self.metrics {
+                m.note_error(&err);
+            }
+            return Err(err);
         }
         Ok(resp)
     }
@@ -264,6 +346,42 @@ mod tests {
         }
         assert_eq!(hits.load(Ordering::SeqCst), 40);
         assert!(client.idle_connections() <= 4);
+    }
+
+    #[test]
+    fn metrics_record_latency_and_errors_by_kind() {
+        let registry = Registry::new();
+        let server = HttpServer::spawn(|req: &Request| {
+            if req.path == "/limited" {
+                Response::status(Status::TooManyRequests)
+            } else {
+                Response::ok("text/plain", b"ok".to_vec())
+            }
+        })
+        .unwrap();
+        let client = HttpClient::with_metrics(
+            ClientConfig::default(),
+            ClientMetrics::register(&registry, &[]),
+        );
+        client.get(server.addr(), "/ok").unwrap();
+        assert!(matches!(
+            client.get(server.addr(), "/limited"),
+            Err(NetError::Status(429))
+        ));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("marketscope_net_client_errors_total", &[("kind", "status")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("marketscope_net_client_retries_total", &[]),
+            Some(0)
+        );
+        let hist = snap
+            .histogram("marketscope_net_client_request_nanos", &[])
+            .unwrap();
+        assert_eq!(hist.count(), 2);
+        assert!(hist.sum > 0, "latency must have been recorded");
     }
 
     #[test]

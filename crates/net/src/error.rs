@@ -24,6 +24,21 @@ pub enum NetError {
     UnexpectedEof,
 }
 
+impl NetError {
+    /// Short stable label for the error's kind, used as the `kind` label
+    /// on telemetry counters (`io`, `protocol`, `too_large`, `status`,
+    /// `eof`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetError::Io(_) => "io",
+            NetError::Protocol(_) => "protocol",
+            NetError::TooLarge { .. } => "too_large",
+            NetError::Status(_) => "status",
+            NetError::UnexpectedEof => "eof",
+        }
+    }
+}
+
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -70,5 +85,24 @@ mod tests {
         .to_string()
         .contains("body"));
         assert!(std::error::Error::source(&NetError::UnexpectedEof).is_none());
+    }
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        assert_eq!(NetError::Status(404).kind(), "status");
+        assert_eq!(NetError::UnexpectedEof.kind(), "eof");
+        assert_eq!(NetError::Protocol("x").kind(), "protocol");
+        assert_eq!(
+            NetError::from(io::Error::new(io::ErrorKind::Other, "boom")).kind(),
+            "io"
+        );
+        assert_eq!(
+            NetError::TooLarge {
+                what: "body",
+                limit: 1
+            }
+            .kind(),
+            "too_large"
+        );
     }
 }

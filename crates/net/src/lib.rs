@@ -15,6 +15,14 @@
 //! encoding), `Connection: keep-alive`/`close`, status codes the market
 //! simulation needs (200, 400, 404, 429, 500). The parser is total and
 //! size-capped so a misbehaving peer cannot wedge or balloon a worker.
+//!
+//! Every component is instrumented with `marketscope-telemetry`: servers
+//! count requests per status and time handlers ([`ServerMetrics`]),
+//! clients record request latency, retries and errors by kind
+//! ([`ClientMetrics`]), and token buckets count grants, rejections and
+//! caller waits ([`RateLimitMetrics`]). Recording is lock-free; attaching
+//! instruments to a shared [`Registry`](marketscope_telemetry::Registry)
+//! makes them scrapeable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +34,9 @@ pub mod ratelimit;
 pub mod router;
 pub mod server;
 
-pub use client::HttpClient;
+pub use client::{ClientMetrics, HttpClient};
 pub use error::NetError;
 pub use http::{Method, Request, Response, Status};
-pub use ratelimit::TokenBucket;
+pub use ratelimit::{RateLimitMetrics, TokenBucket};
 pub use router::Router;
-pub use server::{HttpServer, ServerHandle};
+pub use server::{HttpServer, ServerHandle, ServerMetrics};

@@ -6,8 +6,35 @@
 //! per market. The bucket takes an explicit clock so tests and the
 //! deterministic pipeline never sleep.
 
+use marketscope_telemetry::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Rate-limiter instruments: grants, rejections, and (for politeness
+/// buckets) how long callers actually waited for a token.
+#[derive(Debug)]
+pub struct RateLimitMetrics {
+    grants: Arc<Counter>,
+    rejections: Arc<Counter>,
+    wait_nanos: Arc<Histogram>,
+}
+
+impl RateLimitMetrics {
+    /// Register the rate-limit instruments in `registry` under the given
+    /// base labels. Metric names:
+    ///
+    /// * `marketscope_net_ratelimit_grants_total`
+    /// * `marketscope_net_ratelimit_rejections_total`
+    /// * `marketscope_net_ratelimit_wait_nanos`
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> RateLimitMetrics {
+        RateLimitMetrics {
+            grants: registry.counter("marketscope_net_ratelimit_grants_total", labels),
+            rejections: registry.counter("marketscope_net_ratelimit_rejections_total", labels),
+            wait_nanos: registry.histogram("marketscope_net_ratelimit_wait_nanos", labels),
+        }
+    }
+}
 
 /// A thread-safe token bucket.
 ///
@@ -20,6 +47,7 @@ pub struct TokenBucket {
     inner: Mutex<BucketState>,
     capacity: f64,
     rate_per_sec: f64,
+    metrics: Option<RateLimitMetrics>,
 }
 
 #[derive(Debug)]
@@ -41,7 +69,16 @@ impl TokenBucket {
             }),
             capacity: capacity as f64,
             rate_per_sec,
+            metrics: None,
         }
+    }
+
+    /// A bucket whose grants, rejections and caller waits are counted in
+    /// a telemetry registry.
+    pub fn instrumented(capacity: u32, rate_per_sec: f64, metrics: RateLimitMetrics) -> Self {
+        let mut bucket = TokenBucket::new(capacity, rate_per_sec);
+        bucket.metrics = Some(metrics);
+        bucket
     }
 
     /// Try to take one token now.
@@ -51,13 +88,32 @@ impl TokenBucket {
 
     /// Try to take one token at an explicit instant (testable clock).
     pub fn try_acquire_at(&self, now: Instant) -> bool {
-        let mut st = self.inner.lock();
-        self.refill(&mut st, now);
-        if st.tokens >= 1.0 {
-            st.tokens -= 1.0;
-            true
-        } else {
-            false
+        let granted = {
+            let mut st = self.inner.lock();
+            self.refill(&mut st, now);
+            if st.tokens >= 1.0 {
+                st.tokens -= 1.0;
+                true
+            } else {
+                false
+            }
+        };
+        if let Some(m) = &self.metrics {
+            if granted {
+                m.grants.inc();
+            } else {
+                m.rejections.inc();
+            }
+        }
+        granted
+    }
+
+    /// Record how long a caller actually blocked waiting for a token
+    /// (no-op on uninstrumented buckets). The bucket itself never sleeps,
+    /// so the polite-waiting caller reports its measured wait here.
+    pub fn note_wait(&self, waited: Duration) {
+        if let Some(m) = &self.metrics {
+            m.wait_nanos.record_duration(waited);
         }
     }
 
@@ -136,6 +192,37 @@ mod tests {
         assert!(b.try_acquire_at(t0 + Duration::from_secs(5)));
         // An earlier instant after a later one must not panic or mint tokens.
         assert!(!b.try_acquire_at(t0));
+    }
+
+    #[test]
+    fn instrumented_bucket_counts_grants_rejections_and_waits() {
+        use marketscope_telemetry::Registry;
+        let registry = Registry::new();
+        let b = TokenBucket::instrumented(
+            2,
+            1.0,
+            RateLimitMetrics::register(&registry, &[("market", "gp")]),
+        );
+        let t0 = Instant::now();
+        assert!(b.try_acquire_at(t0));
+        assert!(b.try_acquire_at(t0));
+        assert!(!b.try_acquire_at(t0));
+        b.note_wait(Duration::from_millis(40));
+        let snap = registry.snapshot();
+        let labels = [("market", "gp")];
+        assert_eq!(
+            snap.counter_value("marketscope_net_ratelimit_grants_total", &labels),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("marketscope_net_ratelimit_rejections_total", &labels),
+            Some(1)
+        );
+        let waits = snap
+            .histogram("marketscope_net_ratelimit_wait_nanos", &labels)
+            .unwrap();
+        assert_eq!(waits.count(), 1);
+        assert_eq!(waits.sum, 40_000_000);
     }
 
     #[test]

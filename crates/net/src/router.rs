@@ -92,7 +92,11 @@ impl Router {
                     }
                 }
             }
-            if ok && best.as_ref().map_or(true, |(_, _, l)| literals > *l) {
+            let beats_best = match &best {
+                Some((_, _, l)) => literals > *l,
+                None => true,
+            };
+            if ok && beats_best {
                 best = Some((route, params, literals));
             }
         }

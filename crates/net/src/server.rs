@@ -1,15 +1,16 @@
 //! The blocking HTTP server: one accept loop, one thread per connection,
-//! keep-alive, graceful shutdown.
+//! keep-alive, graceful shutdown, built-in telemetry.
 
 use crate::error::NetError;
 use crate::http::{Request, Response, Status};
+use marketscope_telemetry::{Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A request handler. Handlers must be panic-free; a panicking handler
 /// poisons only its own connection thread (the server keeps serving), but
@@ -28,6 +29,84 @@ where
     }
 }
 
+/// Status codes the server distinguishes in its per-status counters (the
+/// full set the HTTP subset can produce).
+const TRACKED_STATUSES: [(u16, &str); 5] = [
+    (200, "200"),
+    (400, "400"),
+    (404, "404"),
+    (429, "429"),
+    (500, "500"),
+];
+
+/// The server-side instrument set: total requests, live connections,
+/// handler latency, and per-status response counts.
+///
+/// Built either [standalone](ServerMetrics::standalone) (free-floating
+/// instruments, still readable through [`ServerHandle`]) or
+/// [registered](ServerMetrics::register) in a [`Registry`] so a scrape
+/// endpoint sees them. Either way the record path is lock-free.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    requests: Arc<Counter>,
+    live: Arc<Gauge>,
+    handler_nanos: Arc<Histogram>,
+    responses: Vec<(u16, Arc<Counter>)>,
+}
+
+impl ServerMetrics {
+    /// Register the server instruments in `registry` under the given base
+    /// labels (e.g. `market="huawei"`). Metric names:
+    ///
+    /// * `marketscope_net_requests_total`
+    /// * `marketscope_net_live_connections`
+    /// * `marketscope_net_handler_nanos`
+    /// * `marketscope_net_responses_total{status="..."}`
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> ServerMetrics {
+        let responses = TRACKED_STATUSES
+            .iter()
+            .map(|&(code, code_str)| {
+                let mut with_status = labels.to_vec();
+                with_status.push(("status", code_str));
+                (
+                    code,
+                    registry.counter("marketscope_net_responses_total", &with_status),
+                )
+            })
+            .collect();
+        ServerMetrics {
+            requests: registry.counter("marketscope_net_requests_total", labels),
+            live: registry.gauge("marketscope_net_live_connections", labels),
+            handler_nanos: registry.histogram("marketscope_net_handler_nanos", labels),
+            responses,
+        }
+    }
+
+    /// Free-floating instruments, not attached to any registry. Used by
+    /// [`HttpServer::spawn`] so every server counts requests and live
+    /// connections even without a scrape endpoint.
+    pub fn standalone() -> ServerMetrics {
+        ServerMetrics {
+            requests: Arc::new(Counter::new()),
+            live: Arc::new(Gauge::new()),
+            handler_nanos: Arc::new(Histogram::new()),
+            responses: TRACKED_STATUSES
+                .iter()
+                .map(|&(code, _)| (code, Arc::new(Counter::new())))
+                .collect(),
+        }
+    }
+
+    fn note_response(&self, status: Status, handler_time: Duration) {
+        self.handler_nanos.record_duration(handler_time);
+        self.requests.inc();
+        let code = status.code();
+        if let Some((_, c)) = self.responses.iter().find(|(c, _)| *c == code) {
+            c.inc();
+        }
+    }
+}
+
 /// An HTTP server bound to a local address.
 pub struct HttpServer;
 
@@ -41,16 +120,24 @@ impl HttpServer {
 
     /// Bind to an explicit address and start serving.
     pub fn spawn_on(addr: &str, handler: impl Handler) -> Result<ServerHandle, NetError> {
+        Self::spawn_instrumented(addr, handler, ServerMetrics::standalone())
+    }
+
+    /// Bind and serve with an explicit instrument set — the way to share
+    /// the server's counters with a scrapeable [`Registry`].
+    pub fn spawn_instrumented(
+        addr: &str,
+        handler: impl Handler,
+        metrics: ServerMetrics,
+    ) -> Result<ServerHandle, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let live = Arc::new(AtomicU64::new(0));
-        let requests = Arc::new(AtomicU64::new(0));
+        let metrics = Arc::new(metrics);
         let handler: Arc<dyn Handler> = Arc::new(handler);
 
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_live = Arc::clone(&live);
-        let accept_requests = Arc::clone(&requests);
+        let accept_metrics = Arc::clone(&metrics);
         let accept_thread = std::thread::Builder::new()
             .name(format!("http-accept-{local}"))
             .spawn(move || {
@@ -60,20 +147,15 @@ impl HttpServer {
                     }
                     let Ok(stream) = stream else { continue };
                     let handler = Arc::clone(&handler);
-                    let live = Arc::clone(&accept_live);
-                    let requests = Arc::clone(&accept_requests);
+                    let metrics = Arc::clone(&accept_metrics);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
-                    live.fetch_add(1, Ordering::SeqCst);
+                    metrics.live.inc();
                     let _ = std::thread::Builder::new()
                         .name("http-conn".to_owned())
                         .spawn(move || {
-                            let _ = serve_connection(
-                                stream,
-                                handler.as_ref(),
-                                &requests,
-                                &conn_shutdown,
-                            );
-                            live.fetch_sub(1, Ordering::SeqCst);
+                            let _ =
+                                serve_connection(stream, handler.as_ref(), &metrics, &conn_shutdown);
+                            metrics.live.dec();
                         });
                 }
             })
@@ -82,8 +164,7 @@ impl HttpServer {
         Ok(ServerHandle {
             addr: local,
             shutdown,
-            live,
-            requests,
+            metrics,
             accept_thread: Mutex::new(Some(accept_thread)),
         })
     }
@@ -93,7 +174,7 @@ impl HttpServer {
 fn serve_connection(
     stream: TcpStream,
     handler: &dyn Handler,
-    requests: &AtomicU64,
+    metrics: &ServerMetrics,
     shutdown: &AtomicBool,
 ) -> Result<(), NetError> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
@@ -112,13 +193,19 @@ fn serve_connection(
             Err(NetError::UnexpectedEof) => return Ok(()),
             Err(_) => {
                 // Malformed request: answer 400 and close.
+                metrics.note_response(Status::BadRequest, Duration::ZERO);
                 let _ = Response::status(Status::BadRequest).write_to(&mut writer);
                 return Ok(());
             }
         };
         let close = req.wants_close();
+        let start = Instant::now();
         let resp = handler.handle(&req);
-        requests.fetch_add(1, Ordering::Relaxed);
+        // Count and time *after* the handler so a `/__metrics` scrape
+        // renders a self-consistent exposition: for every market,
+        // `requests_total == handler_nanos_count` and the in-flight
+        // scrape itself is excluded from both.
+        metrics.note_response(resp.status, start.elapsed());
         resp.write_to(&mut writer)?;
         if close {
             return Ok(());
@@ -126,12 +213,11 @@ fn serve_connection(
     }
 }
 
-/// Handle to a running server: address, counters, shutdown.
+/// Handle to a running server: address, telemetry, shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    live: Arc<AtomicU64>,
-    requests: Arc<AtomicU64>,
+    metrics: Arc<ServerMetrics>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -143,12 +229,28 @@ impl ServerHandle {
 
     /// Total requests served so far.
     pub fn request_count(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.metrics.requests.get()
     }
 
     /// Connections currently open.
     pub fn live_connections(&self) -> u64 {
-        self.live.load(Ordering::SeqCst)
+        self.metrics.live.get().max(0) as u64
+    }
+
+    /// The request counter itself — the single source of truth also
+    /// visible through a registered [`ServerMetrics`].
+    pub fn requests_counter(&self) -> &Arc<Counter> {
+        &self.metrics.requests
+    }
+
+    /// The live-connection gauge itself.
+    pub fn live_gauge(&self) -> &Arc<Gauge> {
+        &self.metrics.live
+    }
+
+    /// Handler latency histogram (nanoseconds).
+    pub fn handler_latency(&self) -> &Arc<Histogram> {
+        &self.metrics.handler_nanos
     }
 
     /// Stop accepting, wake the accept loop, and join it. Connection
@@ -259,5 +361,56 @@ mod tests {
             let _ = s.read_to_end(&mut out);
             assert!(out.is_empty(), "stopped server must not answer");
         }
+    }
+
+    #[test]
+    fn registered_metrics_track_statuses_and_latency() {
+        let registry = Registry::new();
+        let metrics = ServerMetrics::register(&registry, &[("market", "test")]);
+        let server = HttpServer::spawn_instrumented(
+            "127.0.0.1:0",
+            |req: &Request| {
+                if req.path == "/missing" {
+                    Response::status(Status::NotFound)
+                } else {
+                    Response::ok("text/plain", b"ok".to_vec())
+                }
+            },
+            metrics,
+        )
+        .unwrap();
+        raw_round_trip(server.addr(), b"GET /x HTTP/1.1\r\n\r\nGET /missing HTTP/1.1\r\nconnection: close\r\n\r\n");
+        let snap = registry.snapshot();
+        let labels = [("market", "test")];
+        assert_eq!(
+            snap.counter_value("marketscope_net_requests_total", &labels),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "marketscope_net_responses_total",
+                &[("market", "test"), ("status", "200")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "marketscope_net_responses_total",
+                &[("market", "test"), ("status", "404")]
+            ),
+            Some(1)
+        );
+        // Latency histogram count equals requests served — the invariant
+        // the `/__metrics` acceptance check relies on.
+        let hist = snap
+            .histogram("marketscope_net_handler_nanos", &labels)
+            .unwrap();
+        assert_eq!(hist.count(), 2);
+        // ServerHandle accessors read the same instruments.
+        assert_eq!(server.request_count(), 2);
+        assert!(Arc::ptr_eq(
+            server.requests_counter(),
+            &registry.counter("marketscope_net_requests_total", &labels)
+        ));
     }
 }

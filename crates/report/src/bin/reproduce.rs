@@ -2,7 +2,7 @@
 //! campaign.
 //!
 //! ```text
-//! reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR]
+//! reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress]
 //! ```
 
 use marketscope_ecosystem::Scale;
@@ -39,6 +39,7 @@ fn main() {
                         .unwrap_or_else(|| usage("--out needs a directory")),
                 ));
             }
+            "--progress" => config.progress = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -104,6 +105,7 @@ fn artifacts(c: &Campaign) -> Vec<(&'static str, String)> {
         ("fig13", ex::fig13::run(&c.analyzed, &c.snapshot).render()),
         ("sec53", ex::sec53_identity::run(&c.snapshot).render()),
         ("sec64", ex::sec64_repackaged::run(&c.analyzed).render()),
+        ("ops", c.ops.render()),
     ]
 }
 
@@ -112,8 +114,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR]"
+        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress]"
     );
-    eprintln!("artifacts: table1..table6, fig1..fig13, sec53, sec64");
+    eprintln!("artifacts: table1..table6, fig1..fig13, sec53, sec64, ops");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

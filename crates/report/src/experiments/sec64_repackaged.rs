@@ -32,10 +32,15 @@ pub fn run(analyzed: &Analyzed) -> Sec64 {
     }
     let mut malware = 0usize;
     let mut repackaged = 0usize;
-    for i in 0..analyzed.apps.len() {
-        if analyzed.av_reports[i].rank >= MALWARE_AV_RANK {
+    for (report, involved) in analyzed
+        .av_reports
+        .iter()
+        .zip(&involved)
+        .take(analyzed.apps.len())
+    {
+        if report.rank >= MALWARE_AV_RANK {
             malware += 1;
-            if involved[i] {
+            if *involved {
                 repackaged += 1;
             }
         }

@@ -57,7 +57,7 @@ pub fn run(snapshot: &Snapshot) -> Table1 {
                 .collect();
             let unique = devs
                 .iter()
-                .filter(|k| dev_markets.get(k).map_or(false, |s| s.len() == 1))
+                .filter(|k| dev_markets.get(k).is_some_and(|s| s.len() == 1))
                 .count();
             Table1Row {
                 market,

@@ -17,7 +17,9 @@
 
 pub mod context;
 pub mod experiments;
+pub mod ops;
 pub mod pipeline;
 
 pub use context::{Analyzed, LabelSource, UniqueApp};
+pub use ops::{MarketOps, OpsSummary};
 pub use pipeline::{run_campaign, Campaign, CampaignConfig};

@@ -1,0 +1,198 @@
+//! Operational summary of a campaign's crawl, computed from telemetry.
+//!
+//! The experiment artifacts answer the paper's questions; this module
+//! answers the operator's: how many requests did each market serve, how
+//! many failed, and how slow were the slow ones. Everything here is
+//! derived from the merged fleet + crawler registries, so the numbers are
+//! the same ones `GET /__metrics` exposes while a crawl runs.
+
+use marketscope_telemetry::RegistrySnapshot;
+
+/// One market's serving-side and crawling-side totals.
+#[derive(Debug, Clone)]
+pub struct MarketOps {
+    /// Market slug (or `androzoo` for the backfill repository).
+    pub market: String,
+    /// HTTP requests served.
+    pub requests: u64,
+    /// Non-200 responses (404 lookup misses, 429 throttles, ...).
+    pub errors: u64,
+    /// `errors / requests` (0 when no requests).
+    pub error_rate: f64,
+    /// Median handler latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile handler latency, microseconds.
+    pub p99_us: u64,
+    /// Listings the crawler fetched from this market.
+    pub listings: u64,
+    /// APKs the crawler harvested from this market.
+    pub apks: u64,
+}
+
+/// Fleet-wide operational totals plus a per-market breakdown.
+#[derive(Debug, Clone)]
+pub struct OpsSummary {
+    /// Per-market rows, sorted by market slug.
+    pub markets: Vec<MarketOps>,
+    /// Total HTTP requests served across the fleet.
+    pub total_requests: u64,
+    /// Total non-200 responses across the fleet.
+    pub total_errors: u64,
+}
+
+impl OpsSummary {
+    /// Compute the summary from a (merged) registry snapshot.
+    pub fn from_snapshot(snap: &RegistrySnapshot) -> OpsSummary {
+        let statuses = snap.label_values("status");
+        let mut markets = Vec::new();
+        let mut total_requests = 0;
+        let mut total_errors = 0;
+        for market in snap.label_values("market") {
+            let labels = [("market", market.as_str())];
+            let requests = snap
+                .counter_value("marketscope_net_requests_total", &labels)
+                .unwrap_or(0);
+            let errors: u64 = statuses
+                .iter()
+                .filter(|s| *s != "200")
+                .map(|s| {
+                    snap.counter_value(
+                        "marketscope_net_responses_total",
+                        &[("market", market.as_str()), ("status", s.as_str())],
+                    )
+                    .unwrap_or(0)
+                })
+                .sum();
+            let (p50_us, p99_us) = snap
+                .histogram("marketscope_net_handler_nanos", &labels)
+                .map(|h| (h.p50() / 1_000, h.p99() / 1_000))
+                .unwrap_or((0, 0));
+            let listings = snap
+                .counter_value("marketscope_crawler_listings_fetched_total", &labels)
+                .unwrap_or(0);
+            let apks = snap
+                .counter_value("marketscope_crawler_apks_harvested_total", &labels)
+                .unwrap_or(0);
+            if requests == 0 && listings == 0 && apks == 0 {
+                continue;
+            }
+            total_requests += requests;
+            total_errors += errors;
+            markets.push(MarketOps {
+                market,
+                requests,
+                errors,
+                error_rate: if requests == 0 {
+                    0.0
+                } else {
+                    errors as f64 / requests as f64
+                },
+                p50_us,
+                p99_us,
+                listings,
+                apks,
+            });
+        }
+        OpsSummary {
+            markets,
+            total_requests,
+            total_errors,
+        }
+    }
+
+    /// Render the summary as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Crawl operations summary (from telemetry)\n");
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9} {:>7}\n",
+            "market", "requests", "errors", "err%", "p50(us)", "p99(us)", "listings", "apks"
+        ));
+        for m in &self.markets {
+            out.push_str(&format!(
+                "{:<14} {:>9} {:>8} {:>6.2}% {:>8} {:>8} {:>9} {:>7}\n",
+                m.market,
+                m.requests,
+                m.errors,
+                100.0 * m.error_rate,
+                m.p50_us,
+                m.p99_us,
+                m.listings,
+                m.apks
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} requests, {} errors ({:.2}%)\n",
+            self.total_requests,
+            self.total_errors,
+            if self.total_requests == 0 {
+                0.0
+            } else {
+                100.0 * self.total_errors as f64 / self.total_requests as f64
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_telemetry::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn summary_combines_server_and_crawler_views() {
+        let fleet = Registry::new();
+        let labels = [("market", "gp")];
+        fleet
+            .counter("marketscope_net_requests_total", &labels)
+            .add(10);
+        fleet
+            .counter(
+                "marketscope_net_responses_total",
+                &[("market", "gp"), ("status", "200")],
+            )
+            .add(8);
+        fleet
+            .counter(
+                "marketscope_net_responses_total",
+                &[("market", "gp"), ("status", "429")],
+            )
+            .add(2);
+        let hist = fleet.histogram("marketscope_net_handler_nanos", &labels);
+        for _ in 0..10 {
+            hist.record_duration(Duration::from_micros(300));
+        }
+
+        let crawler = Registry::new();
+        crawler
+            .counter("marketscope_crawler_listings_fetched_total", &labels)
+            .add(7);
+        crawler
+            .counter("marketscope_crawler_apks_harvested_total", &labels)
+            .add(5);
+
+        let merged = fleet.snapshot().merge(&crawler.snapshot());
+        let ops = OpsSummary::from_snapshot(&merged);
+        assert_eq!(ops.markets.len(), 1);
+        let gp = &ops.markets[0];
+        assert_eq!(gp.requests, 10);
+        assert_eq!(gp.errors, 2);
+        assert!((gp.error_rate - 0.2).abs() < 1e-9);
+        assert_eq!(gp.listings, 7);
+        assert_eq!(gp.apks, 5);
+        assert!(gp.p99_us >= gp.p50_us && gp.p50_us > 0);
+        let rendered = ops.render();
+        assert!(rendered.contains("gp"));
+        assert!(rendered.contains("total: 10 requests, 2 errors"));
+    }
+
+    #[test]
+    fn idle_markets_are_omitted() {
+        let registry = Registry::new();
+        registry.counter("marketscope_net_requests_total", &[("market", "quiet")]);
+        let ops = OpsSummary::from_snapshot(&registry.snapshot());
+        assert!(ops.markets.is_empty());
+        assert_eq!(ops.total_requests, 0);
+    }
+}

@@ -2,11 +2,14 @@
 //! twice, analyze everything.
 
 use crate::context::{Analyzed, LabelSource};
+use crate::ops::OpsSummary;
 use marketscope_core::MarketId;
-use marketscope_crawler::{CrawlConfig, CrawlTargets, Crawler, Snapshot};
+use marketscope_crawler::{CrawlConfig, CrawlProgress, CrawlTargets, Crawler, Snapshot};
 use marketscope_ecosystem::{generate, Scale, World, WorldConfig};
 use marketscope_market::{CrawlPhase, MarketFleet};
+use marketscope_telemetry::Registry;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +21,9 @@ pub struct CampaignConfig {
     /// Share of the Google Play catalog present in the external seed
     /// list (the paper's PrivacyGrade list covered ~74% of GP).
     pub seed_share: f64,
+    /// Emit structured per-market `crawl-progress` lines to stderr while
+    /// the crawls run.
+    pub progress: bool,
 }
 
 impl Default for CampaignConfig {
@@ -26,6 +32,7 @@ impl Default for CampaignConfig {
             seed: 0x1517_2018,
             scale: Scale::SMALL,
             seed_share: 0.75,
+            progress: false,
         }
     }
 }
@@ -43,6 +50,10 @@ pub struct Campaign {
     pub labels: LabelSource,
     /// Shared analysis artifacts.
     pub analyzed: Analyzed,
+    /// Operational summary from the merged fleet + crawler telemetry:
+    /// per-market request counts, error rates, handler-latency
+    /// percentiles and harvest totals.
+    pub ops: OpsSummary,
 }
 
 /// Run the whole measurement campaign.
@@ -66,24 +77,48 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         .map(|(_, l)| world.app(world.listing(*l).app).package.as_str().to_owned())
         .collect();
 
-    let crawler = Crawler::new(CrawlConfig {
-        seeds,
-        ..CrawlConfig::default()
+    // Both campaigns share one crawler registry so harvest totals
+    // accumulate across crawls; merged with the fleet's registry at the
+    // end, it becomes the ops summary.
+    let crawl_registry = Arc::new(Registry::new());
+    let reporter = config.progress.then(|| {
+        CrawlProgress::spawn(
+            Arc::clone(&crawl_registry),
+            Duration::from_millis(500),
+            |line| eprintln!("{line}"),
+        )
     });
+
+    let crawler = Crawler::with_registry(
+        CrawlConfig {
+            seeds,
+            ..CrawlConfig::default()
+        },
+        Arc::clone(&crawl_registry),
+    );
     let snapshot = crawler.crawl(&targets);
 
     fleet.set_phase(CrawlPhase::Second);
-    let second_crawler = Crawler::new(CrawlConfig {
-        seeds: snapshot
-            .market(MarketId::GooglePlay)
-            .listings
-            .iter()
-            .map(|l| l.package.clone())
-            .collect(),
-        fetch_apks: false,
-        ..CrawlConfig::default()
-    });
+    let second_crawler = Crawler::with_registry(
+        CrawlConfig {
+            seeds: snapshot
+                .market(MarketId::GooglePlay)
+                .listings
+                .iter()
+                .map(|l| l.package.clone())
+                .collect(),
+            fetch_apks: false,
+            ..CrawlConfig::default()
+        },
+        Arc::clone(&crawl_registry),
+    );
     let second = second_crawler.crawl(&targets);
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
+    let ops = OpsSummary::from_snapshot(
+        &fleet.registry().snapshot().merge(&crawl_registry.snapshot()),
+    );
     fleet.stop();
 
     let labels = LabelSource::from_world(&world);
@@ -94,5 +129,6 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         second,
         labels,
         analyzed,
+        ops,
     }
 }

@@ -1,0 +1,46 @@
+//! # marketscope-telemetry
+//!
+//! The observability substrate for the crawl pipeline: allocation-free,
+//! lock-free instruments plus a registry that renders a Prometheus-style
+//! text exposition.
+//!
+//! The paper's crawl campaign ran 50 cloud workers for two weeks against
+//! 17 markets; operating anything at that scale requires continuous
+//! visibility into per-source request rates, error rates and latencies.
+//! This crate provides that layer for the reproduction:
+//!
+//! * [`Counter`] — a monotonic `u64`, one relaxed `fetch_add` per
+//!   increment;
+//! * [`Gauge`] — a signed up/down value (live connections, queue depth);
+//! * [`Histogram`] — 64 fixed log2 buckets of atomics; recording is two
+//!   relaxed `fetch_add`s, snapshots are mergeable and answer
+//!   p50/p90/p99;
+//! * [`Span`] — an RAII timer that records its elapsed time into a
+//!   histogram on drop;
+//! * [`Registry`] — owns named, labelled instruments and renders the
+//!   whole set as a text exposition ([`exposition`] also parses it back,
+//!   for tests and scrapers).
+//!
+//! The record path never takes a lock or allocates: callers resolve an
+//! instrument from the registry once (a short `RwLock` critical section,
+//! off the hot path) and then hammer the returned `Arc` freely from any
+//! number of threads.
+//!
+//! Naming convention: `marketscope_<crate>_<name>`, with `_total` for
+//! counters and `_nanos` for duration histograms; dimensions (market,
+//! status, error kind) travel as labels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod exposition;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use exposition::{parse, Sample};
+pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use registry::{InstrumentId, Registry, RegistrySnapshot};
+pub use span::Span;

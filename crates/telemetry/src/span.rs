@@ -1,0 +1,100 @@
+//! RAII span timers.
+
+use crate::histogram::Histogram;
+use std::time::{Duration, Instant};
+
+/// A lightweight span: started against a [`Histogram`], it records its
+/// elapsed wall time (in nanoseconds) into the histogram when dropped or
+/// explicitly [`Span::finish`]ed — whichever comes first, exactly once.
+///
+/// ```
+/// use marketscope_telemetry::Histogram;
+///
+/// let latency = Histogram::new();
+/// {
+///     let _span = latency.start_span();
+///     // ... handle a request ...
+/// } // recorded here
+/// assert_eq!(latency.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'h> {
+    histogram: &'h Histogram,
+    start: Option<Instant>,
+}
+
+impl<'h> Span<'h> {
+    /// Start timing now.
+    pub fn start(histogram: &'h Histogram) -> Span<'h> {
+        Span {
+            histogram,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Time elapsed so far (zero after the span has recorded).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
+    }
+
+    /// Stop the clock, record into the histogram, and return the elapsed
+    /// time. Dropping the span without calling this records too.
+    pub fn finish(mut self) -> Duration {
+        self.complete()
+    }
+
+    /// Abandon the span without recording anything (e.g. when the timed
+    /// operation turned out not to happen).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+
+    fn complete(&mut self) -> Duration {
+        match self.start.take() {
+            Some(s) => {
+                let d = s.elapsed();
+                self.histogram.record_duration(d);
+                d
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.complete();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::new();
+        {
+            let _s = h.start_span();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_disarms_drop() {
+        let h = Histogram::new();
+        let s = h.start_span();
+        std::thread::sleep(Duration::from_millis(2));
+        let d = s.finish();
+        assert!(d >= Duration::from_millis(2));
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 2_000_000, "sum {} < 2ms in nanos", h.sum());
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Histogram::new();
+        h.start_span().cancel();
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Concurrent hammering of the lock-free instruments: 8 threads, exact
+//! counts, monotone cumulative bucket sums.
+
+use marketscope_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 100_000;
+
+#[test]
+fn counter_is_exact_under_contention() {
+    let c = Arc::new(Counter::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn gauge_balances_out_under_contention() {
+    let g = Arc::new(Gauge::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let g = Arc::clone(&g);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    g.inc();
+                    g.dec();
+                }
+            });
+        }
+    });
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn histogram_is_exact_under_contention() {
+    let h = Arc::new(Histogram::new());
+    // Each thread records a deterministic value stream; the final count
+    // and sum must be exact, with no lost updates.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record((t as u64 * 7 + i) % 5000);
+                }
+            });
+        }
+    });
+    let expected_count = THREADS as u64 * PER_THREAD;
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..PER_THREAD).map(|i| (t * 7 + i) % 5000).sum::<u64>())
+        .sum();
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), expected_count);
+    assert_eq!(snap.sum, expected_sum);
+
+    // Cumulative bucket sums are monotone and end at the exact count.
+    let mut prev = 0u64;
+    for &(_, cum) in &snap.cumulative() {
+        assert!(cum >= prev, "cumulative bucket counts must be monotone");
+        prev = cum;
+    }
+    assert_eq!(prev, expected_count);
+}
+
+#[test]
+fn registry_hands_out_one_instrument_per_id_under_contention() {
+    let r = Arc::new(Registry::new());
+    // All threads race to register the same id and hammer it; the total
+    // must land on one shared counter.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let r = Arc::clone(&r);
+            s.spawn(move || {
+                let c = r.counter("race_total", &[("who", "everyone")]);
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        r.snapshot()
+            .counter_value("race_total", &[("who", "everyone")]),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
+
+#[test]
+fn snapshots_under_load_never_exceed_final_totals() {
+    let h = Arc::new(Histogram::new());
+    let c = Arc::new(Counter::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let h = Arc::clone(&h);
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(i % 100);
+                    c.inc();
+                }
+            });
+        }
+        // Reader thread: every interim snapshot must be internally sane.
+        let h = Arc::clone(&h);
+        s.spawn(move || {
+            for _ in 0..50 {
+                let snap = h.snapshot();
+                let mut prev = 0;
+                for &(_, cum) in &snap.cumulative() {
+                    assert!(cum >= prev);
+                    prev = cum;
+                }
+                assert!(snap.count() <= THREADS as u64 * 10_000);
+            }
+        });
+    });
+    assert_eq!(c.get(), THREADS as u64 * 10_000);
+    assert_eq!(h.count(), THREADS as u64 * 10_000);
+}

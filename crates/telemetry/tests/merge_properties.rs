@@ -1,0 +1,93 @@
+//! Property tests: snapshot merging is exactly equivalent to recording
+//! the combined stream into one histogram, and quantiles stay within the
+//! observed range.
+
+use marketscope_telemetry::{Histogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// merge(snapshot(a), snapshot(b)) == snapshot(a ++ b).
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        // Wrapping sums: the histogram's running sum is a u64 fetch_add,
+        // so feed values small enough not to overflow in test.
+        let a: Vec<u64> = a.iter().map(|v| v % (1 << 40)).collect();
+        let b: Vec<u64> = b.iter().map(|v| v % (1 << 40)).collect();
+
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hboth = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hboth.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hboth.record(v);
+        }
+        let merged = ha.snapshot().merge(&hb.snapshot());
+        prop_assert_eq!(merged, hboth.snapshot());
+    }
+
+    /// Quantile estimates are bounded by the min/max observation's bucket.
+    #[test]
+    fn quantiles_stay_in_observed_bucket_range(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let est = snap.quantile(q);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        // The estimate lies within [bucket_lower(min), bucket_upper(max)];
+        // log2 buckets mean at most a 2x stretch on either side.
+        prop_assert!(est <= max.saturating_mul(2), "q={} est={} max={}", q, est, max);
+        prop_assert!(est.saturating_mul(2) >= min, "q={} est={} min={}", q, est, min);
+    }
+
+    /// Registry snapshot merge adds counters and merges histograms, and
+    /// the rendered exposition still parses.
+    #[test]
+    fn registry_merge_matches_combined_and_renders(
+        xs in proptest::collection::vec(0u64..10_000, 0..50),
+        ys in proptest::collection::vec(0u64..10_000, 0..50),
+    ) {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        let combined = Registry::new();
+        for &v in &xs {
+            r1.counter("events_total", &[("side", "x")]).add(v);
+            combined.counter("events_total", &[("side", "x")]).add(v);
+            r1.histogram("lat_nanos", &[]).record(v);
+            combined.histogram("lat_nanos", &[]).record(v);
+        }
+        for &v in &ys {
+            r2.counter("events_total", &[("side", "x")]).add(v);
+            combined.counter("events_total", &[("side", "x")]).add(v);
+            r2.histogram("lat_nanos", &[]).record(v);
+            combined.histogram("lat_nanos", &[]).record(v);
+        }
+        let merged = r1.snapshot().merge(&r2.snapshot());
+        prop_assert_eq!(&merged, &combined.snapshot());
+
+        let text = merged.render();
+        let samples = marketscope_telemetry::parse(&text).unwrap();
+        if !xs.is_empty() || !ys.is_empty() {
+            let total: u64 = xs.iter().chain(&ys).sum();
+            let c = samples
+                .iter()
+                .find(|s| s.name == "events_total")
+                .expect("counter rendered");
+            prop_assert_eq!(c.value, total as f64);
+        }
+    }
+}
