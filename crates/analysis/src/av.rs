@@ -162,6 +162,7 @@ mod tests {
             methods: vec![MethodDef {
                 api_calls: vec![],
                 code_hash: 0x1000 + salt,
+                invokes: vec![],
             }],
         }];
         if let Some((name, d)) = family {
@@ -173,11 +174,13 @@ mod tests {
                 .map(|s| MethodDef {
                     api_calls: vec![],
                     code_hash: *s,
+                    invokes: vec![],
                 })
                 .collect();
             methods.push(MethodDef {
                 api_calls: vec![],
                 code_hash: detectability_marker(step),
+                invokes: vec![],
             });
             classes.push(ClassDef {
                 name: "La1b2/c;".into(),
@@ -193,6 +196,7 @@ mod tests {
             app_label: "S".into(),
             permissions: vec![],
             category: "Tools".into(),
+            components: vec![],
         };
         let bytes = ApkBuilder::new(manifest, DexFile { classes })
             .build(DeveloperKey::from_label(&format!("d{salt}")))

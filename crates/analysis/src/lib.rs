@@ -5,8 +5,12 @@
 //!
 //! * [`fake`] — fake-app detection by app-name clustering plus the
 //!   paper's small-cluster heuristic;
+//! * [`reach`] — static reachability: call graph + worklist pass from
+//!   the manifest-declared components, with dead-code accounting and
+//!   telemetry instrumentation;
 //! * [`overpriv`] — PScout-style over-privilege analysis (declared
-//!   permissions vs. permissions exercised by reachable API calls);
+//!   permissions vs. permissions exercised by API calls, under both the
+//!   flat and the reachable footprint);
 //! * [`av`] — a simulated 60-engine VirusTotal ensemble producing
 //!   AV-ranks and per-engine labels;
 //! * [`avclass`] — AVClass-style family-label normalization and
@@ -21,10 +25,12 @@ pub mod av;
 pub mod avclass;
 pub mod fake;
 pub mod overpriv;
+pub mod reach;
 pub mod removal;
 
 pub use av::{AvReport, AvSimulator, ENGINE_COUNT};
 pub use avclass::normalize_label;
 pub use fake::{FakeDetector, FakeReport};
-pub use overpriv::{OverprivilegeAnalyzer, OverprivilegeResult};
+pub use overpriv::{FootprintMode, OverprivilegeAnalyzer, OverprivilegeResult};
+pub use reach::{ReachabilityAnalyzer, ReachabilityReport};
 pub use removal::{removal_rates, RemovalInput, RemovalReport};

@@ -2,47 +2,92 @@
 //!
 //! An app is *over-privileged* when its manifest requests permissions its
 //! code never exercises. The paper builds on PScout's API→permission map
-//! and static reachability; here the map is
-//! [`marketscope_apk::permmap::PermissionMap`] and the reachable API set
-//! is the digest's API-call footprint (our DEX model has no dead code or
-//! reflection, the two caveats the paper notes for the real analysis).
+//! plus static reachability; here the map is
+//! [`marketscope_apk::permmap::PermissionMap`] and both footprints are
+//! computed: the **flat** API set (every call anywhere in the DEX — the
+//! historical baseline, inflated by dead bundled libraries) and the
+//! **reachable** set (calls in methods the worklist pass reaches from the
+//! manifest-declared components). The paper's dead-code caveat is the gap
+//! between the two.
 
 use marketscope_apk::digest::ApkDigest;
 use marketscope_apk::permmap::{Permission, PermissionMap, PERMISSIONS};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
-/// Per-app over-privilege facts.
+/// Which API footprint the over-privilege verdict is computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FootprintMode {
+    /// Every API call anywhere in the DEX (the historical baseline).
+    Flat,
+    /// Only calls in methods reachable from declared components.
+    Reachable,
+}
+
+/// Per-app over-privilege facts, under both footprints.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverprivilegeResult {
     /// Permissions declared in the manifest (recognized ones).
     pub declared: BTreeSet<Permission>,
-    /// Permissions actually exercised by API calls.
+    /// Permissions exercised by any API call in the DEX (flat).
     pub used: BTreeSet<Permission>,
-    /// Declared but never exercised.
+    /// Declared but never exercised anywhere in the DEX (flat).
     pub unused: BTreeSet<Permission>,
+    /// Permissions exercised by *reachable* API calls.
+    pub used_reachable: BTreeSet<Permission>,
+    /// Declared but not exercised by any reachable call. Superset of
+    /// `unused`: a permission used only from dead code lands here.
+    pub unused_reachable: BTreeSet<Permission>,
 }
 
 impl OverprivilegeResult {
-    /// Whether the app requests at least one unused permission.
+    /// Whether the app requests at least one unused permission (flat
+    /// baseline; see [`Self::is_overprivileged_in`]).
     pub fn is_overprivileged(&self) -> bool {
         !self.unused.is_empty()
     }
 
-    /// Number of unused permissions (Figure 11's x-axis).
+    /// Number of unused permissions (Figure 11's x-axis; flat baseline).
     pub fn unused_count(&self) -> usize {
         self.unused.len()
     }
 
-    /// Unused permissions Google labels dangerous.
+    /// The unused permission set under a given footprint.
+    pub fn unused_in(&self, mode: FootprintMode) -> &BTreeSet<Permission> {
+        match mode {
+            FootprintMode::Flat => &self.unused,
+            FootprintMode::Reachable => &self.unused_reachable,
+        }
+    }
+
+    /// Whether the app is over-privileged under a given footprint.
+    pub fn is_overprivileged_in(&self, mode: FootprintMode) -> bool {
+        !self.unused_in(mode).is_empty()
+    }
+
+    /// Number of unused permissions under a given footprint.
+    pub fn unused_count_in(&self, mode: FootprintMode) -> usize {
+        self.unused_in(mode).len()
+    }
+
+    /// Unused permissions Google labels dangerous (flat baseline).
     pub fn unused_dangerous(&self) -> impl Iterator<Item = &Permission> {
         self.unused.iter().filter(|p| p.is_dangerous())
     }
 }
 
-/// The analyzer: permission map + static API footprint.
-#[derive(Debug, Clone, Default)]
+/// The analyzer: permission map + both static API footprints.
+#[derive(Debug, Clone)]
 pub struct OverprivilegeAnalyzer {
     map: PermissionMap,
+    /// Permission-name lookup built once; `analyze` is called per app
+    /// across whole markets, so no linear scans on that path.
+    by_name: HashMap<&'static str, Permission>,
+}
+
+impl Default for OverprivilegeAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OverprivilegeAnalyzer {
@@ -50,37 +95,44 @@ impl OverprivilegeAnalyzer {
     pub fn new() -> Self {
         OverprivilegeAnalyzer {
             map: PermissionMap::standard(),
+            by_name: PERMISSIONS.iter().map(|p| (*p, Permission(p))).collect(),
         }
     }
 
     /// Analyze one app digest.
     pub fn analyze(&self, digest: &ApkDigest) -> OverprivilegeResult {
         let used = self.map.used_permissions(digest.api_calls());
+        let used_reachable = self.map.used_permissions(digest.reachable_api_calls());
         let declared: BTreeSet<Permission> = digest
             .permissions
             .iter()
-            .filter_map(|name| {
-                PERMISSIONS
-                    .iter()
-                    .find(|p| *p == name)
-                    .map(|p| Permission(p))
-            })
+            .filter_map(|name| self.by_name.get(name.as_str()).copied())
             .collect();
         let unused: BTreeSet<Permission> = declared.difference(&used).copied().collect();
+        let unused_reachable: BTreeSet<Permission> =
+            declared.difference(&used_reachable).copied().collect();
         OverprivilegeResult {
             declared,
             used,
             unused,
+            used_reachable,
+            unused_reachable,
         }
     }
 }
 
 /// Aggregate a population of results into the Figure 11 histogram:
-/// counts of apps with 0, 1, ..., 9, and >9 unused permissions.
+/// counts of apps with 0, 1, ..., 9, and >9 unused permissions (flat
+/// baseline).
 pub fn unused_histogram(results: &[OverprivilegeResult]) -> [u64; 11] {
+    unused_histogram_in(results, FootprintMode::Flat)
+}
+
+/// The Figure 11 histogram under a chosen footprint.
+pub fn unused_histogram_in(results: &[OverprivilegeResult], mode: FootprintMode) -> [u64; 11] {
     let mut out = [0u64; 11];
     for r in results {
-        let bucket = r.unused_count().min(10);
+        let bucket = r.unused_count_in(mode).min(10);
         out[bucket] += 1;
     }
     out
@@ -92,10 +144,10 @@ mod tests {
     use marketscope_apk::apicalls::ApiCallId;
     use marketscope_apk::builder::ApkBuilder;
     use marketscope_apk::dex::{ClassDef, DexFile, MethodDef};
-    use marketscope_apk::manifest::Manifest;
+    use marketscope_apk::manifest::{Component, ComponentKind, Manifest};
     use marketscope_core::{DeveloperKey, PackageName, VersionCode};
 
-    fn digest_with(declared: Vec<String>, calls: Vec<u32>) -> ApkDigest {
+    fn digest_of(declared: Vec<String>, dex: DexFile, components: Vec<Component>) -> ApkDigest {
         let manifest = Manifest {
             package: PackageName::new("com.t.x").unwrap(),
             version_code: VersionCode(1),
@@ -105,20 +157,26 @@ mod tests {
             app_label: "T".into(),
             permissions: declared,
             category: "Tools".into(),
+            components,
         };
+        let bytes = ApkBuilder::new(manifest, dex)
+            .build(DeveloperKey::from_label("d"))
+            .unwrap();
+        ApkDigest::from_bytes(&bytes).unwrap()
+    }
+
+    fn digest_with(declared: Vec<String>, calls: Vec<u32>) -> ApkDigest {
         let dex = DexFile {
             classes: vec![ClassDef {
                 name: "Lcom/t/x/Main;".into(),
                 methods: vec![MethodDef {
                     api_calls: calls.into_iter().map(ApiCallId).collect(),
                     code_hash: 1,
+                    invokes: vec![],
                 }],
             }],
         };
-        let bytes = ApkBuilder::new(manifest, dex)
-            .build(DeveloperKey::from_label("d"))
-            .unwrap();
-        ApkDigest::from_bytes(&bytes).unwrap()
+        digest_of(declared, dex, vec![])
     }
 
     /// Find an API id requiring a given permission.
@@ -179,6 +237,70 @@ mod tests {
     }
 
     #[test]
+    fn no_components_makes_modes_agree() {
+        let camera_api = api_for("android.permission.CAMERA");
+        let d = digest_with(
+            vec![
+                "android.permission.CAMERA".into(),
+                "android.permission.SEND_SMS".into(),
+            ],
+            vec![camera_api],
+        );
+        let r = OverprivilegeAnalyzer::new().analyze(&d);
+        assert_eq!(r.used, r.used_reachable);
+        assert_eq!(r.unused, r.unused_reachable);
+        assert_eq!(
+            r.unused_count_in(FootprintMode::Flat),
+            r.unused_count_in(FootprintMode::Reachable)
+        );
+    }
+
+    /// The load-bearing divergence: a permission-gated API that lives
+    /// only in a dead bundled class is "used" to the flat footprint but
+    /// not to the reachable one, so only reachability mode flags the app.
+    #[test]
+    fn dead_code_permission_flagged_only_in_reachable_mode() {
+        let camera_api = api_for("android.permission.CAMERA");
+        let dex = DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "Lcom/t/x/Main;".into(),
+                    methods: vec![MethodDef {
+                        api_calls: vec![],
+                        code_hash: 1,
+                        invokes: vec![],
+                    }],
+                },
+                // Bundled library class nothing ever invokes.
+                ClassDef {
+                    name: "Lcom/deadlib/sdk/Camera;".into(),
+                    methods: vec![MethodDef {
+                        api_calls: vec![ApiCallId(camera_api)],
+                        code_hash: 2,
+                        invokes: vec![],
+                    }],
+                },
+            ],
+        };
+        let d = digest_of(
+            vec!["android.permission.CAMERA".into()],
+            dex,
+            vec![Component {
+                kind: ComponentKind::Activity,
+                class: "Lcom/t/x/Main;".into(),
+            }],
+        );
+        let r = OverprivilegeAnalyzer::new().analyze(&d);
+        assert!(!r.is_overprivileged_in(FootprintMode::Flat));
+        assert!(r.is_overprivileged_in(FootprintMode::Reachable));
+        assert_eq!(r.unused_count_in(FootprintMode::Reachable), 1);
+        assert!(r
+            .unused_in(FootprintMode::Reachable)
+            .iter()
+            .any(|p| p.0.ends_with("CAMERA")));
+    }
+
+    #[test]
     fn histogram_buckets() {
         let camera_api = api_for("android.permission.CAMERA");
         let none = digest_with(vec!["android.permission.CAMERA".into()], vec![camera_api]);
@@ -195,6 +317,8 @@ mod tests {
         assert_eq!(h[0], 1);
         assert_eq!(h[2], 1);
         assert_eq!(h.iter().sum::<u64>(), 2);
+        let hr = unused_histogram_in(&results, FootprintMode::Reachable);
+        assert_eq!(hr, h); // no components anywhere → modes agree
     }
 
     #[test]

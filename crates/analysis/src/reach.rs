@@ -1,0 +1,280 @@
+//! Static reachability analysis: call graph + worklist pass + dead-code
+//! accounting, instrumented with `marketscope-telemetry`.
+//!
+//! The format-level core (flattening, worklist) lives in
+//! [`marketscope_apk::reach`]; this module is the analysis-facing engine:
+//! it resolves entry points from the manifest's declared components, runs
+//! the pass, and reports the reachable method/API sets plus the dead-code
+//! statistics (unreached methods and classes, fully dead packages) that
+//! Figure 11's caveat table consumes. Every pass feeds three instruments:
+//!
+//! * `marketscope_analysis_reach_methods_visited_total`
+//! * `marketscope_analysis_reach_edges_traversed_total`
+//! * `marketscope_analysis_reach_latency_nanos`
+
+use marketscope_apk::apicalls::ApiCallId;
+use marketscope_apk::parse::ParsedApk;
+use marketscope_apk::reach::{CallGraph, ReachStats};
+use marketscope_telemetry::{Counter, Histogram, Registry};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One app's reachability facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachabilityReport {
+    /// Raw pass counters (methods total/reached, edges traversed).
+    pub stats: ReachStats,
+    /// Whether the manifest declared any components; when `false` the
+    /// pass degraded to "everything reachable" (v1 semantics).
+    pub anchored: bool,
+    /// Distinct API calls made from reachable methods.
+    pub reachable_apis: BTreeSet<ApiCallId>,
+    /// Distinct API calls made anywhere in the DEX (flat baseline).
+    pub flat_apis: BTreeSet<ApiCallId>,
+    /// Classes none of whose methods were reached.
+    pub dead_classes: Vec<String>,
+    /// Java packages (dotted) none of whose methods were reached.
+    pub dead_packages: Vec<String>,
+}
+
+impl ReachabilityReport {
+    /// Share of methods *not* reached, in `[0, 1]`; 0 for an empty app.
+    pub fn dead_code_share(&self) -> f64 {
+        if self.stats.methods_total == 0 {
+            0.0
+        } else {
+            1.0 - self.stats.methods_reached as f64 / self.stats.methods_total as f64
+        }
+    }
+
+    /// API calls visible to the flat footprint but not the reachable one
+    /// — the over-privilege inflation the paper's caveat describes.
+    pub fn dead_only_apis(&self) -> impl Iterator<Item = ApiCallId> + '_ {
+        self.flat_apis
+            .iter()
+            .filter(|a| !self.reachable_apis.contains(a))
+            .copied()
+    }
+}
+
+/// The reachability engine. Cheap to clone; instruments are shared.
+#[derive(Clone)]
+pub struct ReachabilityAnalyzer {
+    methods_visited: Arc<Counter>,
+    edges_traversed: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl Default for ReachabilityAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReachabilityAnalyzer {
+    /// Analyzer with a private registry (tests, one-off runs).
+    pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Analyzer publishing into a shared registry (pipeline use).
+    pub fn with_registry(registry: &Registry) -> Self {
+        ReachabilityAnalyzer {
+            methods_visited: registry
+                .counter("marketscope_analysis_reach_methods_visited_total", &[]),
+            edges_traversed: registry
+                .counter("marketscope_analysis_reach_edges_traversed_total", &[]),
+            latency: registry.histogram("marketscope_analysis_reach_latency_nanos", &[]),
+        }
+    }
+
+    /// Build the call graph, run the worklist pass from the manifest's
+    /// declared components, and account dead code.
+    pub fn analyze(&self, apk: &ParsedApk) -> ReachabilityReport {
+        let _span = self.latency.start_span();
+        let graph = CallGraph::new(&apk.dex);
+        let anchored = !apk.manifest.components.is_empty();
+        let reach = if anchored {
+            graph.reach_from_classes(apk.manifest.components.iter().map(|c| c.class.as_str()))
+        } else {
+            graph.reach_all()
+        };
+        self.methods_visited.add(reach.stats.methods_reached);
+        self.edges_traversed.add(reach.stats.edges_traversed);
+
+        let mut reachable_apis = BTreeSet::new();
+        let mut flat_apis = BTreeSet::new();
+        let mut dead_classes = Vec::new();
+        let mut dead_packages = BTreeSet::new();
+        let mut live_packages = BTreeSet::new();
+        for (ci, class) in apk.dex.classes.iter().enumerate() {
+            let mut any_reached = false;
+            for (mi, m) in class.methods.iter().enumerate() {
+                let reached = reach.is_reached(ci, mi);
+                any_reached |= reached;
+                for a in &m.api_calls {
+                    flat_apis.insert(*a);
+                    if reached {
+                        reachable_apis.insert(*a);
+                    }
+                }
+            }
+            let pkg = class
+                .java_package()
+                .unwrap_or_else(|| "<default>".to_owned());
+            // A method-less class is vacuously dead but not interesting.
+            if !class.methods.is_empty() {
+                if any_reached {
+                    live_packages.insert(pkg);
+                } else {
+                    dead_classes.push(class.name.clone());
+                    dead_packages.insert(pkg);
+                }
+            }
+        }
+        let dead_packages = dead_packages
+            .into_iter()
+            .filter(|p| !live_packages.contains(p))
+            .collect();
+        ReachabilityReport {
+            stats: reach.stats,
+            anchored,
+            reachable_apis,
+            flat_apis,
+            dead_classes,
+            dead_packages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_apk::builder::ApkBuilder;
+    use marketscope_apk::dex::{ClassDef, DexFile, MethodDef, MethodRef};
+    use marketscope_apk::manifest::{Component, ComponentKind, Manifest};
+    use marketscope_core::{DeveloperKey, PackageName, VersionCode};
+
+    fn parsed(dex: DexFile, components: Vec<Component>) -> ParsedApk {
+        let manifest = Manifest {
+            package: PackageName::new("com.t.x").unwrap(),
+            version_code: VersionCode(1),
+            version_name: "1".into(),
+            min_sdk: 9,
+            target_sdk: 23,
+            app_label: "T".into(),
+            permissions: vec![],
+            category: "Tools".into(),
+            components,
+        };
+        let bytes = ApkBuilder::new(manifest, dex)
+            .build(DeveloperKey::from_label("d"))
+            .unwrap();
+        ParsedApk::parse(&bytes).unwrap()
+    }
+
+    fn method(calls: &[u32], invokes: &[(u16, u16)]) -> MethodDef {
+        MethodDef {
+            api_calls: calls.iter().map(|c| ApiCallId(*c)).collect(),
+            code_hash: 3,
+            invokes: invokes
+                .iter()
+                .map(|&(class, method)| MethodRef { class, method })
+                .collect(),
+        }
+    }
+
+    fn three_class_dex() -> DexFile {
+        DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "Lcom/t/x/Main;".into(),
+                    methods: vec![method(&[1], &[(1, 0)])],
+                },
+                ClassDef {
+                    name: "Lcom/t/x/Helper;".into(),
+                    methods: vec![method(&[2], &[])],
+                },
+                ClassDef {
+                    name: "Lcom/deadlib/sdk/A;".into(),
+                    methods: vec![method(&[9], &[])],
+                },
+            ],
+        }
+    }
+
+    fn entry() -> Component {
+        Component {
+            kind: ComponentKind::Activity,
+            class: "Lcom/t/x/Main;".into(),
+        }
+    }
+
+    #[test]
+    fn reports_dead_code_and_api_partition() {
+        let apk = parsed(three_class_dex(), vec![entry()]);
+        let report = ReachabilityAnalyzer::new().analyze(&apk);
+        assert!(report.anchored);
+        assert_eq!(report.stats.methods_total, 3);
+        assert_eq!(report.stats.methods_reached, 2);
+        assert!((report.dead_code_share() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.dead_classes, vec!["Lcom/deadlib/sdk/A;"]);
+        assert_eq!(report.dead_packages, vec!["com.deadlib.sdk"]);
+        let dead_only: Vec<u32> = report.dead_only_apis().map(|a| a.0).collect();
+        assert_eq!(dead_only, vec![9]);
+    }
+
+    #[test]
+    fn unanchored_app_has_no_dead_code() {
+        let apk = parsed(three_class_dex(), vec![]);
+        let report = ReachabilityAnalyzer::new().analyze(&apk);
+        assert!(!report.anchored);
+        assert_eq!(report.dead_code_share(), 0.0);
+        assert!(report.dead_classes.is_empty());
+        assert_eq!(report.flat_apis, report.reachable_apis);
+    }
+
+    #[test]
+    fn package_alive_if_any_class_reached() {
+        // Same package holds a reached and an unreached class: the
+        // package is not dead, the class is.
+        let dex = DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "Lcom/t/x/Main;".into(),
+                    methods: vec![method(&[], &[])],
+                },
+                ClassDef {
+                    name: "Lcom/t/x/Orphan;".into(),
+                    methods: vec![method(&[], &[])],
+                },
+            ],
+        };
+        let apk = parsed(dex, vec![entry()]);
+        let report = ReachabilityAnalyzer::new().analyze(&apk);
+        assert_eq!(report.dead_classes, vec!["Lcom/t/x/Orphan;"]);
+        assert!(report.dead_packages.is_empty());
+    }
+
+    #[test]
+    fn instruments_accumulate_in_shared_registry() {
+        let registry = Registry::new();
+        let analyzer = ReachabilityAnalyzer::with_registry(&registry);
+        let apk = parsed(three_class_dex(), vec![entry()]);
+        analyzer.analyze(&apk);
+        analyzer.analyze(&apk);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("marketscope_analysis_reach_methods_visited_total", &[]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter_value("marketscope_analysis_reach_edges_traversed_total", &[]),
+            Some(2)
+        );
+        let lat = snap
+            .histogram("marketscope_analysis_reach_latency_nanos", &[])
+            .unwrap();
+        assert_eq!(lat.count(), 2);
+    }
+}

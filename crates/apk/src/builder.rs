@@ -114,6 +114,7 @@ mod tests {
             app_label: "Example".into(),
             permissions: vec!["android.permission.INTERNET".into()],
             category: "Tools".into(),
+            components: vec![],
         }
     }
 
@@ -124,6 +125,7 @@ mod tests {
                 methods: vec![MethodDef {
                     api_calls: vec![ApiCallId(5)],
                     code_hash: 77,
+                    invokes: vec![],
                 }],
             }],
         }

@@ -9,30 +9,53 @@
 //!   vectors of the WuKong-style clone detector, and the reachable-API
 //!   set of the PScout-style over-privilege analysis;
 //! * per-method **code-segment hashes** — the second, code-level phase of
-//!   clone detection ("share more than 85% of the code segments").
+//!   clone detection ("share more than 85% of the code segments");
+//! * per-method **intra-app invocation edges** — the call graph the
+//!   reachability pass walks from manifest-declared entry points.
 //!
-//! Layout: magic + counts, then length-prefixed class records. As with the
-//! manifest, decoding is total and bounds-checked.
+//! Layout: magic + counts, then length-prefixed class records. Two wire
+//! versions exist: v1 (`dex035`) has no invocation edges and still
+//! decodes (edge-free); v2 (`dex036`) appends a per-method invoke list
+//! of `(class_index, method_index)` pairs. As with the manifest,
+//! decoding is total and bounds-checked; v2 additionally rejects
+//! dangling edges (refs to classes or methods that do not exist).
 
 use crate::apicalls::{ApiCallId, API_DIMENSIONS};
 use crate::error::ApkError;
 use bytes::{Buf, BufMut};
 
-const MAGIC: u64 = 0x6465_7830_3335_0000; // "dex035"-flavoured
+const MAGIC_V1: u64 = 0x6465_7830_3335_0000; // "dex035"-flavoured
+const MAGIC_V2: u64 = 0x6465_7830_3336_0000; // "dex036"-flavoured
 const MAX_CLASSES: usize = 65_536;
 const MAX_METHODS: usize = 4_096;
 const MAX_CALLS: usize = 65_536;
+const MAX_INVOKES: usize = 65_536;
 const MAX_NAME_LEN: usize = 1_024;
 
-/// One method in a class: its API-call footprint and a hash of its code
-/// segment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A reference to another method in the same DEX file: indices into
+/// `DexFile::classes` and that class's `methods`. Both fit `u16` by the
+/// format's own bounds (`MAX_CLASSES` = 65 536 classes → max index
+/// 65 535; `MAX_METHODS` = 4 096 per class → max index 4 095).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodRef {
+    /// Index of the target class in `DexFile::classes`.
+    pub class: u16,
+    /// Index of the target method within that class's `methods`.
+    pub method: u16,
+}
+
+/// One method in a class: its API-call footprint, a hash of its code
+/// segment, and the intra-app methods it invokes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MethodDef {
     /// Framework API calls performed by this method's body.
     pub api_calls: Vec<ApiCallId>,
     /// A stable hash of the method's instruction stream. Two methods with
     /// equal hashes are "the same code segment" for clone detection.
     pub code_hash: u64,
+    /// Intra-app call edges: other methods in the same DEX this method's
+    /// body invokes. Empty for v1 payloads.
+    pub invokes: Vec<MethodRef>,
 }
 
 /// One class definition.
@@ -68,6 +91,15 @@ impl DexFile {
         self.classes.iter().map(|c| c.methods.len()).sum()
     }
 
+    /// Total number of invocation edges across methods.
+    pub fn edge_count(&self) -> usize {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter())
+            .map(|m| m.invokes.len())
+            .sum()
+    }
+
     /// Iterate every API call in the file (with multiplicity).
     pub fn api_calls(&self) -> impl Iterator<Item = ApiCallId> + '_ {
         self.classes
@@ -84,10 +116,20 @@ impl DexFile {
             .map(|m| m.code_hash)
     }
 
-    /// Encode to the binary layout.
+    /// Encode to the current (v2) binary layout, edges included.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_magic(MAGIC_V2)
+    }
+
+    /// Encode to the legacy v1 layout. Invocation edges are dropped on
+    /// the wire; decoding the result yields an edge-free file.
+    pub fn encode_v1(&self) -> Vec<u8> {
+        self.encode_with_magic(MAGIC_V1)
+    }
+
+    fn encode_with_magic(&self, magic: u64) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 * self.classes.len().max(1));
-        out.put_u64_le(MAGIC);
+        out.put_u64_le(magic);
         out.put_u32_le(self.classes.len() as u32);
         for c in &self.classes {
             let name = c.name.as_bytes();
@@ -100,20 +142,32 @@ impl DexFile {
                 for a in &m.api_calls {
                     out.put_u32_le(a.0);
                 }
+                if magic == MAGIC_V2 {
+                    out.put_u16_le(m.invokes.len() as u16);
+                    for r in &m.invokes {
+                        out.put_u16_le(r.class);
+                        out.put_u16_le(r.method);
+                    }
+                }
             }
         }
         out
     }
 
-    /// Decode from the binary layout; total and bounds-checked.
+    /// Decode from either binary layout; total and bounds-checked. v1
+    /// payloads produce edge-free files; v2 payloads are additionally
+    /// checked for dangling invocation edges.
     pub fn decode(bytes: &[u8]) -> Result<DexFile, ApkError> {
         let mut buf = bytes;
         if buf.remaining() < 12 {
             return Err(ApkError::Dex("truncated header"));
         }
-        if buf.get_u64_le() != MAGIC {
-            return Err(ApkError::Dex("bad magic"));
-        }
+        let magic = buf.get_u64_le();
+        let with_edges = match magic {
+            MAGIC_V1 => false,
+            MAGIC_V2 => true,
+            _ => return Err(ApkError::Dex("bad magic")),
+        };
         let class_count = buf.get_u32_le() as usize;
         if class_count > MAX_CLASSES {
             return Err(ApkError::Bounds {
@@ -175,15 +229,63 @@ impl DexFile {
                     })?;
                     api_calls.push(id);
                 }
+                let mut invokes = Vec::new();
+                if with_edges {
+                    if buf.remaining() < 2 {
+                        return Err(ApkError::Dex("truncated invoke count"));
+                    }
+                    let invoke_count = buf.get_u16_le() as usize;
+                    if invoke_count > MAX_INVOKES {
+                        return Err(ApkError::Bounds {
+                            what: "invoke count",
+                            value: invoke_count as u64,
+                        });
+                    }
+                    if buf.remaining() < invoke_count * 4 {
+                        return Err(ApkError::Dex("truncated invoke list"));
+                    }
+                    invokes.reserve(invoke_count);
+                    for _ in 0..invoke_count {
+                        let class = buf.get_u16_le();
+                        let method = buf.get_u16_le();
+                        // Class index validated against the header count
+                        // here; the method index is validated post-decode
+                        // once the target class's method list is known.
+                        if (class as usize) >= class_count {
+                            return Err(ApkError::Bounds {
+                                what: "invoke class index",
+                                value: class as u64,
+                            });
+                        }
+                        invokes.push(MethodRef { class, method });
+                    }
+                }
                 methods.push(MethodDef {
                     api_calls,
                     code_hash,
+                    invokes,
                 });
             }
             classes.push(ClassDef { name, methods });
         }
         if buf.has_remaining() {
             return Err(ApkError::Dex("trailing bytes"));
+        }
+        if with_edges {
+            // Dangling-method check: every edge must land on a method that
+            // actually exists in its (already bounds-checked) target class.
+            for c in &classes {
+                for m in &c.methods {
+                    for r in &m.invokes {
+                        if (r.method as usize) >= classes[r.class as usize].methods.len() {
+                            return Err(ApkError::Bounds {
+                                what: "invoke method index",
+                                value: r.method as u64,
+                            });
+                        }
+                    }
+                }
+            }
         }
         Ok(DexFile { classes })
     }
@@ -205,10 +307,21 @@ mod tests {
                         MethodDef {
                             api_calls: vec![ApiCallId(1), ApiCallId(500), ApiCallId(44_000)],
                             code_hash: 0xDEAD_BEEF,
+                            invokes: vec![
+                                MethodRef {
+                                    class: 0,
+                                    method: 1,
+                                },
+                                MethodRef {
+                                    class: 1,
+                                    method: 0,
+                                },
+                            ],
                         },
                         MethodDef {
                             api_calls: vec![],
                             code_hash: 0x1234,
+                            invokes: vec![],
                         },
                     ],
                 },
@@ -217,6 +330,7 @@ mod tests {
                     methods: vec![MethodDef {
                         api_calls: vec![ApiCallId(7)],
                         code_hash: 42,
+                        invokes: vec![],
                     }],
                 },
             ],
@@ -233,6 +347,24 @@ mod tests {
     fn empty_dex_round_trips() {
         let d = DexFile::default();
         assert_eq!(DexFile::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn v1_bytes_still_decode_edge_free() {
+        let d = sample();
+        let back = DexFile::decode(&d.encode_v1()).unwrap();
+        // Same structure, API calls and code hashes; edges dropped.
+        assert_eq!(back.classes.len(), d.classes.len());
+        for (a, b) in back.classes.iter().zip(&d.classes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.methods.len(), b.methods.len());
+            for (ma, mb) in a.methods.iter().zip(&b.methods) {
+                assert_eq!(ma.api_calls, mb.api_calls);
+                assert_eq!(ma.code_hash, mb.code_hash);
+                assert!(ma.invokes.is_empty());
+            }
+        }
+        assert_eq!(back.edge_count(), 0);
     }
 
     #[test]
@@ -258,6 +390,7 @@ mod tests {
     fn iterators_cover_everything() {
         let d = sample();
         assert_eq!(d.method_count(), 3);
+        assert_eq!(d.edge_count(), 2);
         assert_eq!(d.api_calls().count(), 4);
         let segs: Vec<u64> = d.code_segments().collect();
         assert_eq!(segs, vec![0xDEAD_BEEF, 0x1234, 42]);
@@ -272,6 +405,14 @@ mod tests {
     }
 
     #[test]
+    fn rejects_truncation_everywhere_v1() {
+        let bytes = sample().encode_v1();
+        for cut in 0..bytes.len() {
+            assert!(DexFile::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
     fn rejects_out_of_range_api_id() {
         let mut d = sample();
         d.classes[0].methods[0].api_calls[0] = ApiCallId(API_DIMENSIONS); // invalid by fiat
@@ -280,6 +421,39 @@ mod tests {
             DexFile::decode(&bytes),
             Err(ApkError::Bounds {
                 what: "api call id",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_class_ref() {
+        let mut d = sample();
+        d.classes[0].methods[0].invokes[0] = MethodRef {
+            class: 9,
+            method: 0,
+        };
+        assert!(matches!(
+            DexFile::decode(&d.encode()),
+            Err(ApkError::Bounds {
+                what: "invoke class index",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_method_ref() {
+        let mut d = sample();
+        // Class 1 exists but has only one method; index 5 dangles.
+        d.classes[0].methods[0].invokes[0] = MethodRef {
+            class: 1,
+            method: 5,
+        };
+        assert!(matches!(
+            DexFile::decode(&d.encode()),
+            Err(ApkError::Bounds {
+                what: "invoke method index",
                 ..
             })
         ));

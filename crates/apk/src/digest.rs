@@ -3,15 +3,23 @@
 //! The paper's pipeline parses millions of APKs once and then works from
 //! extracted features. [`ApkDigest`] is that extraction: everything the
 //! downstream analyses need — identity, manifest facts, the WuKong-style
-//! sparse API-call vector, code-segment hashes, and per-Java-package
-//! feature hashes for library clustering — in a fraction of the parsed
-//! APK's memory, so snapshots of whole markets stay cheap.
+//! sparse API-call vector, code-segment hashes, per-Java-package
+//! feature hashes for library clustering, and the statically *reachable*
+//! API subset (worklist pass from the manifest-declared components) — in
+//! a fraction of the parsed APK's memory, so snapshots of whole markets
+//! stay cheap.
+//!
+//! Reachability policy: a manifest with no declared components (all v1
+//! payloads) gives no entry points to anchor the walk, so every method is
+//! conservatively treated as reachable and the flat and reachable views
+//! coincide.
 
 use crate::apicalls::ApiCallId;
 use crate::parse::ParsedApk;
+use crate::reach::{CallGraph, ReachStats};
 use marketscope_core::hash::{fnv1a64, mix64};
 use marketscope_core::{AppKey, DeveloperKey, PackageName, VersionCode};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Feature summary of one Java package subtree inside an APK.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,14 +28,32 @@ pub struct PackageFeature {
     pub java_package: String,
     /// Order-insensitive hash over the subtree's classes (method API
     /// calls + code hashes). Two apps embedding the same library version
-    /// produce the same hash.
+    /// produce the same hash. Invocation edges are deliberately excluded
+    /// so edge wiring never perturbs library/clone clustering.
     pub feature_hash: u64,
     /// Number of classes in the subtree.
     pub class_count: u32,
-    /// Sparse API-call count vector of this subtree, sorted by id.
+    /// Sparse API-call count vector of this subtree (flat: every method
+    /// counted), sorted by id.
     pub api_counts: Vec<(u32, u16)>,
+    /// Sparse API-call count vector restricted to methods reachable from
+    /// the manifest-declared components, sorted by id. Equals
+    /// `api_counts` when the manifest declares no components.
+    pub reachable_api_counts: Vec<(u32, u16)>,
     /// Method code-segment hashes of this subtree, sorted.
     pub code_segments: Vec<u64>,
+    /// Total methods in the subtree.
+    pub method_count: u32,
+    /// Methods reachable from the declared components.
+    pub reachable_method_count: u32,
+}
+
+impl PackageFeature {
+    /// Whether no method of the subtree is reachable (a fully dead
+    /// package — typically a bundled-but-unused library).
+    pub fn is_dead(&self) -> bool {
+        self.method_count > 0 && self.reachable_method_count == 0
+    }
 }
 
 /// The analysis-ready digest of one APK.
@@ -53,6 +79,9 @@ pub struct ApkDigest {
     pub file_md5: [u8; 16],
     /// Names of channel files found under META-INF/.
     pub channels: Vec<String>,
+    /// Number of components the manifest declared (0 ⇒ reachability fell
+    /// back to "everything reachable").
+    pub component_count: u32,
     /// Per-Java-package features: library detection, clone detection
     /// (with library subtrees excluded), over-privilege analysis and AV
     /// scanning all read from these.
@@ -62,16 +91,33 @@ pub struct ApkDigest {
 impl ApkDigest {
     /// Extract a digest from a parsed APK.
     pub fn from_parsed(apk: &ParsedApk) -> ApkDigest {
+        Self::from_parsed_with_stats(apk).0
+    }
+
+    /// Extract a digest and return the reachability-pass counters
+    /// alongside it (telemetry feed for the crawl pipeline).
+    pub fn from_parsed_with_stats(apk: &ParsedApk) -> (ApkDigest, ReachStats) {
+        // Entry points: the classes of the manifest-declared components.
+        // No components ⇒ no anchoring information ⇒ conservatively mark
+        // everything reachable (v1 semantics).
+        let graph = CallGraph::new(&apk.dex);
+        let reach = if apk.manifest.components.is_empty() {
+            graph.reach_all()
+        } else {
+            graph.reach_from_classes(apk.manifest.components.iter().map(|c| c.class.as_str()))
+        };
+        let stats = reach.stats;
+
         // Group classes by their full Java package: in this substrate a
         // library's classes sit directly under its root package, so the
         // group name is the library root (LibRadar walks real package
         // trees at several depths; flat grouping is the equivalent here).
-        let mut groups: BTreeMap<String, Vec<&crate::dex::ClassDef>> = BTreeMap::new();
-        for class in &apk.dex.classes {
+        let mut groups: BTreeMap<String, Vec<(usize, &crate::dex::ClassDef)>> = BTreeMap::new();
+        for (ci, class) in apk.dex.classes.iter().enumerate() {
             let pkg = class
                 .java_package()
                 .unwrap_or_else(|| "<default>".to_owned());
-            groups.entry(pkg).or_default().push(class);
+            groups.entry(pkg).or_default().push((ci, class));
         }
         let package_features = groups
             .into_iter()
@@ -80,16 +126,28 @@ impl ApkDigest {
                 // mix so permutations of the class list agree.
                 let mut acc = 0u64;
                 let mut api_counts: BTreeMap<u32, u16> = BTreeMap::new();
+                let mut reachable_api_counts: BTreeMap<u32, u16> = BTreeMap::new();
                 let mut code_segments = Vec::new();
-                for c in &classes {
+                let mut method_count = 0u32;
+                let mut reachable_method_count = 0u32;
+                for (ci, c) in &classes {
                     let mut h = fnv1a64(&[]);
-                    for m in &c.methods {
+                    for (mi, m) in c.methods.iter().enumerate() {
+                        let reached = reach.is_reached(*ci, mi);
+                        method_count += 1;
+                        if reached {
+                            reachable_method_count += 1;
+                        }
                         let mut calls: Vec<u32> = m.api_calls.iter().map(|a| a.0).collect();
                         calls.sort_unstable();
                         for call in calls {
                             h = mix64(h, call as u64);
                             let cnt = api_counts.entry(call).or_insert(0);
                             *cnt = cnt.saturating_add(1);
+                            if reached {
+                                let cnt = reachable_api_counts.entry(call).or_insert(0);
+                                *cnt = cnt.saturating_add(1);
+                            }
                         }
                         h = mix64(h, m.code_hash);
                         code_segments.push(m.code_hash);
@@ -102,11 +160,14 @@ impl ApkDigest {
                     class_count: classes.len() as u32,
                     java_package,
                     api_counts: api_counts.into_iter().collect(),
+                    reachable_api_counts: reachable_api_counts.into_iter().collect(),
                     code_segments,
+                    method_count,
+                    reachable_method_count,
                 }
             })
             .collect();
-        ApkDigest {
+        let digest = ApkDigest {
             package: apk.manifest.package.clone(),
             version_code: apk.manifest.version_code,
             version_name: apk.manifest.version_name.clone(),
@@ -117,13 +178,22 @@ impl ApkDigest {
             signature_valid: apk.signature_valid,
             file_md5: apk.file_md5,
             channels: apk.channels.iter().map(|(n, _)| n.clone()).collect(),
+            component_count: apk.manifest.components.len() as u32,
             package_features,
-        }
+        };
+        (digest, stats)
     }
 
     /// Parse raw APK bytes straight into a digest.
     pub fn from_bytes(bytes: &[u8]) -> Result<ApkDigest, crate::error::ApkError> {
         Ok(Self::from_parsed(&ParsedApk::parse(bytes)?))
+    }
+
+    /// Parse raw APK bytes into a digest plus reachability counters.
+    pub fn from_bytes_with_stats(
+        bytes: &[u8],
+    ) -> Result<(ApkDigest, ReachStats), crate::error::ApkError> {
+        Ok(Self::from_parsed_with_stats(&ParsedApk::parse(bytes)?))
     }
 
     /// The release key (package + version).
@@ -144,12 +214,29 @@ impl ApkDigest {
     }
 
     /// Iterate the distinct API calls of the whole app (for permission
-    /// mapping).
+    /// mapping). Deduplicated across Java packages: an API called from
+    /// two packages is yielded once.
     pub fn api_calls(&self) -> impl Iterator<Item = ApiCallId> + '_ {
         self.package_features
             .iter()
             .flat_map(|f| f.api_counts.iter())
-            .map(|(id, _)| ApiCallId(*id))
+            .map(|(id, _)| *id)
+            .collect::<BTreeSet<u32>>()
+            .into_iter()
+            .map(ApiCallId)
+    }
+
+    /// Iterate the distinct *reachable* API calls of the whole app —
+    /// the PScout input once dead code is discounted. Deduplicated
+    /// across Java packages.
+    pub fn reachable_api_calls(&self) -> impl Iterator<Item = ApiCallId> + '_ {
+        self.package_features
+            .iter()
+            .flat_map(|f| f.reachable_api_counts.iter())
+            .map(|(id, _)| *id)
+            .collect::<BTreeSet<u32>>()
+            .into_iter()
+            .map(ApiCallId)
     }
 
     /// Iterate every method code-segment hash in the app.
@@ -167,16 +254,53 @@ impl ApkDigest {
             .map(|(_, c)| *c as u64)
             .sum()
     }
+
+    /// Total methods across packages.
+    pub fn method_total(&self) -> u64 {
+        self.package_features
+            .iter()
+            .map(|f| f.method_count as u64)
+            .sum()
+    }
+
+    /// Methods reachable from the declared components.
+    pub fn reachable_method_total(&self) -> u64 {
+        self.package_features
+            .iter()
+            .map(|f| f.reachable_method_count as u64)
+            .sum()
+    }
+
+    /// Share of methods *not* reachable, in `[0, 1]`; 0 for an empty
+    /// app. This is the dead-code share Figure 11's caveat table reports.
+    pub fn dead_code_share(&self) -> f64 {
+        let total = self.method_total();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.reachable_method_total() as f64 / total as f64
+        }
+    }
+
+    /// Java packages with methods but none reachable — bundled dead
+    /// subtrees (typically unused libraries).
+    pub fn dead_packages(&self) -> impl Iterator<Item = &PackageFeature> + '_ {
+        self.package_features.iter().filter(|f| f.is_dead())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::ApkBuilder;
-    use crate::dex::{ClassDef, DexFile, MethodDef};
-    use crate::manifest::Manifest;
+    use crate::dex::{ClassDef, DexFile, MethodDef, MethodRef};
+    use crate::manifest::{Component, ComponentKind, Manifest};
 
-    fn build(classes: Vec<ClassDef>, pkg: &str) -> Vec<u8> {
+    fn build_with_components(
+        classes: Vec<ClassDef>,
+        pkg: &str,
+        components: Vec<Component>,
+    ) -> Vec<u8> {
         let manifest = Manifest {
             package: PackageName::new(pkg).unwrap(),
             version_code: VersionCode(1),
@@ -186,10 +310,15 @@ mod tests {
             app_label: "Test".into(),
             permissions: vec!["android.permission.INTERNET".into()],
             category: "Tools".into(),
+            components,
         };
         ApkBuilder::new(manifest, DexFile { classes })
             .build(DeveloperKey::from_label("d"))
             .unwrap()
+    }
+
+    fn build(classes: Vec<ClassDef>, pkg: &str) -> Vec<u8> {
+        build_with_components(classes, pkg, vec![])
     }
 
     fn class(name: &str, calls: &[u32], hash: u64) -> ClassDef {
@@ -198,6 +327,7 @@ mod tests {
             methods: vec![MethodDef {
                 api_calls: calls.iter().map(|c| ApiCallId(*c)).collect(),
                 code_hash: hash,
+                invokes: vec![],
             }],
         }
     }
@@ -266,10 +396,6 @@ mod tests {
     fn feature_hash_changes_with_content() {
         let a = build(vec![class("Lcom/lib/x/A;", &[1], 10)], "com.my.app");
         let b = build(vec![class("Lcom/lib/x/A;", &[1], 11)], "com.my.app");
-        let fa = ApkDigest::from_bytes(&a).unwrap().package_features[0].feature_hash;
-        let fb = ApkDigest::from_bytes(&b).unwrap().package_features[0].feature_hash;
-        // The own-package (com.my) differs? No — compare com.lib features.
-        let _ = (fa, fb);
         let da = ApkDigest::from_bytes(&a).unwrap();
         let db = ApkDigest::from_bytes(&b).unwrap();
         let la = da
@@ -291,5 +417,107 @@ mod tests {
         let d = ApkDigest::from_bytes(&bytes).unwrap();
         assert_eq!(d.api_total(), 3);
         assert_eq!(d.api_calls().count(), 1); // distinct ids
+    }
+
+    #[test]
+    fn api_calls_dedup_across_packages() {
+        // The same API id called from two Java packages must be yielded
+        // once: the doc promises *distinct* calls of the whole app.
+        let bytes = build(
+            vec![
+                class("Lcom/a/b/C;", &[5, 9], 1),
+                class("Lcom/x/y/Z;", &[5], 2),
+            ],
+            "com.a.b",
+        );
+        let d = ApkDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(d.package_features.len(), 2);
+        let ids: Vec<u32> = d.api_calls().map(|a| a.0).collect();
+        assert_eq!(ids, vec![5, 9]);
+    }
+
+    #[test]
+    fn no_components_means_everything_reachable() {
+        let bytes = build(
+            vec![
+                class("Lcom/my/app/Main;", &[1], 100),
+                class("Lcom/umeng/analytics/A;", &[7], 200),
+            ],
+            "com.my.app",
+        );
+        let (d, stats) = ApkDigest::from_bytes_with_stats(&bytes).unwrap();
+        assert_eq!(d.component_count, 0);
+        assert_eq!(d.method_total(), 2);
+        assert_eq!(d.reachable_method_total(), 2);
+        assert_eq!(d.dead_code_share(), 0.0);
+        assert_eq!(d.dead_packages().count(), 0);
+        assert_eq!(stats.methods_reached, 2);
+        for f in &d.package_features {
+            assert_eq!(f.api_counts, f.reachable_api_counts);
+        }
+    }
+
+    #[test]
+    fn components_gate_reachable_features() {
+        // Main invokes the lib's A; B is a dead bundled subtree.
+        let classes = vec![
+            ClassDef {
+                name: "Lcom/my/app/Main;".into(),
+                methods: vec![MethodDef {
+                    api_calls: vec![ApiCallId(1)],
+                    code_hash: 100,
+                    invokes: vec![MethodRef {
+                        class: 1,
+                        method: 0,
+                    }],
+                }],
+            },
+            class("Lcom/umeng/analytics/A;", &[7], 200),
+            class("Lcom/dead/lib/B;", &[9], 300),
+        ];
+        let bytes = build_with_components(
+            classes,
+            "com.my.app",
+            vec![Component {
+                kind: ComponentKind::Activity,
+                class: "Lcom/my/app/Main;".into(),
+            }],
+        );
+        let (d, stats) = ApkDigest::from_bytes_with_stats(&bytes).unwrap();
+        assert_eq!(d.component_count, 1);
+        assert_eq!(d.method_total(), 3);
+        assert_eq!(d.reachable_method_total(), 2);
+        assert!((d.dead_code_share() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stats.edges_traversed, 1);
+        // Flat view still sees everything.
+        let flat: Vec<u32> = d.api_calls().map(|a| a.0).collect();
+        assert_eq!(flat, vec![1, 7, 9]);
+        // Reachable view drops the dead subtree's call.
+        let reachable: Vec<u32> = d.reachable_api_calls().map(|a| a.0).collect();
+        assert_eq!(reachable, vec![1, 7]);
+        let dead: Vec<&str> = d.dead_packages().map(|f| f.java_package.as_str()).collect();
+        assert_eq!(dead, vec!["com.dead.lib"]);
+    }
+
+    #[test]
+    fn edges_do_not_perturb_feature_hash() {
+        // Same classes, one wired with an edge: library clustering and
+        // clone detection must see identical features.
+        let plain = vec![class("Lcom/a/b/C;", &[5], 1), class("Lcom/a/b/D;", &[6], 2)];
+        let mut wired = plain.clone();
+        wired[0].methods[0].invokes.push(MethodRef {
+            class: 1,
+            method: 0,
+        });
+        let dp = ApkDigest::from_bytes(&build(plain, "com.a.b")).unwrap();
+        let dw = ApkDigest::from_bytes(&build(wired, "com.a.b")).unwrap();
+        assert_eq!(
+            dp.package_features[0].feature_hash,
+            dw.package_features[0].feature_hash
+        );
+        assert_eq!(
+            dp.package_features[0].api_counts,
+            dw.package_features[0].api_counts
+        );
     }
 }

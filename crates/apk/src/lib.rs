@@ -39,15 +39,17 @@ pub mod error;
 pub mod manifest;
 pub mod parse;
 pub mod permmap;
+pub mod reach;
 pub mod zip;
 
 pub use apicalls::{ApiCallId, API_DIMENSIONS};
 pub use builder::ApkBuilder;
 pub use cert::Signature;
-pub use dex::{ClassDef, DexFile, MethodDef};
+pub use dex::{ClassDef, DexFile, MethodDef, MethodRef};
 pub use digest::{ApkDigest, PackageFeature};
 pub use error::ApkError;
-pub use manifest::Manifest;
+pub use manifest::{Component, ComponentKind, Manifest};
+pub use reach::{CallGraph, ReachStats, Reachability};
 pub use parse::ParsedApk;
 pub use permmap::{Permission, PermissionMap};
 pub use zip::{ZipArchive, ZipEntry};

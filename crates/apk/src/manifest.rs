@@ -2,20 +2,69 @@
 //!
 //! Real APKs carry a compiled "AXML" manifest. We encode the same facts the
 //! paper's analyses consume — package name, version code and name, minimum
-//! and target SDK levels, declared permissions, a human-readable app label
-//! and the store category hint — in a compact binary layout inspired by
-//! AXML: a magic header, a length-prefixed UTF-8 string pool, and typed
-//! attribute records that reference the pool.
+//! and target SDK levels, declared permissions, a human-readable app label,
+//! the store category hint, and the declared components (activities,
+//! services, broadcast receivers) whose classes are the static-analysis
+//! entry points — in a compact binary layout inspired by AXML: a magic
+//! header, a length-prefixed UTF-8 string pool, and typed attribute
+//! records that reference the pool.
+//!
+//! Two wire versions exist: v1 has no component records and still
+//! decodes (component-free); v2 appends the component classes to the
+//! string pool plus one kind byte per component.
 
 use crate::error::ApkError;
 use bytes::{Buf, BufMut};
 use marketscope_core::{PackageName, VersionCode};
 
 const MAGIC: u32 = 0x0041_584D; // "AXM\0"-ish
-const VERSION: u16 = 1;
+const VERSION_V1: u16 = 1;
+const VERSION_V2: u16 = 2;
 const MAX_STRINGS: usize = 65_536;
 const MAX_STRING_LEN: usize = 4_096;
 const MAX_PERMISSIONS: usize = 512;
+const MAX_COMPONENTS: usize = 256;
+
+/// The kind of a declared manifest component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentKind {
+    /// `<activity>` — UI entry point.
+    Activity,
+    /// `<service>` — background entry point.
+    Service,
+    /// `<receiver>` — broadcast entry point.
+    Receiver,
+}
+
+impl ComponentKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            ComponentKind::Activity => 0,
+            ComponentKind::Service => 1,
+            ComponentKind::Receiver => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ComponentKind> {
+        match b {
+            0 => Some(ComponentKind::Activity),
+            1 => Some(ComponentKind::Service),
+            2 => Some(ComponentKind::Receiver),
+            _ => None,
+        }
+    }
+}
+
+/// One declared component: the framework instantiates its class, making
+/// it a root of the app's call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// What kind of component the manifest declares.
+    pub kind: ComponentKind,
+    /// JVM-style class descriptor, e.g. `Lcom/kugou/android/Main;`,
+    /// matching a `ClassDef::name` in the DEX.
+    pub class: String,
+}
 
 /// The facts declared by an app's manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,12 +86,49 @@ pub struct Manifest {
     pub permissions: Vec<String>,
     /// The developer-reported store category string (possibly junk).
     pub category: String,
+    /// Declared components — the reachability entry points. Empty for v1
+    /// payloads, which analyses treat as "entry points unknown" (every
+    /// method is conservatively reachable).
+    pub components: Vec<Component>,
 }
 
 impl Manifest {
-    /// Encode to the binary manifest layout.
+    /// Encode to the current (v2) binary manifest layout.
     pub fn encode(&self) -> Vec<u8> {
-        // String pool: label, version name, category, then permissions.
+        // String pool: package, version name, label, category, then
+        // permissions, then component classes.
+        let mut pool: Vec<&str> = vec![
+            self.package.as_str(),
+            &self.version_name,
+            &self.app_label,
+            &self.category,
+        ];
+        pool.extend(self.permissions.iter().map(String::as_str));
+        pool.extend(self.components.iter().map(|c| c.class.as_str()));
+
+        let mut out = Vec::with_capacity(128 + pool.iter().map(|s| s.len() + 2).sum::<usize>());
+        out.put_u32_le(MAGIC);
+        out.put_u16_le(VERSION_V2);
+        out.put_u32_le(self.version_code.0);
+        out.put_u8(self.min_sdk);
+        out.put_u8(self.target_sdk);
+        out.put_u16_le(self.permissions.len() as u16);
+        out.put_u16_le(self.components.len() as u16);
+        out.put_u16_le(pool.len() as u16);
+        for s in pool {
+            let b = s.as_bytes();
+            out.put_u16_le(b.len() as u16);
+            out.put_slice(b);
+        }
+        for c in &self.components {
+            out.put_u8(c.kind.to_byte());
+        }
+        out
+    }
+
+    /// Encode to the legacy v1 layout. Components are dropped on the
+    /// wire; decoding the result yields a component-free manifest.
+    pub fn encode_v1(&self) -> Vec<u8> {
         let mut pool: Vec<&str> = vec![
             self.package.as_str(),
             &self.version_name,
@@ -53,7 +139,7 @@ impl Manifest {
 
         let mut out = Vec::with_capacity(128 + pool.iter().map(|s| s.len() + 2).sum::<usize>());
         out.put_u32_le(MAGIC);
-        out.put_u16_le(VERSION);
+        out.put_u16_le(VERSION_V1);
         out.put_u32_le(self.version_code.0);
         out.put_u8(self.min_sdk);
         out.put_u8(self.target_sdk);
@@ -67,7 +153,7 @@ impl Manifest {
         out
     }
 
-    /// Decode from the binary manifest layout. Total: every malformed
+    /// Decode from either binary manifest layout. Total: every malformed
     /// input produces `ApkError::Manifest`, never a panic.
     pub fn decode(bytes: &[u8]) -> Result<Manifest, ApkError> {
         let mut buf = bytes;
@@ -77,13 +163,25 @@ impl Manifest {
         if buf.get_u32_le() != MAGIC {
             return Err(ApkError::Manifest("bad magic"));
         }
-        if buf.get_u16_le() != VERSION {
+        let version = buf.get_u16_le();
+        if version != VERSION_V1 && version != VERSION_V2 {
             return Err(ApkError::Manifest("unsupported version"));
         }
         let version_code = VersionCode(buf.get_u32_le());
         let min_sdk = buf.get_u8();
         let target_sdk = buf.get_u8();
         let perm_count = buf.get_u16_le() as usize;
+        let comp_count = if version == VERSION_V2 {
+            if buf.remaining() < 2 {
+                return Err(ApkError::Manifest("truncated header"));
+            }
+            buf.get_u16_le() as usize
+        } else {
+            0
+        };
+        if buf.remaining() < 2 {
+            return Err(ApkError::Manifest("truncated header"));
+        }
         let pool_count = buf.get_u16_le() as usize;
         if perm_count > MAX_PERMISSIONS {
             return Err(ApkError::Bounds {
@@ -91,7 +189,13 @@ impl Manifest {
                 value: perm_count as u64,
             });
         }
-        if pool_count > MAX_STRINGS || pool_count != 4 + perm_count {
+        if comp_count > MAX_COMPONENTS {
+            return Err(ApkError::Bounds {
+                what: "component count",
+                value: comp_count as u64,
+            });
+        }
+        if pool_count > MAX_STRINGS || pool_count != 4 + perm_count + comp_count {
             return Err(ApkError::Manifest("inconsistent string pool count"));
         }
         let mut pool = Vec::with_capacity(pool_count);
@@ -115,11 +219,28 @@ impl Manifest {
             buf.advance(len);
             pool.push(s);
         }
+        let mut kinds = Vec::with_capacity(comp_count);
+        for _ in 0..comp_count {
+            if !buf.has_remaining() {
+                return Err(ApkError::Manifest("truncated component kind"));
+            }
+            let kind = ComponentKind::from_byte(buf.get_u8())
+                .ok_or(ApkError::Manifest("unknown component kind"))?;
+            kinds.push(kind);
+        }
         if buf.has_remaining() {
             return Err(ApkError::Manifest("trailing bytes"));
         }
         let package =
             PackageName::new(&pool[0]).map_err(|_| ApkError::Manifest("invalid package name"))?;
+        let components = kinds
+            .into_iter()
+            .zip(pool[4 + perm_count..].iter())
+            .map(|(kind, class)| Component {
+                kind,
+                class: class.clone(),
+            })
+            .collect();
         Ok(Manifest {
             package,
             version_code,
@@ -128,7 +249,8 @@ impl Manifest {
             target_sdk,
             app_label: pool[2].clone(),
             category: pool[3].clone(),
-            permissions: pool[4..].to_vec(),
+            permissions: pool[4..4 + perm_count].to_vec(),
+            components,
         })
     }
 }
@@ -150,6 +272,16 @@ mod tests {
                 "android.permission.READ_PHONE_STATE".into(),
             ],
             category: "Music".into(),
+            components: vec![
+                Component {
+                    kind: ComponentKind::Activity,
+                    class: "Lcom/kugou/android/Main;".into(),
+                },
+                Component {
+                    kind: ComponentKind::Service,
+                    class: "Lcom/kugou/android/PlayerService;".into(),
+                },
+            ],
         }
     }
 
@@ -168,8 +300,34 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_no_components() {
+        let mut m = sample();
+        m.components.clear();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn v1_bytes_still_decode_component_free() {
+        let m = sample();
+        let back = Manifest::decode(&m.encode_v1()).unwrap();
+        assert!(back.components.is_empty());
+        assert_eq!(back.package, m.package);
+        assert_eq!(back.permissions, m.permissions);
+        assert_eq!(back.app_label, m.app_label);
+        assert_eq!(back.category, m.category);
+    }
+
+    #[test]
     fn rejects_truncation_everywhere() {
         let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere_v1() {
+        let bytes = sample().encode_v1();
         for cut in 0..bytes.len() {
             assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
@@ -180,6 +338,19 @@ mod tests {
         let mut bytes = sample().encode();
         bytes.push(0);
         assert!(Manifest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_component_kind() {
+        let bytes = sample().encode();
+        // Kind bytes are the last two bytes of the encoding.
+        let mut bytes = bytes;
+        let last = bytes.len() - 1;
+        bytes[last] = 9;
+        assert!(matches!(
+            Manifest::decode(&bytes),
+            Err(ApkError::Manifest("unknown component kind"))
+        ));
     }
 
     #[test]
@@ -199,8 +370,9 @@ mod tests {
         // then corrupting the first pool string ("com.kugou.android").
         m.version_name = "x".into();
         let mut bytes = m.encode();
-        // First pool string starts right after the 16-byte header + 2-byte len.
-        let start = 16 + 2;
+        // First pool string starts right after the 18-byte v2 header +
+        // 2-byte len.
+        let start = 18 + 2;
         bytes[start] = b'9'; // "9om.kugou.android" → invalid first segment
         assert!(matches!(
             Manifest::decode(&bytes),
@@ -217,7 +389,7 @@ mod tests {
 
     #[test]
     fn garbage_never_panics() {
-        for len in [0usize, 1, 15, 16, 64, 1000] {
+        for len in [0usize, 1, 15, 16, 18, 64, 1000] {
             let junk: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
             let _ = Manifest::decode(&junk);
         }

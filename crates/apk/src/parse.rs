@@ -97,6 +97,7 @@ mod tests {
             app_label: "Example".into(),
             permissions: vec!["android.permission.CAMERA".into()],
             category: "Photography".into(),
+            components: vec![],
         }
     }
 
@@ -107,6 +108,7 @@ mod tests {
                 methods: vec![MethodDef {
                     api_calls: vec![ApiCallId(9)],
                     code_hash: 5,
+                    invokes: vec![],
                 }],
             }],
         }

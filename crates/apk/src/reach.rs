@@ -1,0 +1,290 @@
+//! Call-graph construction and worklist reachability over a [`DexFile`].
+//!
+//! The paper's over-privilege numbers (Section 6.3) come from PScout's
+//! permission map applied to the *statically reachable* API set, not the
+//! flat DEX footprint — bundled-but-unreached library code would otherwise
+//! inflate every app's apparent permission usage. This module is the
+//! format-level core of that pass: it flattens a DEX's methods into a
+//! dense index space, then runs a worklist walk over the per-method
+//! invocation edges starting from a set of entry classes (the
+//! manifest-declared components).
+//!
+//! The core is deliberately free of policy: callers decide what the entry
+//! set is and what "no entry points declared" means (analyses treat it as
+//! "everything reachable", preserving v1 semantics).
+
+use crate::dex::DexFile;
+use std::collections::HashMap;
+
+/// A flattened call graph over one DEX file. Methods are addressed by a
+/// dense flat index (`method_base[class] + method`), so the worklist pass
+/// is a bit-vector walk with no hashing on the hot path.
+pub struct CallGraph<'a> {
+    dex: &'a DexFile,
+    /// Flat index of each class's method 0 (prefix sums).
+    method_base: Vec<u32>,
+    /// Reverse map: flat index → (class index, method index).
+    owner: Vec<(u32, u32)>,
+    /// Class descriptor → class index, for entry-point resolution.
+    by_name: HashMap<&'a str, usize>,
+}
+
+/// Counters describing one reachability pass (telemetry feed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReachStats {
+    /// Total methods in the DEX.
+    pub methods_total: u64,
+    /// Methods marked reachable (== worklist pops).
+    pub methods_reached: u64,
+    /// Invocation edges traversed (each edge once per source visit).
+    pub edges_traversed: u64,
+}
+
+/// The result of a reachability pass: a dense reached-bit per method.
+pub struct Reachability {
+    reached: Vec<bool>,
+    method_base: Vec<u32>,
+    /// Pass counters.
+    pub stats: ReachStats,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Flatten the DEX into a call graph.
+    pub fn new(dex: &'a DexFile) -> CallGraph<'a> {
+        let mut method_base = Vec::with_capacity(dex.classes.len());
+        let mut owner = Vec::with_capacity(dex.method_count());
+        let mut by_name = HashMap::with_capacity(dex.classes.len());
+        let mut next = 0u32;
+        for (ci, class) in dex.classes.iter().enumerate() {
+            method_base.push(next);
+            by_name.insert(class.name.as_str(), ci);
+            for mi in 0..class.methods.len() {
+                owner.push((ci as u32, mi as u32));
+            }
+            next += class.methods.len() as u32;
+        }
+        CallGraph {
+            dex,
+            method_base,
+            owner,
+            by_name,
+        }
+    }
+
+    /// Total methods in the graph.
+    pub fn method_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Total invocation edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.dex.edge_count()
+    }
+
+    /// Resolve a class descriptor to its index.
+    pub fn class_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Worklist reachability from a set of entry classes (every method of
+    /// an entry class is a root, mirroring how the framework may invoke
+    /// any lifecycle callback of a declared component). Entry names that
+    /// match no class are ignored; edges that dangle (possible only in
+    /// hand-built in-memory files, never in decoded ones) are skipped.
+    pub fn reach_from_classes<'n, I>(&self, entries: I) -> Reachability
+    where
+        I: IntoIterator<Item = &'n str>,
+    {
+        let mut reached = vec![false; self.owner.len()];
+        let mut work: Vec<u32> = Vec::new();
+        for name in entries {
+            if let Some(ci) = self.class_index(name) {
+                let base = self.method_base[ci];
+                for mi in 0..self.dex.classes[ci].methods.len() {
+                    let flat = base + mi as u32;
+                    if !reached[flat as usize] {
+                        reached[flat as usize] = true;
+                        work.push(flat);
+                    }
+                }
+            }
+        }
+        let mut stats = ReachStats {
+            methods_total: self.owner.len() as u64,
+            ..ReachStats::default()
+        };
+        while let Some(flat) = work.pop() {
+            stats.methods_reached += 1;
+            let (ci, mi) = self.owner[flat as usize];
+            for r in &self.dex.classes[ci as usize].methods[mi as usize].invokes {
+                stats.edges_traversed += 1;
+                let Some(class) = self.dex.classes.get(r.class as usize) else {
+                    continue;
+                };
+                if (r.method as usize) >= class.methods.len() {
+                    continue;
+                }
+                let tgt = self.method_base[r.class as usize] + r.method as u32;
+                if !reached[tgt as usize] {
+                    reached[tgt as usize] = true;
+                    work.push(tgt);
+                }
+            }
+        }
+        Reachability {
+            reached,
+            method_base: self.method_base.clone(),
+            stats,
+        }
+    }
+
+    /// Mark every method reachable (the conservative fallback when no
+    /// entry points are declared — v1 manifests).
+    pub fn reach_all(&self) -> Reachability {
+        let total = self.owner.len() as u64;
+        Reachability {
+            reached: vec![true; self.owner.len()],
+            method_base: self.method_base.clone(),
+            stats: ReachStats {
+                methods_total: total,
+                methods_reached: total,
+                edges_traversed: 0,
+            },
+        }
+    }
+}
+
+impl Reachability {
+    /// Whether method `method` of class `class` was reached.
+    pub fn is_reached(&self, class: usize, method: usize) -> bool {
+        let flat = self.method_base[class] as usize + method;
+        self.reached[flat]
+    }
+
+    /// Number of reached methods.
+    pub fn reached_count(&self) -> usize {
+        self.stats.methods_reached as usize
+    }
+
+    /// Share of methods reached, in `[0, 1]`; 1.0 for an empty DEX.
+    pub fn reached_share(&self) -> f64 {
+        if self.reached.is_empty() {
+            1.0
+        } else {
+            self.reached_count() as f64 / self.reached.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apicalls::ApiCallId;
+    use crate::dex::{ClassDef, MethodDef, MethodRef};
+
+    fn method(calls: &[u32], invokes: &[(u16, u16)]) -> MethodDef {
+        MethodDef {
+            api_calls: calls.iter().map(|c| ApiCallId(*c)).collect(),
+            code_hash: 7,
+            invokes: invokes
+                .iter()
+                .map(|&(class, method)| MethodRef { class, method })
+                .collect(),
+        }
+    }
+
+    /// Three classes: Main → Helper; Dead is untouched.
+    fn chain() -> DexFile {
+        DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "La/Main;".into(),
+                    methods: vec![method(&[1], &[(1, 0)]), method(&[], &[])],
+                },
+                ClassDef {
+                    name: "La/Helper;".into(),
+                    methods: vec![method(&[2], &[])],
+                },
+                ClassDef {
+                    name: "La/Dead;".into(),
+                    methods: vec![method(&[3], &[])],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn worklist_follows_edges() {
+        let dex = chain();
+        let graph = CallGraph::new(&dex);
+        let r = graph.reach_from_classes(["La/Main;"]);
+        assert!(r.is_reached(0, 0));
+        assert!(r.is_reached(0, 1)); // every entry-class method is a root
+        assert!(r.is_reached(1, 0)); // via edge
+        assert!(!r.is_reached(2, 0)); // dead
+        assert_eq!(r.reached_count(), 3);
+        assert_eq!(r.stats.methods_total, 4);
+        assert_eq!(r.stats.edges_traversed, 1);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let dex = DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "La/A;".into(),
+                    methods: vec![method(&[], &[(1, 0)])],
+                },
+                ClassDef {
+                    name: "La/B;".into(),
+                    methods: vec![method(&[], &[(0, 0), (1, 0)])],
+                },
+            ],
+        };
+        let graph = CallGraph::new(&dex);
+        let r = graph.reach_from_classes(["La/A;"]);
+        assert_eq!(r.reached_count(), 2);
+        assert_eq!(r.stats.edges_traversed, 3);
+    }
+
+    #[test]
+    fn unknown_entries_reach_nothing() {
+        let dex = chain();
+        let graph = CallGraph::new(&dex);
+        let r = graph.reach_from_classes(["Lno/Such;"]);
+        assert_eq!(r.reached_count(), 0);
+        assert_eq!(r.reached_share(), 0.0);
+    }
+
+    #[test]
+    fn reach_all_marks_everything() {
+        let dex = chain();
+        let graph = CallGraph::new(&dex);
+        let r = graph.reach_all();
+        assert_eq!(r.reached_count(), 4);
+        assert_eq!(r.reached_share(), 1.0);
+    }
+
+    #[test]
+    fn dangling_in_memory_edges_are_skipped() {
+        let dex = DexFile {
+            classes: vec![ClassDef {
+                name: "La/A;".into(),
+                methods: vec![method(&[], &[(9, 9), (0, 5)])],
+            }],
+        };
+        let graph = CallGraph::new(&dex);
+        let r = graph.reach_from_classes(["La/A;"]);
+        assert_eq!(r.reached_count(), 1);
+        assert_eq!(r.stats.edges_traversed, 2);
+    }
+
+    #[test]
+    fn empty_dex_is_trivially_reached() {
+        let dex = DexFile::default();
+        let graph = CallGraph::new(&dex);
+        let r = graph.reach_from_classes([]);
+        assert_eq!(r.reached_count(), 0);
+        assert_eq!(r.reached_share(), 1.0);
+    }
+}

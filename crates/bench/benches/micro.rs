@@ -22,6 +22,7 @@ fn sample_dex(classes: usize) -> DexFile {
                             .map(|k| ApiCallId((ci * 31 + mi * 7 + k) as u32 % 40_000))
                             .collect(),
                         code_hash: (ci * 1000 + mi) as u64,
+                        invokes: vec![],
                     })
                     .collect(),
             })

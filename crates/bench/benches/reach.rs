@@ -1,0 +1,89 @@
+//! Reachability-pass benchmarks: call-graph construction and the
+//! worklist walk on a synthetic 10k-method app, at several edge
+//! densities.
+//!
+//! The worklist visits each method once and each edge once, so doubling
+//! the edge count should roughly double walk time (the acceptance
+//! criterion's ~linear scaling); the per-density group IDs make that
+//! comparison directly readable off the criterion report.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marketscope::apk::apicalls::ApiCallId;
+use marketscope::apk::dex::{ClassDef, DexFile, MethodDef, MethodRef};
+use marketscope::apk::reach::CallGraph;
+
+const CLASSES: usize = 1_000;
+const METHODS_PER_CLASS: usize = 10; // 10k methods total
+
+/// A synthetic app: `CLASSES` classes of `METHODS_PER_CLASS` methods,
+/// with `edges_per_method` pseudo-random intra-app invocation edges per
+/// method (deterministic, no RNG dependency).
+fn synthetic_app(edges_per_method: usize) -> DexFile {
+    let classes = (0..CLASSES)
+        .map(|ci| ClassDef {
+            name: format!("Lapp/p{}/C{ci};", ci % 37),
+            methods: (0..METHODS_PER_CLASS)
+                .map(|mi| {
+                    let invokes = (0..edges_per_method)
+                        .map(|k| {
+                            // Splash-mix so the edge targets spread over
+                            // the whole graph rather than clustering.
+                            let h = (ci * 1_000_003 + mi * 10_007 + k * 101) as u64;
+                            let h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                            MethodRef {
+                                class: ((h >> 16) % CLASSES as u64) as u16,
+                                method: ((h >> 48) % METHODS_PER_CLASS as u64) as u16,
+                            }
+                        })
+                        .collect();
+                    MethodDef {
+                        api_calls: vec![ApiCallId(((ci * 7 + mi) % 40_000) as u32)],
+                        code_hash: (ci * 1_000 + mi) as u64,
+                        invokes,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    DexFile { classes }
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let dex = synthetic_app(4);
+    let mut g = c.benchmark_group("reach/build");
+    g.throughput(Throughput::Elements((CLASSES * METHODS_PER_CLASS) as u64));
+    g.bench_function("callgraph_10k_methods", |b| {
+        b.iter(|| CallGraph::new(black_box(&dex)))
+    });
+    g.finish();
+}
+
+fn bench_worklist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reach/worklist");
+    for edges_per_method in [1usize, 2, 4, 8] {
+        let dex = synthetic_app(edges_per_method);
+        let graph = CallGraph::new(&dex);
+        let entry = dex.classes[0].name.clone();
+        g.throughput(Throughput::Elements(dex.edge_count() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("10k_methods_edges_per_method", edges_per_method),
+            &edges_per_method,
+            |b, _| {
+                b.iter(|| graph.reach_from_classes(black_box([entry.as_str()])));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_reach_all(c: &mut Criterion) {
+    let dex = synthetic_app(4);
+    let graph = CallGraph::new(&dex);
+    let mut g = c.benchmark_group("reach/fallback");
+    g.throughput(Throughput::Elements((CLASSES * METHODS_PER_CLASS) as u64));
+    g.bench_function("reach_all_10k_methods", |b| b.iter(|| graph.reach_all()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_worklist, bench_reach_all);
+criterion_main!(benches);

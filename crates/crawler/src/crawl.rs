@@ -6,7 +6,7 @@ use marketscope_core::MarketId;
 use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
 use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::NetError;
-use marketscope_telemetry::{Counter, Gauge, Registry};
+use marketscope_telemetry::{Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::net::SocketAddr;
@@ -86,6 +86,14 @@ struct MarketMetrics {
     dedup_hits: Arc<Counter>,
     /// `marketscope_crawler_bfs_queue_depth` (live frontier size)
     queue_depth: Arc<Gauge>,
+    /// `marketscope_crawler_reach_methods_visited_total` — methods the
+    /// digest-time reachability pass visited across harvested APKs.
+    reach_methods: Arc<Counter>,
+    /// `marketscope_crawler_reach_edges_traversed_total`
+    reach_edges: Arc<Counter>,
+    /// `marketscope_crawler_reach_latency_nanos` — per-APK digest +
+    /// reachability extraction latency.
+    reach_latency: Arc<Histogram>,
 }
 
 impl MarketMetrics {
@@ -96,6 +104,11 @@ impl MarketMetrics {
             apks: registry.counter("marketscope_crawler_apks_harvested_total", &labels),
             dedup_hits: registry.counter("marketscope_crawler_dedup_hits_total", &labels),
             queue_depth: registry.gauge("marketscope_crawler_bfs_queue_depth", &labels),
+            reach_methods: registry
+                .counter("marketscope_crawler_reach_methods_visited_total", &labels),
+            reach_edges: registry
+                .counter("marketscope_crawler_reach_edges_traversed_total", &labels),
+            reach_latency: registry.histogram("marketscope_crawler_reach_latency_nanos", &labels),
         }
     }
 }
@@ -388,10 +401,16 @@ impl Crawler {
             match bytes {
                 Some(bytes) => {
                     metrics.apks.inc();
-                    match ApkDigest::from_bytes(&bytes) {
-                        Ok(digest) => listing.digest = Some(digest),
+                    let span = metrics.reach_latency.start_span();
+                    match ApkDigest::from_bytes_with_stats(&bytes) {
+                        Ok((digest, reach)) => {
+                            metrics.reach_methods.add(reach.methods_reached);
+                            metrics.reach_edges.add(reach.edges_traversed);
+                            listing.digest = Some(digest);
+                        }
                         Err(_) => stats.lock().parse_failures += 1,
                     }
+                    drop(span);
                 }
                 None => stats.lock().apks_missing += 1,
             }

@@ -1478,6 +1478,45 @@ mod tests {
     }
 
     #[test]
+    fn originals_are_fully_wired_but_clones_carry_dead_libs() {
+        let w = tiny_world();
+        let find = |want_original: bool| {
+            w.apps.iter().position(|a| {
+                matches!(a.provenance, Provenance::Original) == want_original
+                    && !a.libs.is_empty()
+                    && a.infection.is_none()
+            })
+        };
+        // Originals invoke every library they bundle: nothing is dead.
+        let orig = find(true).expect("an original with libraries");
+        let bytes = w.build_apk(AppId(orig as u32), 1, false);
+        let d = marketscope_apk::ApkDigest::from_bytes(&bytes).unwrap();
+        assert!(d.component_count > 0);
+        assert_eq!(d.dead_code_share(), 0.0, "original app has dead code");
+        // Fakes and clones keep the victim's libraries as dead cargo.
+        let clone = find(false).expect("a fake or clone with libraries");
+        let bytes = w.build_apk(AppId(clone as u32), 1, false);
+        let d = marketscope_apk::ApkDigest::from_bytes(&bytes).unwrap();
+        assert!(d.dead_code_share() > 0.0, "clone libraries must be dead");
+        assert!(d.dead_packages().count() >= 1);
+        // The flat footprint still sees the dead libraries' API calls.
+        assert!(d.api_calls().count() >= d.reachable_api_calls().count());
+    }
+
+    #[test]
+    fn packed_apps_stay_fully_reachable_via_the_stub() {
+        let w = tiny_world();
+        let orig = w
+            .apps
+            .iter()
+            .position(|a| matches!(a.provenance, Provenance::Original) && !a.libs.is_empty())
+            .unwrap();
+        let bytes = w.build_apk(AppId(orig as u32), 1, true);
+        let d = marketscope_apk::ApkDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(d.dead_code_share(), 0.0, "stub must bootstrap the root");
+    }
+
+    #[test]
     fn obfuscated_build_keeps_identity() {
         let w = tiny_world();
         let bytes = w.build_apk(AppId(0), 1, true);

@@ -227,6 +227,7 @@ impl LibCatalog {
                         MethodDef {
                             api_calls,
                             code_hash: mix64(class_seed, 0xae70 + mi as u64),
+                            invokes: vec![],
                         }
                     })
                     .collect();

@@ -6,8 +6,8 @@ use crate::profiles::Scale;
 use crate::threat::{Infection, ThreatDb};
 use marketscope_apk::apicalls::ApiCallId;
 use marketscope_apk::builder::ApkBuilder;
-use marketscope_apk::dex::{ClassDef, DexFile, MethodDef};
-use marketscope_apk::manifest::Manifest;
+use marketscope_apk::dex::{ClassDef, DexFile, MethodDef, MethodRef};
+use marketscope_apk::manifest::{Component, ComponentKind, Manifest};
 use marketscope_core::hash::mix64;
 use marketscope_core::rng::DetRng;
 use marketscope_core::{Category, DeveloperKey, MarketId, PackageName, SimDate, VersionCode};
@@ -190,6 +190,13 @@ impl World {
     /// mandates (Section 2.1): the app's *own* classes are renamed under
     /// a packer namespace and a stub loader class is added; library code
     /// and method bodies are untouched.
+    ///
+    /// The DEX carries a call graph rooted at the manifest-declared
+    /// components. Originals invoke every library they bundle; fakes and
+    /// clones keep the victim's library subtrees *unwired* — the
+    /// repackager's dead cargo — so reachability-mode over-privilege and
+    /// the dead-code stats diverge from the flat baseline exactly where
+    /// the paper says they should.
     pub fn build_apk(&self, app_id: AppId, version: u32, obfuscated: bool) -> Vec<u8> {
         let app = self.app(app_id);
         let version = version.clamp(1, app.version_count);
@@ -200,14 +207,49 @@ impl World {
             version,
             app.code_mutation,
         );
+        let own_len = classes.len();
+        let mut lib_ranges = Vec::new();
         for lu in &app.libs {
+            let start = classes.len();
             classes.extend(self.libraries.classes_for(*lu));
+            lib_ranges.push((start, classes.len()));
         }
-        if let Some(inf) = app.infection {
+        let payload_range = app.infection.map(|inf| {
+            let start = classes.len();
             classes.extend(payload_classes(&self.threat_db, inf, app.own_code_seed));
-        }
-        if obfuscated {
+            (start, classes.len())
+        });
+        // Wrapping inserts the stub at index 0, shifting every class; the
+        // call graph is wired afterwards so its indices are final.
+        let shift = if obfuscated {
             jiagu_wrap(&mut classes, &app.own_package, app.own_code_seed);
+            1
+        } else {
+            0
+        };
+        let wire_libs = matches!(app.provenance, Provenance::Original);
+        wire_call_graph(
+            &mut classes,
+            shift,
+            own_len,
+            &lib_ranges,
+            payload_range,
+            wire_libs,
+        );
+        let mut components = Vec::new();
+        if !classes.is_empty() {
+            // The launcher activity: the stub loader when packed (which
+            // bootstraps the real root), the own root class otherwise.
+            components.push(Component {
+                kind: ComponentKind::Activity,
+                class: classes[0].name.clone(),
+            });
+            if own_len > 1 {
+                components.push(Component {
+                    kind: ComponentKind::Service,
+                    class: classes[shift + own_len - 1].name.clone(),
+                });
+            }
         }
         let manifest = Manifest {
             package: app.package.clone(),
@@ -218,11 +260,84 @@ impl World {
             app_label: app.label.clone(),
             permissions: app.declared_permissions.clone(),
             category: app.category.label().to_owned(),
+            components,
         };
         let dev = self.developer(app.developer);
         ApkBuilder::new(manifest, DexFile { classes })
             .build(dev.key)
             .expect("generated apk is structurally valid")
+    }
+}
+
+/// Wire the app's intra-DEX call graph after assembly.
+///
+/// * Own code forms a chain (`K0 → K1 → …`) with each class's first
+///   method fanning out to its siblings, so everything own is reachable
+///   from the root.
+/// * Each library subtree is internally coherent (root class fans out to
+///   the rest), but the own→library-root edge is added only when
+///   `wire_libs` is set: originals use the libraries they bundle, while
+///   fakes and clones carry them as dead cargo.
+/// * A malware payload is always invoked from the own root — planted
+///   payloads run.
+/// * Packed apps get a stub→root bootstrap edge.
+///
+/// `shift` is the index displacement introduced by the packer stub (1
+/// when wrapped, 0 otherwise); all recorded ranges predate the stub.
+fn wire_call_graph(
+    classes: &mut [ClassDef],
+    shift: usize,
+    own_len: usize,
+    lib_ranges: &[(usize, usize)],
+    payload_range: Option<(usize, usize)>,
+    wire_libs: bool,
+) {
+    fn edge(class: usize, method: usize) -> MethodRef {
+        MethodRef {
+            class: class as u16,
+            method: method as u16,
+        }
+    }
+    // A segment's first class fans out to the segment's other classes;
+    // every class's first method fans out to its sibling methods.
+    let wire_segment = |classes: &mut [ClassDef], start: usize, end: usize| {
+        for ci in start..end {
+            let abs = shift + ci;
+            let sibs = classes[abs].methods.len();
+            let mut inv: Vec<MethodRef> = (1..sibs).map(|mi| edge(abs, mi)).collect();
+            if ci == start {
+                inv.extend((start + 1..end).map(|c| edge(shift + c, 0)));
+            }
+            classes[abs].methods[0].invokes.extend(inv);
+        }
+    };
+    // Own code: intra-class fan-out plus the K0 → K1 → … chain.
+    for ci in 0..own_len {
+        let abs = shift + ci;
+        let sibs = classes[abs].methods.len();
+        let mut inv: Vec<MethodRef> = (1..sibs).map(|mi| edge(abs, mi)).collect();
+        if ci + 1 < own_len {
+            inv.push(edge(shift + ci + 1, 0));
+        }
+        classes[abs].methods[0].invokes.extend(inv);
+    }
+    for (li, &(start, end)) in lib_ranges.iter().enumerate() {
+        wire_segment(classes, start, end);
+        if wire_libs && own_len > 0 {
+            let host = shift + (li % own_len);
+            let root = edge(shift + start, 0);
+            classes[host].methods[0].invokes.push(root);
+        }
+    }
+    if let Some((start, end)) = payload_range {
+        wire_segment(classes, start, end);
+        if own_len > 0 {
+            let root = edge(shift + start, 0);
+            classes[shift].methods[0].invokes.push(root);
+        }
+    }
+    if shift == 1 && own_len > 0 {
+        classes[0].methods[0].invokes.push(edge(shift, 0));
     }
 }
 
@@ -281,6 +396,7 @@ pub(crate) fn own_classes(
                     MethodDef {
                         api_calls,
                         code_hash,
+                        invokes: vec![],
                     }
                 })
                 .collect();
@@ -312,6 +428,7 @@ pub(crate) fn payload_classes(db: &ThreatDb, infection: Infection, app_seed: u64
         methods: vec![MethodDef {
             api_calls: vec![],
             code_hash: crate::threat::detectability_marker(step),
+            invokes: vec![],
         }],
     });
     for (ci, chunk) in sigs[..take.min(sigs.len())].chunks(3).enumerate() {
@@ -324,6 +441,7 @@ pub(crate) fn payload_classes(db: &ThreatDb, infection: Infection, app_seed: u64
                     ApiCallId((mix64(sig, mi as u64) % 2_048) as u32),
                 ],
                 code_hash: sig,
+                invokes: vec![],
             })
             .collect();
         classes.push(ClassDef {
@@ -351,6 +469,7 @@ fn jiagu_wrap(classes: &mut Vec<ClassDef>, own_package_dotted: &str, seed: u64) 
             methods: vec![MethodDef {
                 api_calls: vec![ApiCallId(1)],
                 code_hash: mix64(seed, 0x360),
+                invokes: vec![],
             }],
         },
     );

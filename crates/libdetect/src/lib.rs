@@ -217,6 +217,7 @@ mod tests {
             methods: vec![MethodDef {
                 api_calls: vec![ApiCallId((seed % 1000) as u32), ApiCallId(idx)],
                 code_hash: seed + idx as u64,
+                invokes: vec![],
             }],
         }
     }
@@ -227,6 +228,7 @@ mod tests {
             methods: vec![MethodDef {
                 api_calls: vec![ApiCallId((own_seed % 40_000) as u32)],
                 code_hash: own_seed,
+                invokes: vec![],
             }],
         }];
         for (lib, seed) in libs {
@@ -243,6 +245,7 @@ mod tests {
             app_label: "T".into(),
             permissions: vec![],
             category: "Tools".into(),
+            components: vec![],
         };
         let bytes = ApkBuilder::new(manifest, DexFile { classes })
             .build(marketscope_core::DeveloperKey::from_label(dev))

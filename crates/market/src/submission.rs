@@ -116,12 +116,14 @@ mod tests {
             app_label: "Submission".into(),
             permissions: vec![],
             category: category.into(),
+            components: vec![],
         };
         let mut classes = vec![ClassDef {
             name: "Lcom/dev/submission/Main;".into(),
             methods: vec![MethodDef {
                 api_calls: vec![],
                 code_hash: 7,
+                invokes: vec![],
             }],
         }];
         if jiagu {

@@ -29,6 +29,7 @@ fn digest(
         app_label: label.to_owned(),
         permissions: vec![],
         category: "Game".into(),
+        components: vec![],
     };
     let classes = vec![ClassDef {
         name: format!("L{}/Main;", pkg.replace('.', "/")),
@@ -37,6 +38,7 @@ fn digest(
             .map(|h| MethodDef {
                 api_calls: calls.iter().map(|c| ApiCallId(*c)).collect(),
                 code_hash: *h,
+                invokes: vec![],
             })
             .collect(),
     }];

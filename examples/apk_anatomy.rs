@@ -30,6 +30,7 @@ fn main() {
             "android.permission.READ_PHONE_STATE".into(),
         ],
         category: "Music".into(),
+        components: vec![],
     };
     let dex = DexFile {
         classes: vec![
@@ -38,6 +39,7 @@ fn main() {
                 methods: vec![MethodDef {
                     api_calls: vec![ApiCallId(101), ApiCallId(2044)],
                     code_hash: 0xFEED_0001,
+                    invokes: vec![],
                 }],
             },
             ClassDef {
@@ -45,6 +47,7 @@ fn main() {
                 methods: vec![MethodDef {
                     api_calls: vec![ApiCallId(7)],
                     code_hash: 0xFEED_0002,
+                    invokes: vec![],
                 }],
             },
         ],

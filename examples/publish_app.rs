@@ -28,12 +28,14 @@ fn build_app(category: &str, jiagu: bool) -> Vec<u8> {
         app_label: "Mega Runner".into(),
         permissions: vec!["android.permission.INTERNET".into()],
         category: category.into(),
+        components: vec![],
     };
     let mut classes = vec![ClassDef {
         name: "Lcom/indie/megarunner/Main;".into(),
         methods: vec![MethodDef {
             api_calls: vec![],
             code_hash: 0xC0FFEE,
+            invokes: vec![],
         }],
     }];
     if jiagu {

@@ -15,6 +15,7 @@ fn campaign() -> &'static Campaign {
             seed: 0xE2E,
             scale: Scale { divisor: 8_000 },
             seed_share: 0.8,
+            progress: false,
         })
     })
 }

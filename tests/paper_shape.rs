@@ -17,6 +17,7 @@ fn campaign() -> &'static Campaign {
             seed: 0x5AFE,
             scale: Scale { divisor: 6_000 },
             seed_share: 0.8,
+            progress: false,
         })
     })
 }
@@ -331,6 +332,7 @@ fn fig11_chinese_apps_are_more_overprivileged() {
     assert!(cn_mean > gp, "CN {cn_mean} vs GP {gp}");
     // Mode of the extra-permission count is small (paper: 3).
     let mode = f11
+        .flat
         .chinese
         .iter()
         .enumerate()
@@ -348,6 +350,43 @@ fn fig11_chinese_apps_are_more_overprivileged() {
         .map(|(p, _)| p.as_str())
         .collect();
     assert!(top3.contains(&"READ_PHONE_STATE"), "top unused: {top3:?}");
+}
+
+#[test]
+fn fig11_reachability_mode_exceeds_flat_baseline() {
+    let f11 = ex::fig11::run(&campaign().analyzed);
+    // Discounting dead code can only shrink the "used" set, so the
+    // reachable-mode over-privileged share dominates the flat one in
+    // every market.
+    for &m in MarketId::ALL.iter() {
+        assert!(
+            f11.market_share_reachable(m) >= f11.market_share(m) - 1e-9,
+            "{m}: reach {} < flat {}",
+            f11.market_share_reachable(m),
+            f11.market_share(m)
+        );
+    }
+    // Fakes and clones carry unreached library subtrees, so the corpus
+    // has real dead code somewhere and the two modes genuinely diverge.
+    let total_dead: f64 = MarketId::ALL.iter().map(|&m| f11.market_dead_code(m)).sum();
+    assert!(total_dead > 0.0, "no dead code anywhere");
+    let flat_sum: f64 = MarketId::ALL
+        .iter()
+        .map(|&m| f11.market_share(m))
+        .sum::<f64>();
+    let reach_sum: f64 = MarketId::ALL
+        .iter()
+        .map(|&m| f11.market_share_reachable(m))
+        .sum::<f64>();
+    assert!(
+        reach_sum > flat_sum,
+        "reachability mode never flagged anything the flat mode missed"
+    );
+    // The render carries both modes plus the dead-code table.
+    let rendered = f11.render();
+    assert!(rendered.contains("Flat footprint"));
+    assert!(rendered.contains("Reachable footprint"));
+    assert!(rendered.contains("Dead code per market"));
 }
 
 #[test]

@@ -5,7 +5,7 @@ use marketscope::apk::apicalls::{ApiCallId, API_DIMENSIONS};
 use marketscope::apk::builder::ApkBuilder;
 use marketscope::apk::dex::{ClassDef, DexFile, MethodDef};
 use marketscope::apk::digest::ApkDigest;
-use marketscope::apk::manifest::Manifest;
+use marketscope::apk::manifest::{Component, ComponentKind, Manifest};
 use marketscope::apk::zip::ZipArchive;
 use marketscope::clonedetect::{normalized_manhattan, segment_overlap};
 use marketscope::core::json::Json;
@@ -31,6 +31,7 @@ fn arb_method() -> impl Strategy<Value = MethodDef> {
         .prop_map(|(calls, hash)| MethodDef {
             api_calls: calls.into_iter().map(ApiCallId).collect(),
             code_hash: hash,
+            invokes: vec![],
         })
 }
 
@@ -47,6 +48,17 @@ fn arb_class() -> impl Strategy<Value = ClassDef> {
         })
 }
 
+fn arb_component() -> impl Strategy<Value = Component> {
+    (0u8..3, "[A-Z][a-zA-Z0-9]{0,6}").prop_map(|(kind, cls)| Component {
+        kind: match kind {
+            0 => ComponentKind::Activity,
+            1 => ComponentKind::Service,
+            _ => ComponentKind::Receiver,
+        },
+        class: format!("Lapp/{cls};"),
+    })
+}
+
 fn arb_manifest() -> impl Strategy<Value = Manifest> {
     (
         arb_package(),
@@ -54,8 +66,9 @@ fn arb_manifest() -> impl Strategy<Value = Manifest> {
         0u8..28,
         proptest::collection::vec("android\\.permission\\.[A-Z_]{3,20}", 0..6),
         "[ -~]{0,30}",
+        proptest::collection::vec(arb_component(), 0..4),
     )
-        .prop_map(|(pkg, vc, sdk, perms, label)| Manifest {
+        .prop_map(|(pkg, vc, sdk, perms, label, components)| Manifest {
             package: PackageName::new(&pkg).expect("generated packages are valid"),
             version_code: VersionCode(vc),
             version_name: format!("{vc}.0"),
@@ -64,6 +77,7 @@ fn arb_manifest() -> impl Strategy<Value = Manifest> {
             app_label: label,
             permissions: perms,
             category: "Tools".into(),
+            components,
         })
 }
 
