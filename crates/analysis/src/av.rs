@@ -86,8 +86,7 @@ impl AvSimulator {
         };
         // Detectability from the variant marker; fall back to a value
         // implied by how many signatures are present.
-        let detectability =
-            decode_detectability(&hashes).unwrap_or(0.05 + 0.03 * sig_count as f64);
+        let detectability = decode_detectability(&hashes).unwrap_or(0.05 + 0.03 * sig_count as f64);
         let fam = self.db.family(family);
         let variant_key = mix64(fnv1a64(fam.name.as_bytes()), md5_key(digest));
         let mut rank = 0;
@@ -105,6 +104,15 @@ impl AvSimulator {
             labels,
             matched_family: Some(family),
         }
+    }
+
+    /// Scan a batch of digests across `workers` threads.
+    ///
+    /// [`scan`](Self::scan) is a pure function of the digest, so the batch
+    /// is embarrassingly parallel; results come back in input order and are
+    /// bit-identical to calling `scan` per digest, regardless of `workers`.
+    pub fn scan_batch(&self, digests: &[&ApkDigest], workers: usize) -> Vec<AvReport> {
+        marketscope_core::parallel::par_map(workers, digests, |d| self.scan(d))
     }
 
     /// The signature database in use.

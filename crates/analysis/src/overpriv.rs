@@ -119,6 +119,20 @@ impl OverprivilegeAnalyzer {
             unused_reachable,
         }
     }
+
+    /// Analyze a batch of digests across `workers` threads.
+    ///
+    /// [`analyze`](Self::analyze) is a pure function of the digest, so the
+    /// batch is embarrassingly parallel; results come back in input order
+    /// and are bit-identical to calling `analyze` per digest, regardless of
+    /// `workers`.
+    pub fn analyze_batch(
+        &self,
+        digests: &[&ApkDigest],
+        workers: usize,
+    ) -> Vec<OverprivilegeResult> {
+        marketscope_core::parallel::par_map(workers, digests, |d| self.analyze(d))
+    }
 }
 
 /// Aggregate a population of results into the Figure 11 histogram:

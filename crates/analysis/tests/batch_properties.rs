@@ -1,0 +1,91 @@
+//! Property tests for the `Sync` batch APIs: for arbitrary APK corpora and
+//! worker counts, `scan_batch` / `analyze_batch` must equal the per-digest
+//! `scan` / `analyze` loop element for element.
+
+use marketscope_analysis::av::AvSimulator;
+use marketscope_analysis::overpriv::OverprivilegeAnalyzer;
+use marketscope_apk::apicalls::ApiCallId;
+use marketscope_apk::builder::ApkBuilder;
+use marketscope_apk::dex::{ClassDef, DexFile, MethodDef};
+use marketscope_apk::digest::ApkDigest;
+use marketscope_apk::manifest::Manifest;
+use marketscope_apk::permmap::PERMISSIONS;
+use marketscope_core::{DeveloperKey, PackageName, VersionCode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a digest from generated parameters: a permission subset, one
+/// class of methods with generated API calls and code hashes.
+fn build_digest(salt: u64, perm_mask: u32, calls: &[u32], hashes: &[u64]) -> ApkDigest {
+    let permissions: Vec<String> = PERMISSIONS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < 32 && perm_mask & (1 << i) != 0)
+        .map(|(_, p)| (*p).to_owned())
+        .collect();
+    let manifest = Manifest {
+        package: PackageName::new(&format!("com.prop.a{}", salt % 97)).unwrap(),
+        version_code: VersionCode((salt % 40) as u32 + 1),
+        version_name: "1".into(),
+        min_sdk: 9,
+        target_sdk: 23,
+        app_label: format!("App{}", salt % 11),
+        permissions,
+        category: "Tools".into(),
+        components: vec![],
+    };
+    let methods: Vec<MethodDef> = hashes
+        .iter()
+        .map(|h| MethodDef {
+            api_calls: calls.iter().map(|c| ApiCallId(*c)).collect(),
+            code_hash: h ^ salt,
+            invokes: vec![],
+        })
+        .collect();
+    let dex = DexFile {
+        classes: vec![ClassDef {
+            name: format!("Lcom/prop/a{}/Main;", salt % 97),
+            methods,
+        }],
+    };
+    let bytes = ApkBuilder::new(manifest, dex)
+        .build(DeveloperKey::from_label(&format!("dev{}", salt % 13)))
+        .unwrap();
+    ApkDigest::from_bytes(&bytes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scan_batch_equals_per_digest_scan(
+        specs in vec((0u64..1_000_000, 0u32..u32::MAX, vec(0u32..2_000, 0..6), vec(1u64..u64::MAX, 1..5)), 1..12),
+        workers in 1usize..9,
+    ) {
+        let digests: Vec<ApkDigest> = specs
+            .iter()
+            .map(|(salt, mask, calls, hashes)| build_digest(*salt, *mask, calls, hashes))
+            .collect();
+        let refs: Vec<&ApkDigest> = digests.iter().collect();
+        let sim = AvSimulator::new();
+        let batch = sim.scan_batch(&refs, workers);
+        let sequential: Vec<_> = refs.iter().map(|d| sim.scan(d)).collect();
+        prop_assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn analyze_batch_equals_per_digest_analyze(
+        specs in vec((0u64..1_000_000, 0u32..u32::MAX, vec(0u32..2_000, 0..6), vec(1u64..u64::MAX, 1..5)), 1..12),
+        workers in 1usize..9,
+    ) {
+        let digests: Vec<ApkDigest> = specs
+            .iter()
+            .map(|(salt, mask, calls, hashes)| build_digest(*salt, *mask, calls, hashes))
+            .collect();
+        let refs: Vec<&ApkDigest> = digests.iter().collect();
+        let analyzer = OverprivilegeAnalyzer::new();
+        let batch = analyzer.analyze_batch(&refs, workers);
+        let sequential: Vec<_> = refs.iter().map(|d| analyzer.analyze(d)).collect();
+        prop_assert_eq!(batch, sequential);
+    }
+}

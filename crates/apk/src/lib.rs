@@ -49,7 +49,7 @@ pub use dex::{ClassDef, DexFile, MethodDef, MethodRef};
 pub use digest::{ApkDigest, PackageFeature};
 pub use error::ApkError;
 pub use manifest::{Component, ComponentKind, Manifest};
-pub use reach::{CallGraph, ReachStats, Reachability};
 pub use parse::ParsedApk;
 pub use permmap::{Permission, PermissionMap};
+pub use reach::{CallGraph, ReachStats, Reachability};
 pub use zip::{ZipArchive, ZipEntry};

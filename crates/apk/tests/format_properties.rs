@@ -77,16 +77,16 @@ fn arb_dex() -> impl Strategy<Value = DexFile> {
 }
 
 fn arb_component() -> impl Strategy<Value = Component> {
-    (any::<u8>(), ("[a-z][a-z0-9]{0,5}", "[A-Z][a-zA-Z0-9]{0,6}")).prop_map(
-        |(kind, (pkg, cls))| Component {
+    (any::<u8>(), ("[a-z][a-z0-9]{0,5}", "[A-Z][a-zA-Z0-9]{0,6}")).prop_map(|(kind, (pkg, cls))| {
+        Component {
             kind: match kind % 3 {
                 0 => ComponentKind::Activity,
                 1 => ComponentKind::Service,
                 _ => ComponentKind::Receiver,
             },
             class: format!("L{pkg}/{cls};"),
-        },
-    )
+        }
+    })
 }
 
 /// Force an arbitrary generated string into a valid package segment.

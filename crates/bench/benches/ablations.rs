@@ -2,7 +2,7 @@
 //!
 //! * **TPL exclusion** in clone detection — the paper (after WuKong)
 //!   removes library code before comparing apps because libraries are
-//!   >60% of an app and swamp the similarity signal. The ablation runs
+//!   over 60% of an app and swamp the similarity signal. The ablation runs
 //!   the detector with and without exclusion and reports pair counts
 //!   (without exclusion, unrelated apps sharing a library stack collide).
 //! * **MinHash candidate generation vs. all-pairs** — WuKong's

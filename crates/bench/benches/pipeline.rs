@@ -1,12 +1,14 @@
 //! End-to-end stage benchmarks: world generation, live crawl over
 //! loopback HTTP, and the shared analysis pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marketscope::core::parallel::default_workers;
 use marketscope::core::MarketId;
 use marketscope::crawler::{CrawlConfig, CrawlTargets, Crawler};
 use marketscope::ecosystem::{generate, Scale, WorldConfig};
 use marketscope::market::MarketFleet;
 use marketscope::report::context::Analyzed;
+use marketscope::report::engine::{AnalysisEngine, EngineConfig};
 use marketscope_bench::campaign;
 use std::sync::Arc;
 
@@ -98,11 +100,39 @@ fn bench_analysis(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_analyze_scaling(c: &mut Criterion) {
+    // The staged engine at 1 vs N workers over the same snapshot; output
+    // is bit-identical per the determinism suite, so this measures pure
+    // scheduling overhead vs parallel speedup, in apps per second.
+    let cam = campaign();
+    let apps = cam.analyzed.apps.len() as u64;
+    let mut g = c.benchmark_group("analyze");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(apps));
+    let mut worker_counts = vec![1usize, 2, 4];
+    let native = default_workers();
+    if !worker_counts.contains(&native) {
+        worker_counts.push(native);
+    }
+    for workers in worker_counts {
+        g.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let engine = AnalysisEngine::new(EngineConfig { workers });
+                b.iter(|| engine.run(&cam.snapshot))
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_generation,
     bench_apk_build,
     bench_crawl,
-    bench_analysis
+    bench_analysis,
+    bench_analyze_scaling
 );
 criterion_main!(benches);

@@ -71,10 +71,8 @@ fn bench_round_trip(c: &mut Criterion) {
     let server_metrics = ServerMetrics::register(&registry, &[("market", "bench")]);
     let server =
         HttpServer::spawn_instrumented("127.0.0.1:0", ping_router(), server_metrics).unwrap();
-    let client = HttpClient::with_metrics(
-        Default::default(),
-        ClientMetrics::register(&registry, &[]),
-    );
+    let client =
+        HttpClient::with_metrics(Default::default(), ClientMetrics::register(&registry, &[]));
     g.bench_function("instrumented", |b| {
         b.iter(|| black_box(client.get(server.addr(), "/ping").unwrap()))
     });

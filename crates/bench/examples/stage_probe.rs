@@ -1,0 +1,40 @@
+//! Per-stage latency probe for the analysis engine: runs the default
+//! campaign snapshot through the staged engine at several worker counts
+//! and prints each stage's recorded items and wall clock, straight from
+//! the `marketscope_analysis_stage_*` telemetry instruments.
+//!
+//! ```text
+//! cargo run --release -p marketscope-bench --example stage_probe
+//! ```
+
+use marketscope::report::engine::{AnalysisEngine, EngineConfig};
+use marketscope::report::{run_campaign, CampaignConfig, OpsSummary};
+use marketscope::telemetry::Registry;
+use std::sync::Arc;
+
+fn main() {
+    let cam = run_campaign(CampaignConfig::default());
+    let native = marketscope::core::parallel::default_workers();
+    let mut worker_counts = vec![1usize, 4];
+    if !worker_counts.contains(&native) {
+        worker_counts.push(native);
+    }
+    for workers in worker_counts {
+        let registry = Arc::new(Registry::new());
+        let engine = AnalysisEngine::with_registry(EngineConfig { workers }, Arc::clone(&registry));
+        let start = std::time::Instant::now();
+        let analyzed = engine.run(&cam.snapshot);
+        println!(
+            "== workers={workers} apps={} total={:?}",
+            analyzed.apps.len(),
+            start.elapsed()
+        );
+        let ops = OpsSummary::from_snapshot(&registry.snapshot());
+        for s in &ops.analysis {
+            println!(
+                "  {:<14} items={:<7} elapsed_us={}",
+                s.stage, s.items, s.elapsed_us
+            );
+        }
+    }
+}

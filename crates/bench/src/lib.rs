@@ -36,7 +36,7 @@ pub fn campaign() -> &'static Campaign {
     static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
     CAMPAIGN.get_or_init(|| {
         run_campaign(CampaignConfig {
-            seed: 0xBE7C_4,
+            seed: 0xBE7C4,
             scale: bench_scale(),
             ..CampaignConfig::default()
         })

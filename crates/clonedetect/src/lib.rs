@@ -292,14 +292,29 @@ impl CloneDetector {
     /// qualify: same-package pairs are the signature-based clones above,
     /// and same-developer pairs are legitimate re-releases.
     pub fn code_clones(&self, apps: &[UniqueApp]) -> Vec<ClonePair> {
-        // Candidate generation: MinHash banding over own-code API id sets.
+        self.code_clones_batch(apps, 1)
+    }
+
+    /// [`code_clones`](Self::code_clones), fanning the two expensive phases
+    /// (per-app MinHash signatures; per-candidate verification) out over up
+    /// to `workers` threads. Candidates are canonically sorted before
+    /// verification and each verification is a pure function of its pair,
+    /// so the output is bit-identical for any `workers`.
+    pub fn code_clones_batch(&self, apps: &[UniqueApp], workers: usize) -> Vec<ClonePair> {
+        // Phase 1 (parallel): per-app MinHash signatures over own-code APIs.
         let bands = self.config.minhash_len / self.config.band_rows;
+        let sigs: Vec<Option<Vec<u64>>> =
+            marketscope_core::parallel::par_map(workers, apps, |app| {
+                if app.own_api.is_empty() {
+                    None
+                } else {
+                    Some(minhash(&app.own_api, self.config.minhash_len))
+                }
+            });
+        // Banding (sequential, cheap): bucket apps whose band keys collide.
         let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
-        for (idx, app) in apps.iter().enumerate() {
-            if app.own_api.is_empty() {
-                continue;
-            }
-            let sig = minhash(&app.own_api, self.config.minhash_len);
+        for (idx, sig) in sigs.iter().enumerate() {
+            let Some(sig) = sig else { continue };
             for band in 0..bands {
                 let mut key = 0xB0A7u64 ^ band as u64;
                 for r in 0..self.config.band_rows {
@@ -308,8 +323,10 @@ impl CloneDetector {
                 buckets.entry((band, key)).or_default().push(idx);
             }
         }
+        // Candidate pairs, deduped across bands and canonically ordered so
+        // the parallel verification below is index-ordered.
         let mut seen: HashSet<(usize, usize)> = HashSet::new();
-        let mut out = Vec::new();
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
         for bucket in buckets.values() {
             if bucket.len() < 2 {
                 continue;
@@ -324,25 +341,30 @@ impl CloneDetector {
                     if a.package == b.package || a.developer == b.developer {
                         continue;
                     }
-                    let distance = normalized_manhattan(&a.own_api, &b.own_api);
-                    if distance > self.config.distance_threshold {
-                        continue;
-                    }
-                    let segment_share = segment_overlap(&a.own_segments, &b.own_segments);
-                    if segment_share < self.config.segment_threshold {
-                        continue;
-                    }
-                    out.push(ClonePair {
-                        a: lo,
-                        b: hi,
-                        distance,
-                        segment_share,
-                    });
+                    candidates.push((lo, hi));
                 }
             }
         }
-        out.sort_by_key(|x| (x.a, x.b));
-        out
+        candidates.sort_unstable();
+        // Phase 2 (parallel): verify each candidate pair.
+        let verified = marketscope_core::parallel::par_map(workers, &candidates, |&(lo, hi)| {
+            let (a, b) = (&apps[lo], &apps[hi]);
+            let distance = normalized_manhattan(&a.own_api, &b.own_api);
+            if distance > self.config.distance_threshold {
+                return None;
+            }
+            let segment_share = segment_overlap(&a.own_segments, &b.own_segments);
+            if segment_share < self.config.segment_threshold {
+                return None;
+            }
+            Some(ClonePair {
+                a: lo,
+                b: hi,
+                distance,
+                segment_share,
+            })
+        });
+        verified.into_iter().flatten().collect()
     }
 
     /// Share of apps listed in `market` involved in any confirmed
@@ -638,7 +660,7 @@ mod proptests {
                 b.package = format!("com.orig{i}.app");
                 b.developer = DeveloperKey::from_label(&format!("orig{i}"));
                 // 2% perturbation keeps the pair inside both thresholds.
-                let perturb = (b.own_segments.len() / 50).max(0);
+                let perturb = b.own_segments.len() / 50;
                 let clone = derive_clone(&b, i, perturb);
                 let d = normalized_manhattan(&b.own_api, &clone.own_api);
                 let s = segment_overlap(&b.own_segments, &clone.own_segments);

@@ -34,6 +34,7 @@ pub mod ids;
 pub mod installs;
 pub mod json;
 pub mod market;
+pub mod parallel;
 pub mod rng;
 pub mod time;
 

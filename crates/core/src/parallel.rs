@@ -1,0 +1,151 @@
+//! Deterministic data-parallel helpers.
+//!
+//! The analysis engine fans per-app work out over OS threads, but every
+//! consumer of its output asserts bit-identical results regardless of the
+//! worker count. The helpers here guarantee that by construction:
+//! [`par_map`] splits the input into *index-ordered contiguous chunks*,
+//! one per worker, and reassembles the outputs in chunk order — so the
+//! result is always exactly `items.iter().map(f).collect()`, no matter
+//! how the OS schedules the threads. The closure must itself be a pure
+//! function of its item (and index); all the workspace's per-app passes
+//! are, because their "randomness" is seeded from per-app content hashes.
+
+use std::num::NonZeroUsize;
+
+/// Number of workers to use by default: the machine's available
+/// parallelism, or 1 when that cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` using up to `workers` threads, preserving input
+/// order. Equivalent to `items.iter().map(|t| f(t)).collect()` for any
+/// `workers`; `workers <= 1` runs inline without spawning.
+pub fn par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(workers, items, |_, t| f(t))
+}
+
+/// [`par_map`], passing the item's input index to the closure as well.
+pub fn par_map_indexed<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Contiguous chunks, one per worker; the last may run short.
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                s.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(ci * chunk + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Fold `items` in parallel: each worker folds its contiguous chunk into
+/// an accumulator with `fold`, and the per-chunk accumulators are merged
+/// *in chunk order* with `merge`. Deterministic whenever `merge` is
+/// order-insensitive or the caller accepts chunk-ordered merging (chunk
+/// boundaries depend only on `workers` and `items.len()`).
+pub fn par_fold<T, A, FF, FM>(
+    workers: usize,
+    items: &[T],
+    init: impl Fn() -> A + Sync,
+    fold: FF,
+    merge: FM,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    FF: Fn(A, &T) -> A + Sync,
+    FM: Fn(A, A) -> A,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().fold(init(), fold);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<A> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                let fold = &fold;
+                let init = &init;
+                s.spawn(move || slice.iter().fold(init(), fold))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel fold worker panicked"));
+        }
+    });
+    let mut parts = parts.into_iter();
+    let first = parts.next().expect("at least one chunk");
+    parts.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_any_worker_count() {
+        let items: Vec<u64> = (0..1003).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [0, 1, 2, 3, 8, 64, 2000] {
+            assert_eq!(par_map(workers, &items, |x| x * 3 + 1), expect);
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_sees_global_indices() {
+        let items = vec!["a"; 57];
+        for workers in [1, 4, 9] {
+            let idx = par_map_indexed(workers, &items, |i, _| i);
+            assert_eq!(idx, (0..57).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(8, &empty, |x| *x).is_empty());
+        assert_eq!(par_map(8, &[7u32], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_fold_sums_match() {
+        let items: Vec<u64> = (0..500).collect();
+        let expect: u64 = items.iter().sum();
+        for workers in [1, 2, 7, 32] {
+            let got = par_fold(workers, &items, || 0u64, |a, x| a + x, |a, b| a + b);
+            assert_eq!(got, expect);
+        }
+    }
+}

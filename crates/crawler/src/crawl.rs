@@ -333,7 +333,12 @@ impl Crawler {
     }
 
     /// Seed + BFS enumeration: expand through `/related/{pkg}`.
-    fn bfs_enumerate(&self, market: MarketId, addr: SocketAddr, client: &HttpClient) -> Vec<String> {
+    fn bfs_enumerate(
+        &self,
+        market: MarketId,
+        addr: SocketAddr,
+        client: &HttpClient,
+    ) -> Vec<String> {
         let metrics = &self.metrics[market.index()];
         let mut visited: HashSet<String> = HashSet::new();
         let mut found = Vec::new();
@@ -406,7 +411,7 @@ impl Crawler {
                         Ok((digest, reach)) => {
                             metrics.reach_methods.add(reach.methods_reached);
                             metrics.reach_edges.add(reach.edges_traversed);
-                            listing.digest = Some(digest);
+                            listing.digest = Some(std::sync::Arc::new(digest));
                         }
                         Err(_) => stats.lock().parse_failures += 1,
                     }

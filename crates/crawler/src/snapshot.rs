@@ -1,5 +1,7 @@
 //! The crawled dataset model.
 
+use std::sync::Arc;
+
 use marketscope_apk::digest::ApkDigest;
 use marketscope_core::json::Json;
 use marketscope_core::{MarketId, SimDate};
@@ -29,8 +31,10 @@ pub struct CrawledListing {
     /// Developer display name (store metadata; *not* the signing key).
     pub developer_name: String,
     /// Parsed APK digest; `None` when the APK could not be harvested
-    /// (rate-limited and missing from the offline repository).
-    pub digest: Option<ApkDigest>,
+    /// (rate-limited and missing from the offline repository). Interned
+    /// behind an [`Arc`] so downstream analysis stages can share the digest
+    /// without deep-copying its class/method tables.
+    pub digest: Option<Arc<ApkDigest>>,
 }
 
 impl CrawledListing {

@@ -66,7 +66,7 @@ fn full_crawl_reconstructs_catalogs() {
     for (market, listing) in snap.iter() {
         if let Some(d) = &listing.digest {
             assert_eq!(d.package.as_str(), listing.package, "{market}");
-            assert!(d.signature_valid || !d.signature_valid); // parsed, recorded
+            let _ = d.signature_valid; // parsed and recorded either way
             with_apk += 1;
         }
     }

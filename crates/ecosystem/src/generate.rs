@@ -1409,7 +1409,7 @@ mod tests {
                 .filter(|l| {
                     w.app(w.listing(**l).app)
                         .infection
-                        .map_or(false, |i| i.tier != ThreatTier::Grayware)
+                        .is_some_and(|i| i.tier != ThreatTier::Grayware)
                 })
                 .count();
             mal as f64 / listings.len() as f64
@@ -1450,7 +1450,7 @@ mod tests {
                 let infected = w
                     .app(lst.app)
                     .infection
-                    .map_or(false, |i| i.tier != ThreatTier::Grayware);
+                    .is_some_and(|i| i.tier != ThreatTier::Grayware);
                 if infected {
                     mal += 1;
                     if lst.removed_in_second_crawl {
@@ -1568,10 +1568,7 @@ mod tests {
             .iter()
             .map(|l| w.listing(*l).rating)
             .collect();
-        assert!(
-            pco.iter().any(|r| *r == 3.0),
-            "PC Online default rating missing"
-        );
+        assert!(pco.contains(&3.0), "PC Online default rating missing");
         let gp_unrated = w
             .market_listings(MarketId::GooglePlay)
             .iter()

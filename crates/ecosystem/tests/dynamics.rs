@@ -164,7 +164,7 @@ fn grayware_and_malware_rates_scale_with_profiles() {
             .filter(|l| {
                 w.app(w.listing(**l).app)
                     .infection
-                    .map_or(false, |i| i.tier != ThreatTier::Grayware)
+                    .is_some_and(|i| i.tier != ThreatTier::Grayware)
             })
             .count() as f64
             / ids.len() as f64;

@@ -135,14 +135,22 @@ impl LibraryDetector {
     /// each digest prevents a prolific developer's shared in-house code
     /// from being mistaken for a public library.
     pub fn detect(&self, apps: &[&ApkDigest]) -> LibraryReport {
+        self.detect_batch(apps, 1)
+    }
+
+    /// [`detect`](Self::detect), fanning the per-app passes out over up to
+    /// `workers` threads. The tally merge is commutative (count addition and
+    /// developer-set union), so the report is bit-identical to the
+    /// single-threaded run for any `workers`.
+    pub fn detect_batch(&self, apps: &[&ApkDigest], workers: usize) -> LibraryReport {
         // Pass 1: tally every (package, feature hash) across apps.
         #[derive(Default)]
         struct FeatureStat {
             apps: usize,
             developers: HashSet<DeveloperKey>,
         }
-        let mut stats: HashMap<(String, u64), FeatureStat> = HashMap::new();
-        for digest in apps {
+        type Stats = HashMap<(String, u64), FeatureStat>;
+        let fold_digest = |mut stats: Stats, digest: &&ApkDigest| -> Stats {
             let own = digest.package.as_str();
             for f in &digest.package_features {
                 if f.java_package == own || f.java_package.starts_with("<") {
@@ -154,7 +162,22 @@ impl LibraryDetector {
                 stat.apps += 1;
                 stat.developers.insert(digest.developer);
             }
-        }
+            stats
+        };
+        let stats = marketscope_core::parallel::par_fold(
+            workers,
+            apps,
+            Stats::new,
+            fold_digest,
+            |mut a, b| {
+                for (key, stat) in b {
+                    let merged = a.entry(key).or_default();
+                    merged.apps += stat.apps;
+                    merged.developers.extend(stat.developers);
+                }
+                a
+            },
+        );
         // Pass 2: features meeting the thresholds are library versions.
         let mut versions_by_package: HashMap<String, usize> = HashMap::new();
         let mut accepted: HashSet<(String, u64)> = HashSet::new();
@@ -166,11 +189,10 @@ impl LibraryDetector {
                 accepted.insert((pkg.clone(), *hash));
             }
         }
-        // Pass 3: per-app library lists and adoption counts.
-        let mut apps_by_package: HashMap<String, usize> = HashMap::new();
-        let per_app: Vec<Vec<String>> = apps
-            .iter()
-            .map(|digest| {
+        // Pass 3: per-app library lists (parallel), then adoption counts
+        // tallied from the index-ordered lists.
+        let per_app: Vec<Vec<String>> =
+            marketscope_core::parallel::par_map(workers, apps, |digest| {
                 let own = digest.package.as_str();
                 let mut libs: Vec<String> = digest
                     .package_features
@@ -183,12 +205,14 @@ impl LibraryDetector {
                     .collect();
                 libs.sort();
                 libs.dedup();
-                for l in &libs {
-                    *apps_by_package.entry(l.clone()).or_insert(0) += 1;
-                }
                 libs
-            })
-            .collect();
+            });
+        let mut apps_by_package: HashMap<String, usize> = HashMap::new();
+        for libs in &per_app {
+            for l in libs {
+                *apps_by_package.entry(l.clone()).or_insert(0) += 1;
+            }
+        }
         let mut libraries: Vec<DetectedLibrary> = versions_by_package
             .into_iter()
             .map(|(package, versions)| DetectedLibrary {

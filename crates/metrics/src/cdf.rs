@@ -134,7 +134,7 @@ mod tests {
         #[test]
         fn fraction_is_monotone_in_x(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
                                      a in -1e6f64..1e6, b in -1e6f64..1e6) {
-            let c = Cdf::new(xs.drain(..).collect());
+            let c = Cdf::new(std::mem::take(&mut xs));
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             prop_assert!(c.fraction_at_or_below(lo) <= c.fraction_at_or_below(hi));
         }

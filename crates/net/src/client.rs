@@ -128,10 +128,7 @@ impl HttpClient {
     /// retried on a fresh one (the server may have dropped an idle
     /// connection between requests — the classic keep-alive race).
     pub fn request(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
-        let span = self
-            .metrics
-            .as_ref()
-            .map(|m| m.request_nanos.start_span());
+        let span = self.metrics.as_ref().map(|m| m.request_nanos.start_span());
         let result = self.request_inner(addr, req);
         drop(span); // record the latency, success or failure
         if let (Some(m), Err(e)) = (&self.metrics, &result) {

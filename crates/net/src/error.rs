@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = NetError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = NetError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(NetError::Status(429).to_string().contains("429"));
@@ -92,10 +92,7 @@ mod tests {
         assert_eq!(NetError::Status(404).kind(), "status");
         assert_eq!(NetError::UnexpectedEof.kind(), "eof");
         assert_eq!(NetError::Protocol("x").kind(), "protocol");
-        assert_eq!(
-            NetError::from(io::Error::new(io::ErrorKind::Other, "boom")).kind(),
-            "io"
-        );
+        assert_eq!(NetError::from(io::Error::other("boom")).kind(), "io");
         assert_eq!(
             NetError::TooLarge {
                 what: "body",

@@ -153,8 +153,12 @@ impl HttpServer {
                     let _ = std::thread::Builder::new()
                         .name("http-conn".to_owned())
                         .spawn(move || {
-                            let _ =
-                                serve_connection(stream, handler.as_ref(), &metrics, &conn_shutdown);
+                            let _ = serve_connection(
+                                stream,
+                                handler.as_ref(),
+                                &metrics,
+                                &conn_shutdown,
+                            );
                             metrics.live.dec();
                         });
                 }
@@ -379,7 +383,10 @@ mod tests {
             metrics,
         )
         .unwrap();
-        raw_round_trip(server.addr(), b"GET /x HTTP/1.1\r\n\r\nGET /missing HTTP/1.1\r\nconnection: close\r\n\r\n");
+        raw_round_trip(
+            server.addr(),
+            b"GET /x HTTP/1.1\r\n\r\nGET /missing HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
         let snap = registry.snapshot();
         let labels = [("market", "test")];
         assert_eq!(

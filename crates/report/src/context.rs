@@ -1,16 +1,23 @@
 //! Shared analysis context: cross-market deduplication and the one-time
 //! expensive passes every experiment reads from.
+//!
+//! The passes themselves are scheduled by the staged
+//! [`AnalysisEngine`](crate::engine::AnalysisEngine);
+//! [`Analyzed::compute`] is a thin wrapper over it.
 
-use marketscope_analysis::av::{AvReport, AvSimulator};
-use marketscope_analysis::fake::{FakeDetector, FakeInput, FakeReport};
-use marketscope_analysis::overpriv::{OverprivilegeAnalyzer, OverprivilegeResult};
+use marketscope_analysis::av::AvReport;
+use marketscope_analysis::fake::{FakeInput, FakeReport};
+use marketscope_analysis::overpriv::OverprivilegeResult;
 use marketscope_apk::digest::ApkDigest;
-use marketscope_clonedetect::{CloneDetector, ClonePair, SigCloneReport};
+use marketscope_clonedetect::{ClonePair, SigCloneReport};
 use marketscope_core::{DeveloperKey, MarketId};
 use marketscope_crawler::Snapshot;
 use marketscope_ecosystem::{LibCategory, World};
-use marketscope_libdetect::{LibraryDetector, LibraryReport};
+use marketscope_libdetect::LibraryReport;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+pub use crate::engine::{AnalysisEngine, EngineConfig, StageSpec, STAGE_GRAPH};
 
 /// The stand-in for the paper's *manual* library labelling (AppBrain /
 /// PrivacyGrade / Common-Library classifications): a map from library
@@ -65,8 +72,10 @@ pub struct UniqueApp {
     pub label: String,
     /// Signing key.
     pub developer: DeveloperKey,
-    /// A representative digest (highest version seen).
-    pub digest: ApkDigest,
+    /// A representative digest (highest version seen), shared with the
+    /// snapshot's listing — selecting a higher version swaps the `Arc`
+    /// pointer instead of deep-copying the digest.
+    pub digest: Arc<ApkDigest>,
     /// Markets listing the app, with the normalized install counter.
     pub markets: Vec<(MarketId, u64)>,
     /// Highest version code seen anywhere.
@@ -77,6 +86,10 @@ pub struct UniqueApp {
 pub struct Analyzed {
     /// Unique apps (with harvested APKs).
     pub apps: Vec<UniqueApp>,
+    /// Per-market index into `apps`: positions of the apps listed in each
+    /// market, ascending, each app at most once. Built during dedup so the
+    /// market-scoped queries below never rescan the whole corpus.
+    pub market_index: HashMap<MarketId, Vec<usize>>,
     /// Library detection output.
     pub lib_report: LibraryReport,
     /// Detected library root packages.
@@ -101,116 +114,21 @@ pub struct Analyzed {
 pub const MALWARE_AV_RANK: usize = 10;
 
 impl Analyzed {
-    /// Run every shared pass over a snapshot.
+    /// Run every shared pass over a snapshot, using the staged engine with
+    /// the machine's available parallelism. Output is bit-identical to the
+    /// sequential schedule (`EngineConfig::sequential()`) by construction.
     pub fn compute(snapshot: &Snapshot) -> Analyzed {
-        // Deduplicate by (package, developer), keeping the
-        // highest-version digest as representative.
-        let mut index: HashMap<(String, DeveloperKey), usize> = HashMap::new();
-        let mut apps: Vec<UniqueApp> = Vec::new();
-        for (market, listing) in snapshot.iter() {
-            let Some(digest) = &listing.digest else {
-                continue;
-            };
-            let key = (listing.package.clone(), digest.developer);
-            let downloads = listing.downloads.unwrap_or(0);
-            match index.get(&key) {
-                Some(&i) => {
-                    let app = &mut apps[i];
-                    app.markets.push((market, downloads));
-                    if digest.version_code.0 > app.max_version {
-                        app.max_version = digest.version_code.0;
-                        app.digest = digest.clone();
-                    }
-                }
-                None => {
-                    index.insert(key, apps.len());
-                    apps.push(UniqueApp {
-                        package: listing.package.clone(),
-                        label: listing.label.clone(),
-                        developer: digest.developer,
-                        digest: digest.clone(),
-                        markets: vec![(market, downloads)],
-                        max_version: digest.version_code.0,
-                    });
-                }
-            }
-        }
-
-        // Library detection over the unique corpus.
-        let digest_refs: Vec<&ApkDigest> = apps.iter().map(|a| &a.digest).collect();
-        let lib_report = LibraryDetector::new().detect(&digest_refs);
-        let lib_packages: HashSet<String> = lib_report
-            .libraries
-            .iter()
-            .map(|l| l.package.clone())
-            .collect();
-
-        // Clone detection (library code excluded per WuKong/LibRadar).
-        // Download counters feeding the origin heuristic are binned to
-        // Google Play's range lower bounds: GP reports ranges, so raw
-        // counters from Chinese stores would otherwise always win the
-        // "more downloads = original" comparison.
-        let clone_inputs: Vec<marketscope_clonedetect::UniqueApp> = apps
-            .iter()
-            .map(|a| {
-                let binned: Vec<(MarketId, u64)> = a
-                    .markets
-                    .iter()
-                    .map(|(m, d)| {
-                        (
-                            *m,
-                            marketscope_core::InstallRange::from_count(*d).lower_bound(),
-                        )
-                    })
-                    .collect();
-                marketscope_clonedetect::UniqueApp::from_digest(&a.digest, &lib_packages, binned)
-            })
-            .collect();
-        let detector = CloneDetector::new();
-        let sig_report = detector.sig_clones(&clone_inputs);
-        let code_pairs = detector.code_clones(&clone_inputs);
-
-        // Fake detection.
-        let fake_inputs: Vec<FakeInput> = apps
-            .iter()
-            .map(|a| FakeInput {
-                package: a.package.clone(),
-                label: a.label.clone(),
-                developer: a.developer,
-                max_downloads: a.markets.iter().map(|(_, d)| *d).max().unwrap_or(0),
-                markets: a.markets.iter().map(|(m, _)| *m).collect(),
-            })
-            .collect();
-        let fake_report = FakeDetector::new().detect(&fake_inputs);
-
-        // AV ensemble and over-privilege, one scan per unique app.
-        let av = AvSimulator::new();
-        let av_reports: Vec<AvReport> = apps.iter().map(|a| av.scan(&a.digest)).collect();
-        let op = OverprivilegeAnalyzer::new();
-        let overpriv: Vec<OverprivilegeResult> =
-            apps.iter().map(|a| op.analyze(&a.digest)).collect();
-
-        Analyzed {
-            apps,
-            lib_report,
-            lib_packages,
-            clone_inputs,
-            sig_report,
-            code_pairs,
-            fake_inputs,
-            fake_report,
-            av_reports,
-            overpriv,
-        }
+        AnalysisEngine::new(EngineConfig::default()).run(snapshot)
     }
 
-    /// Indices of apps listed in a market.
+    /// Indices of apps listed in a market (ascending, precomputed).
     pub fn apps_in(&self, market: MarketId) -> impl Iterator<Item = usize> + '_ {
-        self.apps
+        self.market_index
+            .get(&market)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
             .iter()
-            .enumerate()
-            .filter(move |(_, a)| a.markets.iter().any(|(m, _)| *m == market))
-            .map(|(i, _)| i)
+            .copied()
     }
 
     /// Malware share of a market at the given AV-rank threshold.

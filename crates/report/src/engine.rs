@@ -1,0 +1,408 @@
+//! The staged analysis engine.
+//!
+//! [`Analyzed::compute`] used to be a one-shot monolith that ran every
+//! shared pass back to back. This module breaks that pipeline into named
+//! *stages* with declared inputs and outputs ([`STAGE_GRAPH`]), schedules
+//! stages whose dependencies are met concurrently on scoped threads, and
+//! fans the per-app stages out over index-ordered chunks
+//! ([`marketscope_core::parallel`]) so the output is **bit-identical to
+//! the sequential run for any worker count**.
+//!
+//! Stage graph (edges are data dependencies):
+//!
+//! ```text
+//! dedup ──┬── libdetect ── clone_inputs ── sig_clones
+//!         │                        └────── code_clones
+//!         ├── fake
+//!         ├── av
+//!         └── overpriv
+//! ```
+//!
+//! With more than one worker the engine runs the three `dedup`-only
+//! branches (`fake`, `av`, `overpriv`) on scoped threads while the main
+//! thread walks the library/clone chain; every per-app stage additionally
+//! splits its own batch across the worker pool. Determinism is by
+//! construction, not by locking:
+//!
+//! * `dedup` is sequential — snapshot iteration order *defines* app
+//!   indices, and every later artifact is index-aligned;
+//! * `libdetect`'s parallel tally merge is commutative (count addition and
+//!   developer-set union), and its outputs are canonically sorted;
+//! * `code_clones` sorts its candidate pairs before verifying them in
+//!   parallel;
+//! * `av` and `overpriv` are pure per-digest functions mapped in input
+//!   order.
+//!
+//! When built [`AnalysisEngine::with_registry`], every stage records its
+//! wall-clock latency into the `marketscope_analysis_stage_nanos{stage=..}`
+//! histogram and its item count into
+//! `marketscope_analysis_stage_items_total{stage=..}`, which
+//! [`crate::OpsSummary`] renders as the analysis section.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use marketscope_analysis::av::AvSimulator;
+use marketscope_analysis::fake::{FakeDetector, FakeInput};
+use marketscope_analysis::overpriv::OverprivilegeAnalyzer;
+use marketscope_apk::digest::ApkDigest;
+use marketscope_clonedetect::CloneDetector;
+use marketscope_core::parallel;
+use marketscope_core::{DeveloperKey, MarketId};
+use marketscope_crawler::Snapshot;
+use marketscope_libdetect::LibraryDetector;
+use marketscope_telemetry::Registry;
+
+use crate::context::{Analyzed, UniqueApp};
+
+/// Histogram instrument recording per-stage wall-clock latency.
+pub const STAGE_LATENCY_METRIC: &str = "marketscope_analysis_stage_nanos";
+/// Counter instrument recording per-stage item counts.
+pub const STAGE_ITEMS_METRIC: &str = "marketscope_analysis_stage_items_total";
+
+/// A named stage with its declared inputs and outputs. The engine's
+/// schedule is derived from this declaration: a stage may start once every
+/// input is produced, and stages with disjoint inputs run concurrently.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSpec {
+    /// Stage name (also the `stage` label on its telemetry instruments).
+    pub name: &'static str,
+    /// Artifacts the stage consumes.
+    pub inputs: &'static [&'static str],
+    /// Artifacts the stage produces.
+    pub outputs: &'static [&'static str],
+}
+
+/// The declared stage graph, in the engine's canonical (sequential) order.
+pub const STAGE_GRAPH: &[StageSpec] = &[
+    StageSpec {
+        name: "dedup",
+        inputs: &["snapshot"],
+        outputs: &["apps", "market_index"],
+    },
+    StageSpec {
+        name: "libdetect",
+        inputs: &["apps"],
+        outputs: &["lib_report", "lib_packages"],
+    },
+    StageSpec {
+        name: "clone_inputs",
+        inputs: &["apps", "lib_packages"],
+        outputs: &["clone_inputs"],
+    },
+    StageSpec {
+        name: "sig_clones",
+        inputs: &["clone_inputs"],
+        outputs: &["sig_report"],
+    },
+    StageSpec {
+        name: "code_clones",
+        inputs: &["clone_inputs"],
+        outputs: &["code_pairs"],
+    },
+    StageSpec {
+        name: "fake",
+        inputs: &["apps"],
+        outputs: &["fake_inputs", "fake_report"],
+    },
+    StageSpec {
+        name: "av",
+        inputs: &["apps"],
+        outputs: &["av_reports"],
+    },
+    StageSpec {
+        name: "overpriv",
+        inputs: &["apps"],
+        outputs: &["overpriv"],
+    },
+];
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads for per-app stages *and* concurrent stage scheduling.
+    /// `1` reproduces the legacy fully-sequential pipeline.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: parallel::default_workers(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The legacy single-threaded schedule.
+    pub fn sequential() -> Self {
+        EngineConfig { workers: 1 }
+    }
+}
+
+/// The staged analysis engine. See the module docs for the stage graph and
+/// the determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisEngine {
+    config: EngineConfig,
+    registry: Option<Arc<Registry>>,
+}
+
+impl AnalysisEngine {
+    /// Engine with the given config and no telemetry.
+    pub fn new(config: EngineConfig) -> Self {
+        AnalysisEngine {
+            config,
+            registry: None,
+        }
+    }
+
+    /// Engine recording per-stage latency and item counts into `registry`.
+    pub fn with_registry(config: EngineConfig, registry: Arc<Registry>) -> Self {
+        AnalysisEngine {
+            config,
+            registry: Some(registry),
+        }
+    }
+
+    /// The configured worker count (always ≥ 1).
+    pub fn workers(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
+    /// Time `f` as stage `name`, recording latency and `items` processed.
+    fn stage<T>(&self, name: &'static str, items: usize, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        if let Some(registry) = &self.registry {
+            let labels = [("stage", name)];
+            registry
+                .histogram(STAGE_LATENCY_METRIC, &labels)
+                .record_duration(start.elapsed());
+            registry
+                .counter(STAGE_ITEMS_METRIC, &labels)
+                .add(items as u64);
+        }
+        out
+    }
+
+    /// Run every stage over a snapshot.
+    pub fn run(&self, snapshot: &Snapshot) -> Analyzed {
+        let workers = self.workers();
+
+        // dedup is always sequential: snapshot iteration order defines the
+        // app index space everything downstream is aligned to.
+        let (apps, market_index) =
+            self.stage("dedup", snapshot.total_listings(), || dedup(snapshot));
+        let digest_refs: Vec<&ApkDigest> = apps.iter().map(|a| a.digest.as_ref()).collect();
+
+        let run_fake = || {
+            self.stage("fake", apps.len(), || {
+                let fake_inputs: Vec<FakeInput> = apps
+                    .iter()
+                    .map(|a| FakeInput {
+                        package: a.package.clone(),
+                        label: a.label.clone(),
+                        developer: a.developer,
+                        max_downloads: a.markets.iter().map(|(_, d)| *d).max().unwrap_or(0),
+                        markets: a.markets.iter().map(|(m, _)| *m).collect(),
+                    })
+                    .collect();
+                let fake_report = FakeDetector::new().detect(&fake_inputs);
+                (fake_inputs, fake_report)
+            })
+        };
+        let run_av = || {
+            self.stage("av", apps.len(), || {
+                AvSimulator::new().scan_batch(&digest_refs, workers)
+            })
+        };
+        let run_overpriv = || {
+            self.stage("overpriv", apps.len(), || {
+                OverprivilegeAnalyzer::new().analyze_batch(&digest_refs, workers)
+            })
+        };
+        // The library → clone chain; its stages depend on each other, so it
+        // runs in order on whichever thread calls it.
+        let run_clone_chain = || {
+            let lib_report = self.stage("libdetect", apps.len(), || {
+                LibraryDetector::new().detect_batch(&digest_refs, workers)
+            });
+            let lib_packages: HashSet<String> = lib_report
+                .libraries
+                .iter()
+                .map(|l| l.package.clone())
+                .collect();
+            // Download counters feeding the clone-origin heuristic are
+            // binned to Google Play's range lower bounds: GP reports
+            // ranges, so raw counters from Chinese stores would otherwise
+            // always win the "more downloads = original" comparison.
+            let clone_inputs: Vec<marketscope_clonedetect::UniqueApp> =
+                self.stage("clone_inputs", apps.len(), || {
+                    parallel::par_map(workers, &apps, |a| {
+                        let binned: Vec<(MarketId, u64)> = a
+                            .markets
+                            .iter()
+                            .map(|(m, d)| {
+                                (
+                                    *m,
+                                    marketscope_core::InstallRange::from_count(*d).lower_bound(),
+                                )
+                            })
+                            .collect();
+                        marketscope_clonedetect::UniqueApp::from_digest(
+                            &a.digest,
+                            &lib_packages,
+                            binned,
+                        )
+                    })
+                });
+            let detector = CloneDetector::new();
+            let sig_report = self.stage("sig_clones", clone_inputs.len(), || {
+                detector.sig_clones(&clone_inputs)
+            });
+            let code_pairs = self.stage("code_clones", clone_inputs.len(), || {
+                detector.code_clones_batch(&clone_inputs, workers)
+            });
+            (
+                lib_report,
+                lib_packages,
+                clone_inputs,
+                sig_report,
+                code_pairs,
+            )
+        };
+
+        let (
+            (lib_report, lib_packages, clone_inputs, sig_report, code_pairs),
+            (fake_inputs, fake_report),
+            av_reports,
+            overpriv,
+        ) = if workers <= 1 {
+            // Legacy schedule: every stage in canonical order, one thread.
+            let chain = run_clone_chain();
+            let fake = run_fake();
+            let av = run_av();
+            let op = run_overpriv();
+            (chain, fake, av, op)
+        } else {
+            // The three dedup-only branches run on scoped threads while the
+            // main thread walks the library/clone chain (the critical
+            // path). Each per-app batch additionally uses the worker pool;
+            // the transient oversubscription is deliberate — the branches
+            // are short compared to the chain.
+            std::thread::scope(|s| {
+                let fake_h = s.spawn(run_fake);
+                let av_h = s.spawn(run_av);
+                let op_h = s.spawn(run_overpriv);
+                let chain = run_clone_chain();
+                (
+                    chain,
+                    fake_h.join().expect("fake stage panicked"),
+                    av_h.join().expect("av stage panicked"),
+                    op_h.join().expect("overpriv stage panicked"),
+                )
+            })
+        };
+
+        Analyzed {
+            apps,
+            market_index,
+            lib_report,
+            lib_packages,
+            clone_inputs,
+            sig_report,
+            code_pairs,
+            fake_inputs,
+            fake_report,
+            av_reports,
+            overpriv,
+        }
+    }
+}
+
+/// Type alias for the per-market app index built by `dedup`.
+type MarketIndex = HashMap<MarketId, Vec<usize>>;
+
+/// Deduplicate listings by `(package, developer signature)`, keeping the
+/// highest-version digest as representative (an `Arc` pointer swap, never a
+/// deep copy), and build the per-market index of app positions (ascending,
+/// each app at most once per market).
+fn dedup(snapshot: &Snapshot) -> (Vec<UniqueApp>, MarketIndex) {
+    let mut index: HashMap<(String, DeveloperKey), usize> = HashMap::new();
+    let mut apps: Vec<UniqueApp> = Vec::new();
+    for (market, listing) in snapshot.iter() {
+        let Some(digest) = &listing.digest else {
+            continue;
+        };
+        let key = (listing.package.clone(), digest.developer);
+        let downloads = listing.downloads.unwrap_or(0);
+        match index.get(&key) {
+            Some(&i) => {
+                let app = &mut apps[i];
+                app.markets.push((market, downloads));
+                if digest.version_code.0 > app.max_version {
+                    app.max_version = digest.version_code.0;
+                    app.digest = Arc::clone(digest);
+                }
+            }
+            None => {
+                index.insert(key, apps.len());
+                apps.push(UniqueApp {
+                    package: listing.package.clone(),
+                    label: listing.label.clone(),
+                    developer: digest.developer,
+                    digest: Arc::clone(digest),
+                    markets: vec![(market, downloads)],
+                    max_version: digest.version_code.0,
+                });
+            }
+        }
+    }
+    let mut market_index: MarketIndex = HashMap::new();
+    for (i, app) in apps.iter().enumerate() {
+        for (market, _) in &app.markets {
+            let positions = market_index.entry(*market).or_default();
+            // An app relisted in the same market appears once.
+            if positions.last() != Some(&i) {
+                positions.push(i);
+            }
+        }
+    }
+    (apps, market_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_graph_is_well_formed() {
+        // Every input except the snapshot is produced by an earlier stage.
+        let mut produced: HashSet<&str> = HashSet::new();
+        produced.insert("snapshot");
+        for spec in STAGE_GRAPH {
+            for input in spec.inputs {
+                assert!(
+                    produced.contains(input),
+                    "stage `{}` consumes `{input}` before any stage produces it",
+                    spec.name
+                );
+            }
+            for output in spec.outputs {
+                assert!(
+                    produced.insert(output),
+                    "artifact `{output}` produced twice (stage `{}`)",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_names_are_unique() {
+        let names: HashSet<&str> = STAGE_GRAPH.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), STAGE_GRAPH.len());
+    }
+}

@@ -196,7 +196,13 @@ impl Fig11 {
             .iter()
             .map(|(p, s)| format!("{p} {}", pct(*s)))
             .collect();
-        let mut dead = Table::new(["Market", "Dead code", "Dead pkgs/app", "Over-priv flat", "Over-priv reach"]);
+        let mut dead = Table::new([
+            "Market",
+            "Dead code",
+            "Dead pkgs/app",
+            "Over-priv flat",
+            "Over-priv reach",
+        ]);
         for &m in MarketId::ALL.iter() {
             dead.row([
                 m.name().to_owned(),
@@ -210,7 +216,10 @@ impl Fig11 {
             "Figure 11: over-privileged apps (top unused: {})\n{}\n{}\nDead code per market\n{}",
             tops.join(", "),
             Self::render_mode(&self.flat, "Flat footprint (baseline)"),
-            Self::render_mode(&self.reachable, "Reachable footprint (entry-point analysis)"),
+            Self::render_mode(
+                &self.reachable,
+                "Reachable footprint (entry-point analysis)"
+            ),
             dead.render()
         )
     }

@@ -8,7 +8,9 @@
 //!
 //! The expensive shared work — deduplicating apps across markets, library
 //! detection, clone detection, fake detection, AV scanning,
-//! over-privilege analysis — happens once in [`Analyzed::compute`].
+//! over-privilege analysis — runs once through the staged, data-parallel
+//! [`engine::AnalysisEngine`]; [`Analyzed::compute`] is the one-call
+//! entry point.
 //!
 //! [`Snapshot`]: marketscope_crawler::Snapshot
 
@@ -16,10 +18,12 @@
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod engine;
 pub mod experiments;
 pub mod ops;
 pub mod pipeline;
 
 pub use context::{Analyzed, LabelSource, UniqueApp};
-pub use ops::{MarketOps, OpsSummary};
+pub use engine::{AnalysisEngine, EngineConfig, StageSpec, STAGE_GRAPH};
+pub use ops::{MarketOps, OpsSummary, StageOps};
 pub use pipeline::{run_campaign, Campaign, CampaignConfig};

@@ -29,6 +29,20 @@ pub struct MarketOps {
     pub apks: u64,
 }
 
+/// One analysis stage's recorded work, read back from the engine's
+/// telemetry instruments.
+#[derive(Debug, Clone)]
+pub struct StageOps {
+    /// Stage name, as declared in [`crate::engine::STAGE_GRAPH`].
+    pub stage: String,
+    /// Items the stage processed (listings for dedup, apps or candidate
+    /// pairs downstream).
+    pub items: u64,
+    /// Recorded stage latency in microseconds (log2-bucket approximation;
+    /// with one run per stage this is the run's wall clock).
+    pub elapsed_us: u64,
+}
+
 /// Fleet-wide operational totals plus a per-market breakdown.
 #[derive(Debug, Clone)]
 pub struct OpsSummary {
@@ -38,6 +52,9 @@ pub struct OpsSummary {
     pub total_requests: u64,
     /// Total non-200 responses across the fleet.
     pub total_errors: u64,
+    /// Analysis-engine stage rows, in stage-graph order; empty when the
+    /// snapshot holds no engine telemetry.
+    pub analysis: Vec<StageOps>,
 }
 
 impl OpsSummary {
@@ -93,10 +110,31 @@ impl OpsSummary {
                 apks,
             });
         }
+        let analysis = crate::engine::STAGE_GRAPH
+            .iter()
+            .filter_map(|spec| {
+                let labels = [("stage", spec.name)];
+                let hist = snap.histogram(crate::engine::STAGE_LATENCY_METRIC, &labels)?;
+                if hist.count() == 0 {
+                    return None;
+                }
+                // mean × count collapses to the recorded duration when the
+                // stage ran once (modulo log2 bucketing).
+                let elapsed_us = (hist.mean() * hist.count() as f64 / 1_000.0) as u64;
+                Some(StageOps {
+                    stage: spec.name.to_string(),
+                    items: snap
+                        .counter_value(crate::engine::STAGE_ITEMS_METRIC, &labels)
+                        .unwrap_or(0),
+                    elapsed_us,
+                })
+            })
+            .collect();
         OpsSummary {
             markets,
             total_requests,
             total_errors,
+            analysis,
         }
     }
 
@@ -130,6 +168,19 @@ impl OpsSummary {
                 100.0 * self.total_errors as f64 / self.total_requests as f64
             }
         ));
+        if !self.analysis.is_empty() {
+            out.push_str("\nAnalysis engine stages\n");
+            out.push_str(&format!(
+                "{:<14} {:>9} {:>12}\n",
+                "stage", "items", "elapsed(us)"
+            ));
+            for s in &self.analysis {
+                out.push_str(&format!(
+                    "{:<14} {:>9} {:>12}\n",
+                    s.stage, s.items, s.elapsed_us
+                ));
+            }
+        }
         out
     }
 }
@@ -185,6 +236,31 @@ mod tests {
         let rendered = ops.render();
         assert!(rendered.contains("gp"));
         assert!(rendered.contains("total: 10 requests, 2 errors"));
+    }
+
+    #[test]
+    fn analysis_stages_render_in_graph_order() {
+        let registry = Registry::new();
+        // Record out of graph order; the summary must re-sort.
+        for stage in ["av", "dedup", "code_clones"] {
+            let labels = [("stage", stage)];
+            registry
+                .histogram(crate::engine::STAGE_LATENCY_METRIC, &labels)
+                .record_duration(Duration::from_micros(1_500));
+            registry
+                .counter(crate::engine::STAGE_ITEMS_METRIC, &labels)
+                .add(42);
+        }
+        let ops = OpsSummary::from_snapshot(&registry.snapshot());
+        let stages: Vec<&str> = ops.analysis.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(stages, ["dedup", "code_clones", "av"]);
+        for s in &ops.analysis {
+            assert_eq!(s.items, 42);
+            assert!(s.elapsed_us > 0, "stage {} lost its latency", s.stage);
+        }
+        let rendered = ops.render();
+        assert!(rendered.contains("Analysis engine stages"));
+        assert!(rendered.contains("dedup"));
     }
 
     #[test]

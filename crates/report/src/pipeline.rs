@@ -2,6 +2,7 @@
 //! twice, analyze everything.
 
 use crate::context::{Analyzed, LabelSource};
+use crate::engine::{AnalysisEngine, EngineConfig};
 use crate::ops::OpsSummary;
 use marketscope_core::MarketId;
 use marketscope_crawler::{CrawlConfig, CrawlProgress, CrawlTargets, Crawler, Snapshot};
@@ -50,9 +51,9 @@ pub struct Campaign {
     pub labels: LabelSource,
     /// Shared analysis artifacts.
     pub analyzed: Analyzed,
-    /// Operational summary from the merged fleet + crawler telemetry:
-    /// per-market request counts, error rates, handler-latency
-    /// percentiles and harvest totals.
+    /// Operational summary from the merged fleet + crawler + analysis
+    /// telemetry: per-market request counts, error rates, handler-latency
+    /// percentiles, harvest totals, and per-stage analysis latencies.
     pub ops: OpsSummary,
 }
 
@@ -116,13 +117,21 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
     if let Some(reporter) = reporter {
         reporter.stop();
     }
-    let ops = OpsSummary::from_snapshot(
-        &fleet.registry().snapshot().merge(&crawl_registry.snapshot()),
-    );
+    let serving = fleet.registry().snapshot();
     fleet.stop();
 
     let labels = LabelSource::from_world(&world);
-    let analyzed = Analyzed::compute(&snapshot);
+    // Staged analysis, instrumented into its own registry so the ops
+    // summary can report per-stage latencies alongside the crawl totals.
+    let analysis_registry = Arc::new(Registry::new());
+    let analyzed =
+        AnalysisEngine::with_registry(EngineConfig::default(), Arc::clone(&analysis_registry))
+            .run(&snapshot);
+    let ops = OpsSummary::from_snapshot(
+        &serving
+            .merge(&crawl_registry.snapshot())
+            .merge(&analysis_registry.snapshot()),
+    );
     Campaign {
         world,
         snapshot,

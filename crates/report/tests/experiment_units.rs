@@ -49,6 +49,7 @@ fn digest(
 }
 
 /// A listing shell around a digest.
+#[allow(clippy::too_many_arguments)]
 fn listing(
     pkg: &str,
     version: u32,
@@ -70,14 +71,14 @@ fn listing(
         rating,
         updated: updated.parse().ok(),
         developer_name: dev.to_owned(),
-        digest: Some(digest(
+        digest: Some(std::sync::Arc::new(digest(
             pkg,
             version,
             dev,
             label,
             &[5, 9],
             &[version as u64, 100],
-        )),
+        ))),
     }
 }
 

@@ -15,11 +15,9 @@ fn sample_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Opti
         .iter()
         .find(|s| {
             s.name == name
-                && labels.iter().all(|(k, v)| {
-                    s.labels
-                        .iter()
-                        .any(|(sk, sv)| sk == k && sv == v)
-                })
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
                 && s.labels.len() == labels.len()
         })
         .map(|s| s.value)
@@ -72,9 +70,7 @@ fn crawl_metrics_scrape_is_self_consistent() {
             .iter()
             .filter(|s| {
                 s.name == "marketscope_net_responses_total"
-                    && s.labels
-                        .iter()
-                        .any(|(k, v)| k == "market" && v == slug)
+                    && s.labels.iter().any(|(k, v)| k == "market" && v == slug)
             })
             .map(|s| s.value)
             .sum();

@@ -177,12 +177,17 @@ mod tests {
         assert_eq!(find("marketscope_net_requests_total", "baidu"), 3.0);
         assert_eq!(find("marketscope_net_live_connections", "huawei"), 2.0);
         assert_eq!(find("marketscope_net_handler_nanos_count", "huawei"), 3.0);
-        assert_eq!(find("marketscope_net_handler_nanos_sum", "huawei"), 50_300.0);
+        assert_eq!(
+            find("marketscope_net_handler_nanos_sum", "huawei"),
+            50_300.0
+        );
 
         // The +Inf bucket equals the count.
         let inf = samples
             .iter()
-            .find(|s| s.name == "marketscope_net_handler_nanos_bucket" && s.label("le") == Some("+Inf"))
+            .find(|s| {
+                s.name == "marketscope_net_handler_nanos_bucket" && s.label("le") == Some("+Inf")
+            })
             .unwrap();
         assert_eq!(inf.value, 3.0);
 

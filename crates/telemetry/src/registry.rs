@@ -288,7 +288,10 @@ mod tests {
         r.counter("a_total", &[("market", "zhushou")]).inc();
         r.counter("b_total", &[("market", "baidu")]).inc();
         r.gauge("g", &[("market", "baidu")]).inc();
-        assert_eq!(r.snapshot().label_values("market"), vec!["baidu", "zhushou"]);
+        assert_eq!(
+            r.snapshot().label_values("market"),
+            vec!["baidu", "zhushou"]
+        );
     }
 
     #[test]

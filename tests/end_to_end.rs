@@ -148,7 +148,7 @@ fn av_recovers_planted_infections() {
                     && c.world.developer(a.developer).key == app.developer
             })
             .and_then(|a| a.infection);
-        let malicious_truth = truth.map_or(false, |inf| inf.tier != ThreatTier::Grayware);
+        let malicious_truth = truth.is_some_and(|inf| inf.tier != ThreatTier::Grayware);
         let flagged = c.analyzed.av_reports[i].rank >= 10;
         match (malicious_truth, flagged) {
             (true, true) => tp += 1,
