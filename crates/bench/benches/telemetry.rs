@@ -82,5 +82,62 @@ fn bench_round_trip(c: &mut Criterion) {
     server.stop();
 }
 
-criterion_group!(benches, bench_instruments, bench_round_trip);
+fn bench_traced_round_trip(c: &mut Criterion) {
+    use marketscope::telemetry::trace::{Tracer, TracerConfig};
+
+    let mut g = c.benchmark_group("telemetry/traced_round_trip");
+    g.measurement_time(Duration::from_secs(5));
+
+    // Baseline: tracing hooks compiled in but no tracer attached.
+    let bare_server = HttpServer::spawn(ping_router()).unwrap();
+    let bare_client = HttpClient::new();
+    g.bench_function("untraced", |b| {
+        b.iter(|| black_box(bare_client.get(bare_server.addr(), "/ping").unwrap()))
+    });
+
+    // Tracer attached on both sides, sampling off: every request walks
+    // the no-op span paths (the production default).
+    let cold = Arc::new(Tracer::new(TracerConfig::propagate_only(4096)));
+    let cold_server = HttpServer::spawn_instrumented(
+        "127.0.0.1:0",
+        ping_router(),
+        ServerMetrics::standalone().traced(Arc::clone(&cold)),
+    )
+    .unwrap();
+    let cold_client = HttpClient::with_telemetry(Default::default(), None, Some(Arc::clone(&cold)));
+    g.bench_function("traced_rate0", |b| {
+        b.iter(|| black_box(cold_client.get(cold_server.addr(), "/ping").unwrap()))
+    });
+
+    // Every request sampled: span allocation, header injection, remote
+    // child spans and journal writes all on the hot path.
+    let hot = Arc::new(Tracer::new(TracerConfig::always(4096)));
+    let hot_server = HttpServer::spawn_instrumented(
+        "127.0.0.1:0",
+        ping_router(),
+        ServerMetrics::standalone().traced(Arc::clone(&hot)),
+    )
+    .unwrap();
+    let hot_client = HttpClient::with_telemetry(Default::default(), None, Some(Arc::clone(&hot)));
+    g.bench_function("traced_sampled", |b| {
+        b.iter(|| {
+            let root = hot.root_span("bench", "ping");
+            let resp = hot_client.get(hot_server.addr(), "/ping").unwrap();
+            root.finish();
+            black_box(resp)
+        })
+    });
+    g.finish();
+
+    bare_server.stop();
+    cold_server.stop();
+    hot_server.stop();
+}
+
+criterion_group!(
+    benches,
+    bench_instruments,
+    bench_round_trip,
+    bench_traced_round_trip
+);
 criterion_main!(benches);

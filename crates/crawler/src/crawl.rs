@@ -6,7 +6,8 @@ use marketscope_core::MarketId;
 use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
 use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::NetError;
-use marketscope_telemetry::{Counter, Gauge, Histogram, Registry};
+use marketscope_telemetry::trace::{Tracer, TracerConfig};
+use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, TraceSpan};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::net::SocketAddr;
@@ -47,6 +48,11 @@ pub struct CrawlConfig {
     /// (`None` = unthrottled; the paper crawled politely from 50 cloud
     /// workers over two weeks).
     pub politeness_rps: Option<f64>,
+    /// Probability that one listing/APK fetch starts a distributed
+    /// trace (0.0 = tracing off, 1.0 = trace everything). Sampled
+    /// fetches propagate their context to the market servers via the
+    /// `x-marketscope-trace` header.
+    pub trace_sample: f64,
 }
 
 impl Default for CrawlConfig {
@@ -57,6 +63,7 @@ impl Default for CrawlConfig {
             fetch_apks: true,
             per_market_cap: 0,
             politeness_rps: None,
+            trace_sample: 0.0,
         }
     }
 }
@@ -123,6 +130,8 @@ pub struct Crawler {
     registry: Arc<Registry>,
     /// Per-market instruments, in [`MarketId::ALL`] order.
     metrics: Vec<MarketMetrics>,
+    /// Tracer sampling per-fetch spans (per `config.trace_sample`).
+    tracer: Arc<Tracer>,
 }
 
 impl Crawler {
@@ -136,6 +145,22 @@ impl Crawler {
     /// shared registry to scrape crawler progress alongside other
     /// components.
     pub fn with_registry(config: CrawlConfig, registry: Arc<Registry>) -> Crawler {
+        let tracer = Arc::new(Tracer::new(TracerConfig {
+            sample_rate: config.trace_sample,
+            capacity: 16_384,
+        }));
+        Crawler::with_telemetry(config, registry, tracer)
+    }
+
+    /// A crawler recording trace spans into an explicit (usually shared)
+    /// tracer. Sampling still follows `config.trace_sample`; pass the
+    /// same tracer to other components to merge their spans into one
+    /// journal up front instead of merging snapshots later.
+    pub fn with_telemetry(
+        config: CrawlConfig,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+    ) -> Crawler {
         let buckets = config.politeness_rps.map(|rps| {
             MarketId::ALL
                 .iter()
@@ -158,16 +183,18 @@ impl Crawler {
         let client_metrics = ClientMetrics::register(&registry, &[]);
         Crawler {
             config,
-            client: Arc::new(HttpClient::with_metrics(
+            client: Arc::new(HttpClient::with_telemetry(
                 ClientConfig {
                     pool_per_host: 4,
                     ..ClientConfig::default()
                 },
-                client_metrics,
+                Some(client_metrics),
+                Some(Arc::clone(&tracer)),
             )),
             buckets,
             registry,
             metrics,
+            tracer,
         }
     }
 
@@ -176,6 +203,11 @@ impl Crawler {
     /// grants and waits, and HTTP client latency/retries/errors.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The tracer holding this crawler's sampled fetch spans.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Block until the politeness budget allows another request to
@@ -195,6 +227,9 @@ impl Crawler {
             }
         }
         bucket.note_wait(started.elapsed());
+        // If this stall happened inside a sampled fetch span, pin it to
+        // the trace timeline too.
+        marketscope_telemetry::trace::current_event("politeness_wait");
     }
 
     /// Run a full crawl campaign against `targets`.
@@ -248,12 +283,17 @@ impl Crawler {
                             if have.contains(pkg) {
                                 continue;
                             }
+                            let span = self.tracer.root_span(
+                                "crawler",
+                                &format!("search {}/{pkg}", snapshot.market.slug()),
+                            );
                             if let Some(listing) =
                                 fetch_metadata(&client, addr, pkg, &stats, &metrics.listings)
                             {
                                 snapshot.listings.push(listing);
                                 stats.lock().parallel_search_hits += 1;
                             }
+                            span.finish();
                         }
                     })
                 })
@@ -302,11 +342,17 @@ impl Crawler {
             if self.config.per_market_cap > 0 && listings.len() >= self.config.per_market_cap {
                 break;
             }
+            // One (sampled) trace per listing fetch: the root span's
+            // context flows through the client into the market server.
+            let span = self
+                .tracer
+                .root_span("crawler", &format!("listing {}/{pkg}", market.slug()));
             self.polite(market);
             let listings_fetched = &self.metrics[market.index()].listings;
             if let Some(listing) = fetch_metadata(client, addr, &pkg, stats, listings_fetched) {
                 listings.push(listing);
             }
+            span.finish();
         }
         MarketSnapshot { market, listings }
     }
@@ -380,6 +426,12 @@ impl Crawler {
         let addr = targets.addr(snapshot.market);
         let metrics = &self.metrics[snapshot.market.index()];
         for listing in &mut snapshot.listings {
+            // One (sampled) trace per APK harvest, covering the direct
+            // fetch, any 429 + repository backfill, and digesting.
+            let trace_span = self.tracer.root_span(
+                "crawler",
+                &format!("apk {}/{}", snapshot.market.slug(), listing.package),
+            );
             self.polite(snapshot.market);
             let path = format!("/apk/{}", listing.package);
             let bytes = match client.get(addr, &path) {
@@ -389,8 +441,10 @@ impl Crawler {
                 }
                 Err(NetError::Status(429)) => {
                     stats.lock().rate_limited += 1;
+                    trace_span.event("rate_limited_429");
                     // Backfill from the offline repository by (pkg, version).
                     targets.repository.and_then(|repo| {
+                        trace_span.event("backfill");
                         let path = format!("/apk/{}/{}", listing.package, listing.version_code);
                         match client.get(repo, &path) {
                             Ok(resp) => {
@@ -406,6 +460,11 @@ impl Crawler {
             match bytes {
                 Some(bytes) => {
                     metrics.apks.inc();
+                    let digest_span = if trace_span.is_sampled() {
+                        self.tracer.span("crawler", "digest")
+                    } else {
+                        TraceSpan::noop()
+                    };
                     let span = metrics.reach_latency.start_span();
                     match ApkDigest::from_bytes_with_stats(&bytes) {
                         Ok((digest, reach)) => {
@@ -416,9 +475,14 @@ impl Crawler {
                         Err(_) => stats.lock().parse_failures += 1,
                     }
                     drop(span);
+                    digest_span.finish();
                 }
-                None => stats.lock().apks_missing += 1,
+                None => {
+                    trace_span.event("missing");
+                    stats.lock().apks_missing += 1;
+                }
             }
+            trace_span.finish();
         }
     }
 }

@@ -4,6 +4,7 @@ use crate::repository::AndroZooServer;
 use crate::server::{CrawlPhase, MarketServer};
 use marketscope_core::MarketId;
 use marketscope_ecosystem::World;
+use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::Registry;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -20,33 +21,50 @@ pub struct MarketFleet {
     repository: AndroZooServer,
     world: Arc<World>,
     registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
 }
 
 impl MarketFleet {
     /// Spawn the whole fleet over a world.
     pub fn spawn(world: Arc<World>) -> Result<MarketFleet, marketscope_net::NetError> {
+        // Servers never *start* traces (sample rate 0), but a shared
+        // journal records the spans that crawler-sampled requests
+        // propagate in — one fleet-wide timeline.
+        let tracer = Arc::new(Tracer::new(TracerConfig::propagate_only(16_384)));
         let registry = Arc::new(Registry::new());
         let mut servers = Vec::with_capacity(17);
         for m in MarketId::ALL {
-            servers.push(MarketServer::spawn_with_registry(
+            servers.push(MarketServer::spawn_with_telemetry(
                 Arc::clone(&world),
                 m,
                 Arc::clone(&registry),
+                Arc::clone(&tracer),
             )?);
         }
-        let repository =
-            AndroZooServer::spawn_with_registry(Arc::clone(&world), Arc::clone(&registry))?;
+        let repository = AndroZooServer::spawn_with_telemetry(
+            Arc::clone(&world),
+            Arc::clone(&registry),
+            Arc::clone(&tracer),
+        )?;
         Ok(MarketFleet {
             servers,
             repository,
             world,
             registry,
+            tracer,
         })
     }
 
     /// The registry shared by every server in the fleet.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The tracer shared by every server in the fleet (including the
+    /// repository). Its journal holds the server side of every sampled
+    /// crawl request; any market's `GET /__trace` renders it.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Address of one market's server.

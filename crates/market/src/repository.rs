@@ -14,6 +14,7 @@ use marketscope_ecosystem::{ListingId, World};
 use marketscope_net::http::{Response, Status};
 use marketscope_net::router::Router;
 use marketscope_net::server::{HttpServer, ServerHandle, ServerMetrics};
+use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::Registry;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -39,6 +40,18 @@ impl AndroZooServer {
     pub fn spawn_with_registry(
         world: Arc<World>,
         registry: Arc<Registry>,
+    ) -> Result<AndroZooServer, marketscope_net::NetError> {
+        let tracer = Arc::new(Tracer::new(TracerConfig::propagate_only(1024)));
+        AndroZooServer::spawn_with_telemetry(world, registry, tracer)
+    }
+
+    /// Spawn the repository with a shared tracer too, so backfill
+    /// downloads show up in the same cross-process span trees as the
+    /// market fetches they compensate for.
+    pub fn spawn_with_telemetry(
+        world: Arc<World>,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
     ) -> Result<AndroZooServer, marketscope_net::NetError> {
         let mut index: HashMap<String, ListingId> = HashMap::new();
         for id in world.market_listings(MarketId::GooglePlay) {
@@ -69,7 +82,7 @@ impl AndroZooServer {
                 Response::ok("application/vnd.android.package-archive", bytes)
             })
         };
-        let metrics = ServerMetrics::register(&registry, &[("market", "androzoo")]);
+        let metrics = ServerMetrics::register(&registry, &[("market", "androzoo")]).traced(tracer);
         let handle = HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?;
         Ok(AndroZooServer { handle, holdings })
     }

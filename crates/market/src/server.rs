@@ -9,6 +9,7 @@ use marketscope_net::http::{Request, Response, Status};
 use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::router::Router;
 use marketscope_net::server::{HttpServer, ServerHandle, ServerMetrics};
+use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::Registry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -57,6 +58,7 @@ pub struct MarketServer {
     handle: ServerHandle,
     state: Arc<MarketState>,
     registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
 }
 
 /// Page size for the catalog index.
@@ -81,6 +83,22 @@ impl MarketServer {
         world: Arc<World>,
         market: MarketId,
         registry: Arc<Registry>,
+    ) -> Result<MarketServer, marketscope_net::NetError> {
+        // Local sampling stays off, but the journal is live: requests
+        // arriving with a propagated trace context still record here.
+        let tracer = Arc::new(Tracer::new(TracerConfig::propagate_only(4096)));
+        MarketServer::spawn_with_telemetry(world, market, registry, tracer)
+    }
+
+    /// Spawn a server with a shared registry *and* a shared tracer. The
+    /// server opens spans for requests that arrive with a propagated
+    /// `x-marketscope-trace` header, and exposes the tracer's journal as
+    /// Chrome trace-event JSON at `GET /__trace`.
+    pub fn spawn_with_telemetry(
+        world: Arc<World>,
+        market: MarketId,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
     ) -> Result<MarketServer, marketscope_net::NetError> {
         let catalog: Vec<ListingId> = world.market_listings(market).to_vec();
         let by_package = catalog
@@ -116,25 +134,40 @@ impl MarketServer {
                 )
             }),
         });
-        let router = build_router(Arc::clone(&state)).get("/__metrics", {
-            let registry = Arc::clone(&registry);
-            move |_req: &Request, _: &marketscope_net::router::Params| {
-                Response::ok("text/plain; version=0.0.4", registry.render().into_bytes())
-            }
-        });
-        let metrics = ServerMetrics::register(&registry, &[("market", market.slug())]);
+        let router = build_router(Arc::clone(&state))
+            .get("/__metrics", {
+                let registry = Arc::clone(&registry);
+                move |_req: &Request, _: &marketscope_net::router::Params| {
+                    Response::ok("text/plain; version=0.0.4", registry.render().into_bytes())
+                }
+            })
+            .get("/__trace", {
+                let tracer = Arc::clone(&tracer);
+                move |_req: &Request, _: &marketscope_net::router::Params| {
+                    let json = marketscope_telemetry::chrome_trace(&tracer.snapshot());
+                    Response::ok("application/json", json.into_bytes())
+                }
+            });
+        let metrics = ServerMetrics::register(&registry, &[("market", market.slug())])
+            .traced(Arc::clone(&tracer));
         let handle = HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?;
         Ok(MarketServer {
             market,
             handle,
             state,
             registry,
+            tracer,
         })
     }
 
     /// The registry this server's instruments are registered in.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The tracer recording this server's request spans.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The market this server simulates.
@@ -324,6 +357,10 @@ fn build_router(state: Arc<MarketState>) -> Router {
         router = router.get("/apk/{pkg}", move |_req, params| {
             if let Some(bucket) = &st.apk_bucket {
                 if !bucket.try_acquire() {
+                    // Lands on the server-side handler span (if any), so
+                    // a traced harvest shows exactly which attempts the
+                    // limiter stalled.
+                    marketscope_telemetry::trace::current_event("rate_limited");
                     return Response::status(Status::TooManyRequests);
                 }
             }
@@ -422,6 +459,50 @@ mod tests {
             .iter()
             .any(|(n, _)| n.contains("tencentchannel")));
         assert!(parsed.signature_valid);
+    }
+
+    #[test]
+    fn trace_endpoint_serves_propagated_spans_as_chrome_json() {
+        let w = world();
+        let tracer = Arc::new(Tracer::new(TracerConfig::always(256)));
+        let server = MarketServer::spawn_with_telemetry(
+            Arc::clone(&w),
+            MarketId::HuaweiMarket,
+            Arc::new(Registry::new()),
+            Arc::clone(&tracer),
+        )
+        .unwrap();
+        let client = marketscope_net::client::HttpClient::with_telemetry(
+            Default::default(),
+            None,
+            Some(Arc::clone(&tracer)),
+        );
+        let root = tracer.root_span("crawler", "fetch index");
+        client.get(server.addr(), "/index").unwrap();
+        root.finish();
+
+        // Server spans record after the response write; poll the journal
+        // through the endpoint itself until they show up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let resp = client.get(server.addr(), "/__trace").unwrap();
+            let text = String::from_utf8(resp.body).unwrap();
+            let doc =
+                marketscope_core::json::Json::parse(&text).expect("__trace must serve valid JSON");
+            let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+            if events
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("handler"))
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no handler span ever appeared in {text}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        server.stop();
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::error::NetError;
 use crate::http::{Request, Response, Status};
-use marketscope_telemetry::{Counter, Histogram, Registry};
+use marketscope_telemetry::{Counter, Histogram, Registry, TraceSpan, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -96,6 +96,7 @@ pub struct HttpClient {
     config: ClientConfig,
     pool: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
     metrics: Option<ClientMetrics>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl HttpClient {
@@ -110,6 +111,7 @@ impl HttpClient {
             config,
             pool: Mutex::new(HashMap::new()),
             metrics: None,
+            tracer: None,
         }
     }
 
@@ -120,6 +122,25 @@ impl HttpClient {
             config,
             pool: Mutex::new(HashMap::new()),
             metrics: Some(metrics),
+            tracer: None,
+        }
+    }
+
+    /// Client with metrics *and* a tracer. When a sampled span is active
+    /// on the calling thread, each request opens a child span plus one
+    /// span per connection attempt, and every attempt carries its own
+    /// span context out in the `x-marketscope-trace` header so the
+    /// server's handler spans link back to this exact attempt.
+    pub fn with_telemetry(
+        config: ClientConfig,
+        metrics: Option<ClientMetrics>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
+        HttpClient {
+            config,
+            pool: Mutex::new(HashMap::new()),
+            metrics,
+            tracer,
         }
     }
 
@@ -129,7 +150,18 @@ impl HttpClient {
     /// connection between requests — the classic keep-alive race).
     pub fn request(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
         let span = self.metrics.as_ref().map(|m| m.request_nanos.start_span());
+        // Child of whatever sampled span is active on this thread (the
+        // crawler's fetch span); a no-op when tracing is off or the
+        // caller wasn't sampled.
+        let trace_span = match &self.tracer {
+            Some(t) => t.span("client", &format!("{} {}", req.method.as_str(), req.path)),
+            None => TraceSpan::noop(),
+        };
         let result = self.request_inner(addr, req);
+        if let Err(e) = &result {
+            trace_span.event(&format!("error:{}", e.kind()));
+        }
+        trace_span.finish();
         drop(span); // record the latency, success or failure
         if let (Some(m), Err(e)) = (&self.metrics, &result) {
             m.note_error(e);
@@ -145,6 +177,25 @@ impl HttpClient {
                     m.retries.inc();
                 }
             }
+            // Sibling spans, one per attempt, under the request span
+            // currently on top of this thread's stack. Each attempt
+            // injects its *own* span id into the trace header, so the
+            // server side links to the attempt that actually reached it.
+            let attempt_span = match &self.tracer {
+                Some(t) => t.span("client", &format!("attempt#{attempt}")),
+                None => TraceSpan::noop(),
+            };
+            if attempt > 0 {
+                attempt_span.event("retry");
+            }
+            let traced_req;
+            let wire_req = match attempt_span.context() {
+                Some(ctx) => {
+                    traced_req = req.with_trace_context(ctx);
+                    &traced_req
+                }
+                None => req,
+            };
             let reused;
             let conn = match self.take_pooled(addr) {
                 Some(c) => {
@@ -156,7 +207,7 @@ impl HttpClient {
                     self.connect(addr)?
                 }
             };
-            match self.round_trip(conn, req) {
+            match self.round_trip(conn, wire_req) {
                 Ok((resp, conn)) => {
                     self.return_pooled(addr, conn);
                     return Ok(resp);
@@ -166,6 +217,7 @@ impl HttpClient {
                     // attempt is likely a real problem; on a reused one it
                     // is usually the keep-alive race. Retry both, bounded.
                     let _ = reused;
+                    attempt_span.event(&format!("failed:{}", e.kind()));
                     last_err = Some(e);
                     if attempt == self.config.retries {
                         break;

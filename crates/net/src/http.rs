@@ -126,6 +126,29 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Value of one header, if present (header names are stored
+    /// lower-cased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// The propagated trace context from the
+    /// [`TRACE_HEADER`](marketscope_telemetry::TRACE_HEADER) request
+    /// header, if present and well-formed.
+    pub fn trace_context(&self) -> Option<marketscope_telemetry::SpanContext> {
+        self.header(marketscope_telemetry::TRACE_HEADER)
+            .and_then(marketscope_telemetry::SpanContext::parse)
+    }
+
+    /// A copy of this request carrying the given trace context in the
+    /// [`TRACE_HEADER`](marketscope_telemetry::TRACE_HEADER) header.
+    pub fn with_trace_context(&self, ctx: marketscope_telemetry::SpanContext) -> Request {
+        let mut req = self.clone();
+        req.headers
+            .insert(marketscope_telemetry::TRACE_HEADER.to_owned(), ctx.render());
+        req
+    }
+
     /// Serialize onto a writer (adds `Content-Length`; keeps the
     /// connection alive unless a `connection: close` header was set).
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), NetError> {

@@ -3,7 +3,7 @@
 
 use crate::error::NetError;
 use crate::http::{Request, Response, Status};
-use marketscope_telemetry::{Counter, Gauge, Histogram, Registry};
+use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, TraceSpan, Tracer};
 use parking_lot::Mutex;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -52,6 +52,7 @@ pub struct ServerMetrics {
     live: Arc<Gauge>,
     handler_nanos: Arc<Histogram>,
     responses: Vec<(u16, Arc<Counter>)>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ServerMetrics {
@@ -79,7 +80,18 @@ impl ServerMetrics {
             live: registry.gauge("marketscope_net_live_connections", labels),
             handler_nanos: registry.histogram("marketscope_net_handler_nanos", labels),
             responses,
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer: requests arriving with an `x-marketscope-trace`
+    /// header open a server-side request span (a remote child of the
+    /// client's attempt span) with `handler` and `write` child spans, so
+    /// the caller's trace crosses the wire into this server. Requests
+    /// without the header trace nothing.
+    pub fn traced(mut self, tracer: Arc<Tracer>) -> ServerMetrics {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Free-floating instruments, not attached to any registry. Used by
@@ -94,6 +106,7 @@ impl ServerMetrics {
                 .iter()
                 .map(|&(code, _)| (code, Arc::new(Counter::new())))
                 .collect(),
+            tracer: None,
         }
     }
 
@@ -203,14 +216,37 @@ fn serve_connection(
             }
         };
         let close = req.wants_close();
+        // A propagated trace context makes this request a remote child
+        // of the client-side attempt span; without one (or without a
+        // tracer) every span below is a no-op.
+        let req_span = match &metrics.tracer {
+            Some(t) => t.child_of(
+                req.trace_context(),
+                "server",
+                &format!("{} {}", req.method.as_str(), req.path),
+            ),
+            None => TraceSpan::noop(),
+        };
         let start = Instant::now();
+        let handler_span = match &metrics.tracer {
+            Some(t) => t.span("server", "handler"),
+            None => TraceSpan::noop(),
+        };
         let resp = handler.handle(&req);
+        handler_span.finish();
         // Count and time *after* the handler so a `/__metrics` scrape
         // renders a self-consistent exposition: for every market,
         // `requests_total == handler_nanos_count` and the in-flight
         // scrape itself is excluded from both.
         metrics.note_response(resp.status, start.elapsed());
+        req_span.event(&format!("status:{}", resp.status.code()));
+        let write_span = match &metrics.tracer {
+            Some(t) => t.span("server", "write"),
+            None => TraceSpan::noop(),
+        };
         resp.write_to(&mut writer)?;
+        write_span.finish();
+        req_span.finish();
         if close {
             return Ok(());
         }

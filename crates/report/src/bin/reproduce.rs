@@ -3,7 +3,12 @@
 //!
 //! ```text
 //! reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress]
+//!           [--trace-out FILE]
 //! ```
+//!
+//! `--trace-out FILE` samples every fetch (trace rate 1.0) and writes the
+//! merged crawler + fleet + analysis span journal as Chrome trace-event
+//! JSON — load it at `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use marketscope_ecosystem::Scale;
 use marketscope_report::experiments as ex;
@@ -13,6 +18,7 @@ fn main() {
     let mut config = CampaignConfig::default();
     let mut only: Option<String> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,6 +44,13 @@ fn main() {
                     args.next()
                         .unwrap_or_else(|| usage("--out needs a directory")),
                 ));
+            }
+            "--trace-out" => {
+                trace_out = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a file path")),
+                ));
+                config.trace_sample = 1.0;
             }
             "--progress" => config.progress = true,
             "--help" | "-h" => usage(""),
@@ -75,6 +88,15 @@ fn main() {
     }
     if let Some(dir) = &out_dir {
         eprintln!("artifacts written to {}", dir.display());
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, marketscope_telemetry::chrome_trace(&campaign.traces))
+            .expect("write trace file");
+        eprintln!(
+            "trace written to {} ({} spans; load at chrome://tracing or ui.perfetto.dev)",
+            path.display(),
+            campaign.traces.records.len()
+        );
     }
 }
 
@@ -114,7 +136,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress]"
+        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE]"
     );
     eprintln!("artifacts: table1..table6, fig1..fig13, sec53, sec64, ops");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

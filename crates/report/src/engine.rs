@@ -52,6 +52,7 @@ use marketscope_core::parallel;
 use marketscope_core::{DeveloperKey, MarketId};
 use marketscope_crawler::Snapshot;
 use marketscope_libdetect::LibraryDetector;
+use marketscope_telemetry::trace::{SpanContext, TraceSpan, Tracer};
 use marketscope_telemetry::Registry;
 
 use crate::context::{Analyzed, UniqueApp};
@@ -147,6 +148,7 @@ impl EngineConfig {
 pub struct AnalysisEngine {
     config: EngineConfig,
     registry: Option<Arc<Registry>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl AnalysisEngine {
@@ -155,6 +157,7 @@ impl AnalysisEngine {
         AnalysisEngine {
             config,
             registry: None,
+            tracer: None,
         }
     }
 
@@ -163,6 +166,23 @@ impl AnalysisEngine {
         AnalysisEngine {
             config,
             registry: Some(registry),
+            tracer: None,
+        }
+    }
+
+    /// Engine recording stage metrics into `registry` *and* per-stage
+    /// spans into `tracer` (an `analysis` root span with one child per
+    /// stage, so campaign timelines show the analysis critical path next
+    /// to the crawl spans).
+    pub fn with_telemetry(
+        config: EngineConfig,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+    ) -> Self {
+        AnalysisEngine {
+            config,
+            registry: Some(registry),
+            tracer: Some(tracer),
         }
     }
 
@@ -172,7 +192,21 @@ impl AnalysisEngine {
     }
 
     /// Time `f` as stage `name`, recording latency and `items` processed.
-    fn stage<T>(&self, name: &'static str, items: usize, f: impl FnOnce() -> T) -> T {
+    /// When traced, the stage runs under its own span parented on the
+    /// engine's `analysis` root via the explicit `parent` context —
+    /// stages run on scoped threads, so thread-local parenting would not
+    /// reach across.
+    fn stage<T>(
+        &self,
+        parent: Option<SpanContext>,
+        name: &'static str,
+        items: usize,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let span = match &self.tracer {
+            Some(t) => t.child_of(parent, "analysis", name),
+            None => TraceSpan::noop(),
+        };
         let start = Instant::now();
         let out = f();
         if let Some(registry) = &self.registry {
@@ -184,21 +218,29 @@ impl AnalysisEngine {
                 .counter(STAGE_ITEMS_METRIC, &labels)
                 .add(items as u64);
         }
+        span.event(&format!("items:{items}"));
+        span.finish();
         out
     }
 
     /// Run every stage over a snapshot.
     pub fn run(&self, snapshot: &Snapshot) -> Analyzed {
         let workers = self.workers();
+        let root = match &self.tracer {
+            Some(t) => t.root_span("analysis", "analysis"),
+            None => TraceSpan::noop(),
+        };
+        let root_ctx = root.context();
 
         // dedup is always sequential: snapshot iteration order defines the
         // app index space everything downstream is aligned to.
-        let (apps, market_index) =
-            self.stage("dedup", snapshot.total_listings(), || dedup(snapshot));
+        let (apps, market_index) = self.stage(root_ctx, "dedup", snapshot.total_listings(), || {
+            dedup(snapshot)
+        });
         let digest_refs: Vec<&ApkDigest> = apps.iter().map(|a| a.digest.as_ref()).collect();
 
         let run_fake = || {
-            self.stage("fake", apps.len(), || {
+            self.stage(root_ctx, "fake", apps.len(), || {
                 let fake_inputs: Vec<FakeInput> = apps
                     .iter()
                     .map(|a| FakeInput {
@@ -214,19 +256,19 @@ impl AnalysisEngine {
             })
         };
         let run_av = || {
-            self.stage("av", apps.len(), || {
+            self.stage(root_ctx, "av", apps.len(), || {
                 AvSimulator::new().scan_batch(&digest_refs, workers)
             })
         };
         let run_overpriv = || {
-            self.stage("overpriv", apps.len(), || {
+            self.stage(root_ctx, "overpriv", apps.len(), || {
                 OverprivilegeAnalyzer::new().analyze_batch(&digest_refs, workers)
             })
         };
         // The library → clone chain; its stages depend on each other, so it
         // runs in order on whichever thread calls it.
         let run_clone_chain = || {
-            let lib_report = self.stage("libdetect", apps.len(), || {
+            let lib_report = self.stage(root_ctx, "libdetect", apps.len(), || {
                 LibraryDetector::new().detect_batch(&digest_refs, workers)
             });
             let lib_packages: HashSet<String> = lib_report
@@ -239,7 +281,7 @@ impl AnalysisEngine {
             // ranges, so raw counters from Chinese stores would otherwise
             // always win the "more downloads = original" comparison.
             let clone_inputs: Vec<marketscope_clonedetect::UniqueApp> =
-                self.stage("clone_inputs", apps.len(), || {
+                self.stage(root_ctx, "clone_inputs", apps.len(), || {
                     parallel::par_map(workers, &apps, |a| {
                         let binned: Vec<(MarketId, u64)> = a
                             .markets
@@ -259,10 +301,10 @@ impl AnalysisEngine {
                     })
                 });
             let detector = CloneDetector::new();
-            let sig_report = self.stage("sig_clones", clone_inputs.len(), || {
+            let sig_report = self.stage(root_ctx, "sig_clones", clone_inputs.len(), || {
                 detector.sig_clones(&clone_inputs)
             });
-            let code_pairs = self.stage("code_clones", clone_inputs.len(), || {
+            let code_pairs = self.stage(root_ctx, "code_clones", clone_inputs.len(), || {
                 detector.code_clones_batch(&clone_inputs, workers)
             });
             (
@@ -305,6 +347,7 @@ impl AnalysisEngine {
                 )
             })
         };
+        root.finish();
 
         Analyzed {
             apps,

@@ -6,7 +6,7 @@
 //! derived from the merged fleet + crawler registries, so the numbers are
 //! the same ones `GET /__metrics` exposes while a crawl runs.
 
-use marketscope_telemetry::RegistrySnapshot;
+use marketscope_telemetry::{slowest_traces, JournalSnapshot, RegistrySnapshot, TraceSummary};
 
 /// One market's serving-side and crawling-side totals.
 #[derive(Debug, Clone)]
@@ -55,6 +55,9 @@ pub struct OpsSummary {
     /// Analysis-engine stage rows, in stage-graph order; empty when the
     /// snapshot holds no engine telemetry.
     pub analysis: Vec<StageOps>,
+    /// Slowest sampled traces (top-k by root-span duration), filled by
+    /// [`OpsSummary::with_traces`]; empty when tracing was off.
+    pub slowest: Vec<TraceSummary>,
 }
 
 impl OpsSummary {
@@ -135,7 +138,14 @@ impl OpsSummary {
             total_requests,
             total_errors,
             analysis,
+            slowest: Vec::new(),
         }
+    }
+
+    /// Attach the top-`k` slowest traces from a trace journal snapshot.
+    pub fn with_traces(mut self, traces: &JournalSnapshot, k: usize) -> OpsSummary {
+        self.slowest = slowest_traces(traces, k);
+        self
     }
 
     /// Render the summary as an aligned text table.
@@ -178,6 +188,29 @@ impl OpsSummary {
                 out.push_str(&format!(
                     "{:<14} {:>9} {:>12}\n",
                     s.stage, s.items, s.elapsed_us
+                ));
+            }
+        }
+        if !self.slowest.is_empty() {
+            out.push_str("\nSlowest traces\n");
+            out.push_str(&format!(
+                "{:<18} {:<26} {:>9} {:>6}  {}\n",
+                "trace", "root", "dur(us)", "spans", "hotspots"
+            ));
+            for t in &self.slowest {
+                let hotspots: Vec<String> = t
+                    .breakdown
+                    .iter()
+                    .take(3)
+                    .map(|(name, self_nanos)| format!("{name} {}us", self_nanos / 1_000))
+                    .collect();
+                out.push_str(&format!(
+                    "{:016x}   {:<26} {:>9} {:>6}  {}\n",
+                    t.trace_id,
+                    t.root_name,
+                    t.duration_nanos / 1_000,
+                    t.span_count,
+                    hotspots.join("; ")
                 ));
             }
         }
@@ -261,6 +294,25 @@ mod tests {
         let rendered = ops.render();
         assert!(rendered.contains("Analysis engine stages"));
         assert!(rendered.contains("dedup"));
+    }
+
+    #[test]
+    fn slowest_traces_render_after_with_traces() {
+        use marketscope_telemetry::trace::{Tracer, TracerConfig};
+        use std::sync::Arc;
+        let tracer = Arc::new(Tracer::new(TracerConfig::always(64)));
+        let root = tracer.root_span("crawler", "apk gp/com.example");
+        let child = tracer.span("crawler", "digest");
+        child.finish();
+        root.finish();
+        let ops = OpsSummary::from_snapshot(&Registry::new().snapshot())
+            .with_traces(&tracer.snapshot(), 5);
+        assert_eq!(ops.slowest.len(), 1);
+        assert_eq!(ops.slowest[0].span_count, 2);
+        let rendered = ops.render();
+        assert!(rendered.contains("Slowest traces"));
+        assert!(rendered.contains("apk gp/com.example"));
+        assert!(rendered.contains("crawler:digest"));
     }
 
     #[test]

@@ -8,7 +8,8 @@ use marketscope_core::MarketId;
 use marketscope_crawler::{CrawlConfig, CrawlProgress, CrawlTargets, Crawler, Snapshot};
 use marketscope_ecosystem::{generate, Scale, World, WorldConfig};
 use marketscope_market::{CrawlPhase, MarketFleet};
-use marketscope_telemetry::Registry;
+use marketscope_telemetry::trace::{Tracer, TracerConfig};
+use marketscope_telemetry::{JournalSnapshot, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,6 +26,10 @@ pub struct CampaignConfig {
     /// Emit structured per-market `crawl-progress` lines to stderr while
     /// the crawls run.
     pub progress: bool,
+    /// Share of crawl fetches opening sampled trace spans (`0.0` = off,
+    /// `1.0` = every fetch). Sampled spans propagate over the wire, so
+    /// the fleet's server-side spans join the same traces.
+    pub trace_sample: f64,
 }
 
 impl Default for CampaignConfig {
@@ -34,6 +39,7 @@ impl Default for CampaignConfig {
             scale: Scale::SMALL,
             seed_share: 0.75,
             progress: false,
+            trace_sample: 0.0,
         }
     }
 }
@@ -55,6 +61,11 @@ pub struct Campaign {
     /// telemetry: per-market request counts, error rates, handler-latency
     /// percentiles, harvest totals, and per-stage analysis latencies.
     pub ops: OpsSummary,
+    /// Merged trace journal (crawler-side + fleet-side spans); empty
+    /// unless `trace_sample` was above zero. Export with
+    /// [`marketscope_telemetry::chrome_trace`] or
+    /// [`marketscope_telemetry::flamegraph`].
+    pub traces: JournalSnapshot,
 }
 
 /// Run the whole measurement campaign.
@@ -82,6 +93,13 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
     // accumulate across crawls; merged with the fleet's registry at the
     // end, it becomes the ops summary.
     let crawl_registry = Arc::new(Registry::new());
+    // One crawl-side tracer shared by both crawlers and the analysis
+    // engine; the fleet keeps its own propagate-only tracer, and the two
+    // journals merge into one timeline at the end.
+    let tracer = Arc::new(Tracer::new(TracerConfig {
+        sample_rate: config.trace_sample,
+        capacity: 65_536,
+    }));
     let reporter = config.progress.then(|| {
         CrawlProgress::spawn(
             Arc::clone(&crawl_registry),
@@ -90,17 +108,19 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         )
     });
 
-    let crawler = Crawler::with_registry(
+    let crawler = Crawler::with_telemetry(
         CrawlConfig {
             seeds,
+            trace_sample: config.trace_sample,
             ..CrawlConfig::default()
         },
         Arc::clone(&crawl_registry),
+        Arc::clone(&tracer),
     );
     let snapshot = crawler.crawl(&targets);
 
     fleet.set_phase(CrawlPhase::Second);
-    let second_crawler = Crawler::with_registry(
+    let second_crawler = Crawler::with_telemetry(
         CrawlConfig {
             seeds: snapshot
                 .market(MarketId::GooglePlay)
@@ -109,9 +129,11 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
                 .map(|l| l.package.clone())
                 .collect(),
             fetch_apks: false,
+            trace_sample: config.trace_sample,
             ..CrawlConfig::default()
         },
         Arc::clone(&crawl_registry),
+        Arc::clone(&tracer),
     );
     let second = second_crawler.crawl(&targets);
     if let Some(reporter) = reporter {
@@ -119,19 +141,27 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
     }
     let serving = fleet.registry().snapshot();
     fleet.stop();
+    // Snapshot after stop: server-side spans record when the response
+    // write returns, so stopping first guarantees the journal is settled.
+    let serving_traces = fleet.tracer().snapshot();
 
     let labels = LabelSource::from_world(&world);
     // Staged analysis, instrumented into its own registry so the ops
     // summary can report per-stage latencies alongside the crawl totals.
     let analysis_registry = Arc::new(Registry::new());
-    let analyzed =
-        AnalysisEngine::with_registry(EngineConfig::default(), Arc::clone(&analysis_registry))
-            .run(&snapshot);
+    let analyzed = AnalysisEngine::with_telemetry(
+        EngineConfig::default(),
+        Arc::clone(&analysis_registry),
+        Arc::clone(&tracer),
+    )
+    .run(&snapshot);
+    let traces = tracer.snapshot().merge(&serving_traces);
     let ops = OpsSummary::from_snapshot(
         &serving
             .merge(&crawl_registry.snapshot())
             .merge(&analysis_registry.snapshot()),
-    );
+    )
+    .with_traces(&traces, 5);
     Campaign {
         world,
         snapshot,
@@ -139,5 +169,6 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         labels,
         analyzed,
         ops,
+        traces,
     }
 }

@@ -56,6 +56,7 @@ pub fn render(snap: &RegistrySnapshot) -> String {
         );
         let _ = writeln!(out, "{} {}", with_suffix(id, "_sum"), h.sum);
         let _ = writeln!(out, "{} {}", with_suffix(id, "_count"), h.count());
+        let _ = writeln!(out, "{} {}", with_suffix(id, "_max"), h.max);
     }
     out
 }
@@ -118,16 +119,7 @@ fn parse_line(line: &str) -> Result<Sample, &'static str> {
         None => (series.to_owned(), Vec::new()),
         Some((name, rest)) => {
             let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
-            let mut labels = Vec::new();
-            for pair in body.split(',').filter(|p| !p.is_empty()) {
-                let (k, v) = pair.split_once('=').ok_or("label missing '='")?;
-                let v = v
-                    .strip_prefix('"')
-                    .and_then(|v| v.strip_suffix('"'))
-                    .ok_or("label value not quoted")?;
-                labels.push((k.to_owned(), v.to_owned()));
-            }
-            (name.to_owned(), labels)
+            (name.to_owned(), parse_labels(body)?)
         }
     };
     if name.is_empty() {
@@ -138,6 +130,50 @@ fn parse_line(line: &str) -> Result<Sample, &'static str> {
         labels,
         value,
     })
+}
+
+/// Parse a label-set body (`k="v",k2="v2"`), honouring quoting so values
+/// may contain `,`, `=`, `{`/`}` and, via `\"`/`\\`/`\n` escapes, quotes,
+/// backslashes and newlines — the inverse of the escaping applied by
+/// [`InstrumentId`]'s `Display`.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, &'static str> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Skip separators / trailing comma; stop at end of body.
+        while chars.peek() == Some(&',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some('=') => break,
+                Some(c) => key.push(c),
+                None => return Err("label missing '='"),
+            }
+        }
+        if chars.next() != Some('"') {
+            return Err("label value not quoted");
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("bad escape in label value"),
+                },
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value"),
+            }
+        }
+        labels.push((key, value));
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +216,10 @@ mod tests {
         assert_eq!(
             find("marketscope_net_handler_nanos_sum", "huawei"),
             50_300.0
+        );
+        assert_eq!(
+            find("marketscope_net_handler_nanos_max", "huawei"),
+            50_000.0
         );
 
         // The +Inf bucket equals the count.
@@ -228,6 +268,37 @@ mod tests {
         assert!(parse("name abc").is_err());
         // Comments and blanks are fine.
         assert_eq!(parse("# HELP x y\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn label_values_with_quotes_and_backslashes_round_trip() {
+        let r = Registry::new();
+        let values = [
+            "plain",
+            "has \"quotes\" inside",
+            "trailing backslash \\",
+            "mix \\\" of both",
+            "comma, equals=, brace } {",
+            "new\nline",
+        ];
+        for (i, v) in values.iter().enumerate() {
+            r.counter("tricky_total", &[("v", v)]).add(i as u64 + 1);
+        }
+        let text = r.render();
+        let samples = parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}"));
+        for (i, v) in values.iter().enumerate() {
+            let s = samples
+                .iter()
+                .find(|s| s.label("v") == Some(*v))
+                .unwrap_or_else(|| panic!("missing value {v:?} in:\n{text}"));
+            assert_eq!(s.value, i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_escapes() {
+        assert!(parse("name{k=\"bad \\x escape\"} 1").is_err());
+        assert!(parse("name{k=\"unterminated} 1").is_err());
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn bucket_upper(i: usize) -> u64 {
 pub struct Histogram {
     buckets: [AtomicU64; BUCKET_COUNT],
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -59,14 +60,17 @@ impl Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
-    /// Record one observation. Lock-free: two relaxed `fetch_add`s.
+    /// Record one observation. Lock-free: two relaxed `fetch_add`s plus
+    /// a relaxed `fetch_max` tracking the exact maximum.
     #[inline]
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Record a duration as nanoseconds (saturating past ~584 years).
@@ -90,6 +94,11 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Exact maximum observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of the bucket array.
     ///
     /// Taken bucket-by-bucket with relaxed loads, so under concurrent
@@ -99,6 +108,7 @@ impl Histogram {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
         }
     }
 }
@@ -110,6 +120,10 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; BUCKET_COUNT],
     /// Sum of all observed values.
     pub sum: u64,
+    /// Exact maximum observed value (0 when empty). Log2 buckets lose
+    /// the true maximum, so it is tracked separately; `quantile` clamps
+    /// its bucket-bound estimates by it.
+    pub max: u64,
 }
 
 impl Default for HistogramSnapshot {
@@ -117,6 +131,7 @@ impl Default for HistogramSnapshot {
         HistogramSnapshot {
             buckets: [0; BUCKET_COUNT],
             sum: 0,
+            max: 0,
         }
     }
 }
@@ -155,7 +170,9 @@ impl HistogramSnapshot {
             }
             if cum + c >= target {
                 let lo = bucket_lower(i);
-                let hi = bucket_upper(i);
+                // The exact max caps the top bucket: quantile(1.0)
+                // returns the true maximum instead of a bucket bound.
+                let hi = bucket_upper(i).min(self.max.max(lo));
                 let frac = (target - cum) as f64 / c as f64;
                 return lo + ((hi - lo) as f64 * frac) as u64;
             }
@@ -185,6 +202,7 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
             sum: self.sum + other.sum,
+            max: self.max.max(other.max),
         }
     }
 
@@ -310,6 +328,36 @@ mod tests {
             prev = c;
         }
         assert_eq!(prev, s.count());
+    }
+
+    #[test]
+    fn max_is_exact_not_a_bucket_bound() {
+        let h = Histogram::new();
+        for v in [100u64, 5000, 77_777] {
+            h.record(v);
+        }
+        assert_eq!(h.max(), 77_777);
+        let s = h.snapshot();
+        assert_eq!(s.max, 77_777);
+        // quantile(1.0) returns the true maximum, not the bucket upper
+        // bound (which would be 131071 for 77777).
+        assert_eq!(s.quantile(1.0), 77_777);
+    }
+
+    #[test]
+    fn merge_takes_the_larger_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(9_999);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.max, 9_999);
+        assert_eq!(m.quantile(1.0), 9_999);
+    }
+
+    #[test]
+    fn empty_snapshot_max_is_zero() {
+        assert_eq!(Histogram::new().snapshot().max, 0);
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   histogram on drop;
 //! * [`Registry`] — owns named, labelled instruments and renders the
 //!   whole set as a text exposition ([`exposition`] also parses it back,
-//!   for tests and scrapers).
+//!   for tests and scrapers);
+//! * [`trace`] — a sampling distributed tracer: 64-bit trace/span ids,
+//!   parent links and timestamped events in a bounded ring-buffer
+//!   journal, with wire propagation via [`TRACE_HEADER`] and exporters
+//!   in [`trace_export`] (Chrome trace-event JSON, folded flamegraph).
 //!
 //! The record path never takes a lock or allocates: callers resolve an
 //! instrument from the registry once (a short `RwLock` critical section,
@@ -38,9 +42,16 @@ pub mod exposition;
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod trace;
+pub mod trace_export;
 
 pub use counter::{Counter, Gauge};
 pub use exposition::{parse, Sample};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use registry::{InstrumentId, Registry, RegistrySnapshot};
 pub use span::Span;
+pub use trace::{
+    JournalSnapshot, SpanContext, SpanEvent, SpanRecord, TraceSpan, Tracer, TracerConfig,
+    TRACE_HEADER,
+};
+pub use trace_export::{chrome_trace, flamegraph, slowest_traces, TraceSummary};

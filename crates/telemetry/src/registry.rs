@@ -50,6 +50,10 @@ impl InstrumentId {
 }
 
 impl fmt::Display for InstrumentId {
+    /// Prometheus series syntax, with label values escaped per the text
+    /// exposition format (`\` → `\\`, `"` → `\"`, newline → `\n`) so the
+    /// output always parses back ([`crate::exposition::parse`] reverses
+    /// the escaping).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name)?;
         if !self.labels.is_empty() {
@@ -58,7 +62,16 @@ impl fmt::Display for InstrumentId {
                 if i > 0 {
                     write!(f, ",")?;
                 }
-                write!(f, "{k}=\"{v}\"")?;
+                write!(f, "{k}=\"")?;
+                for c in v.chars() {
+                    match c {
+                        '\\' => write!(f, "\\\\")?,
+                        '"' => write!(f, "\\\"")?,
+                        '\n' => write!(f, "\\n")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")?;
             }
             write!(f, "}}")?;
         }

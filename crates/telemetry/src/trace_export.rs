@@ -1,0 +1,319 @@
+//! Trace exporters: Chrome trace-event JSON and a flamegraph-style
+//! self-time aggregation over [`JournalSnapshot`]s.
+//!
+//! The Chrome format ([`chrome_trace`]) loads directly into
+//! `chrome://tracing` or Perfetto: each span becomes a `ph:"X"` complete
+//! event (timestamps and durations in microseconds), each span event a
+//! `ph:"i"` instant event, and components map to synthetic "threads"
+//! named via `ph:"M"` metadata so the viewer groups crawler, client,
+//! server and analysis rows separately.
+//!
+//! The flamegraph export ([`flamegraph`]) folds every span into its
+//! root-to-leaf name path and aggregates *self* time (duration minus
+//! children) per path — the collapsed-stack text format consumed by
+//! `flamegraph.pl`-style tooling, and a quick way to eyeball where a
+//! campaign spent its wall clock without leaving the terminal.
+
+use crate::trace::{JournalSnapshot, SpanRecord};
+use std::collections::{BTreeMap, HashMap};
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a journal snapshot as Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` / Perfetto.
+pub fn chrome_trace(snap: &JournalSnapshot) -> String {
+    // Stable component -> tid mapping, in first-seen order.
+    let mut tids: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in &snap.records {
+        let next = tids.len() as u64 + 1;
+        tids.entry(r.component).or_insert(next);
+    }
+    let mut events = Vec::new();
+    for (component, tid) in &tids {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(component)
+        ));
+    }
+    for r in &snap.records {
+        let tid = tids[r.component];
+        let ts = r.start_nanos / 1_000;
+        let dur = r.duration_nanos().max(1_000) / 1_000; // >= 1us so the viewer shows it
+        let parent = match r.parent_id {
+            Some(p) => format!("\"{p:016x}\""),
+            None => "null".to_owned(),
+        };
+        events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+             \"name\":\"{}\",\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\
+             \"parent\":{parent}}}}}",
+            json_escape(&r.name),
+            r.trace_id,
+            r.span_id,
+        ));
+        for e in &r.events {
+            events.push(format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\
+                 \"name\":\"{}\",\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\"}}}}",
+                e.at_nanos / 1_000,
+                json_escape(&e.label),
+                r.trace_id,
+                r.span_id,
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+/// Per-trace span index: span id -> record, plus parent -> children.
+struct TraceTree<'a> {
+    by_id: HashMap<u64, &'a SpanRecord>,
+    children: HashMap<u64, Vec<&'a SpanRecord>>,
+    roots: Vec<&'a SpanRecord>,
+}
+
+fn build_tree<'a>(spans: &[&'a SpanRecord]) -> TraceTree<'a> {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|r| (r.span_id, *r)).collect();
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    let mut roots = Vec::new();
+    for r in spans {
+        match r.parent_id.filter(|p| by_id.contains_key(p)) {
+            // A parent id pointing outside the snapshot (overwritten or
+            // remote-only) orphans the span; treat it as a root so its
+            // time still shows up.
+            Some(p) => children.entry(p).or_default().push(*r),
+            None => roots.push(*r),
+        }
+    }
+    TraceTree {
+        by_id,
+        children,
+        roots,
+    }
+}
+
+/// Self time of a span: duration minus the summed durations of its
+/// children (saturating — overlapping children can exceed the parent).
+fn self_nanos(tree: &TraceTree<'_>, r: &SpanRecord) -> u64 {
+    let child_sum: u64 = tree
+        .children
+        .get(&r.span_id)
+        .map(|cs| cs.iter().map(|c| c.duration_nanos()).sum())
+        .unwrap_or(0);
+    r.duration_nanos().saturating_sub(child_sum)
+}
+
+/// Fold a snapshot into collapsed-stack flamegraph lines:
+/// `root;child;leaf <self_time_us>`, aggregated across all traces and
+/// sorted by path. Suitable for `flamegraph.pl` or quick terminal reads.
+pub fn flamegraph(snap: &JournalSnapshot) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for trace_id in snap.trace_ids() {
+        let spans = snap.trace(trace_id);
+        let tree = build_tree(&spans);
+        for r in &spans {
+            // Build the name path by walking parent links.
+            let mut path = vec![r.name.as_str()];
+            let mut cur = *r;
+            while let Some(p) = cur.parent_id.and_then(|p| tree.by_id.get(&p)) {
+                path.push(p.name.as_str());
+                cur = p;
+            }
+            path.reverse();
+            let self_us = self_nanos(&tree, r) / 1_000;
+            *folded.entry(path.join(";")).or_insert(0) += self_us;
+        }
+    }
+    let mut out = String::new();
+    for (path, us) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the "slowest traces" table: a root span plus roll-up stats
+/// over its tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Trace id.
+    pub trace_id: u64,
+    /// The root span's operation name.
+    pub root_name: String,
+    /// Root span wall duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Number of spans retained for this trace.
+    pub span_count: usize,
+    /// Total events across the trace's spans.
+    pub event_count: usize,
+    /// Per-span breakdown, deepest-path names with self time, slowest
+    /// first: `(name, self_nanos)`.
+    pub breakdown: Vec<(String, u64)>,
+}
+
+/// The `k` slowest traces by root-span duration, each with a per-span
+/// self-time breakdown. Traces whose root span was overwritten out of
+/// the ring are ranked by their longest surviving span instead.
+pub fn slowest_traces(snap: &JournalSnapshot, k: usize) -> Vec<TraceSummary> {
+    let mut rows = Vec::new();
+    for trace_id in snap.trace_ids() {
+        let spans = snap.trace(trace_id);
+        let tree = build_tree(&spans);
+        let root = tree
+            .roots
+            .iter()
+            .max_by_key(|r| r.duration_nanos())
+            .copied();
+        let Some(root) = root else { continue };
+        let mut breakdown: Vec<(String, u64)> = spans
+            .iter()
+            .map(|r| (format!("{}:{}", r.component, r.name), self_nanos(&tree, r)))
+            .collect();
+        breakdown.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows.push(TraceSummary {
+            trace_id,
+            root_name: root.name.clone(),
+            duration_nanos: root.duration_nanos(),
+            span_count: spans.len(),
+            event_count: spans.iter().map(|r| r.events.len()).sum(),
+            breakdown,
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.duration_nanos
+            .cmp(&a.duration_nanos)
+            .then_with(|| a.trace_id.cmp(&b.trace_id))
+    });
+    rows.truncate(k);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanEvent, SpanRecord};
+
+    fn rec(
+        trace: u64,
+        span: u64,
+        parent: Option<u64>,
+        name: &str,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: span,
+            parent_id: parent,
+            component: "t",
+            name: name.to_owned(),
+            start_nanos: start,
+            end_nanos: end,
+            events: Vec::new(),
+        }
+    }
+
+    fn snap(records: Vec<SpanRecord>) -> JournalSnapshot {
+        let recorded = records.len() as u64;
+        JournalSnapshot {
+            records,
+            recorded,
+            overwritten: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_complete() {
+        let mut r = rec(1, 2, None, "root \"op\"", 1_000, 5_000_000);
+        r.events.push(SpanEvent {
+            at_nanos: 2_000,
+            label: "retry".to_owned(),
+        });
+        let s = snap(vec![r, rec(1, 3, Some(2), "child\\leaf", 2_000, 3_000_000)]);
+        let json = chrome_trace(&s);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\"")); // thread metadata
+        assert!(json.contains("\"ph\":\"X\"")); // complete events
+        assert!(json.contains("\"ph\":\"i\"")); // instant event
+        assert!(json.contains("root \\\"op\\\"")); // escaped quote
+        assert!(json.contains("child\\\\leaf")); // escaped backslash
+        assert!(json.contains("\"parent\":\"0000000000000002\""));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_empty_snapshot() {
+        assert_eq!(
+            chrome_trace(&JournalSnapshot::default()),
+            "{\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn flamegraph_folds_self_time_by_path() {
+        // root [0, 10ms], child [1ms, 4ms] => root self 7ms, child self 3ms.
+        let s = snap(vec![
+            rec(1, 1, None, "root", 0, 10_000_000),
+            rec(1, 2, Some(1), "child", 1_000_000, 4_000_000),
+        ]);
+        let fg = flamegraph(&s);
+        let lines: Vec<&str> = fg.lines().collect();
+        assert_eq!(lines, vec!["root 7000", "root;child 3000"]);
+    }
+
+    #[test]
+    fn flamegraph_aggregates_same_path_across_traces() {
+        let s = snap(vec![
+            rec(1, 1, None, "fetch", 0, 1_000_000),
+            rec(2, 2, None, "fetch", 0, 2_000_000),
+        ]);
+        assert_eq!(flamegraph(&s), "fetch 3000\n");
+    }
+
+    #[test]
+    fn orphaned_span_counts_as_root() {
+        // Parent id 99 not in the snapshot (overwritten): still shows up.
+        let s = snap(vec![rec(1, 1, Some(99), "lost-parent", 0, 1_000_000)]);
+        assert_eq!(flamegraph(&s), "lost-parent 1000\n");
+        let rows = slowest_traces(&s, 5);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].root_name, "lost-parent");
+    }
+
+    #[test]
+    fn slowest_traces_ranks_by_root_duration() {
+        let s = snap(vec![
+            rec(1, 1, None, "fast", 0, 1_000_000),
+            rec(2, 2, None, "slow", 0, 9_000_000),
+            rec(2, 3, Some(2), "inner", 0, 4_000_000),
+            rec(3, 4, None, "mid", 0, 5_000_000),
+        ]);
+        let rows = slowest_traces(&s, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].root_name, "slow");
+        assert_eq!(rows[0].span_count, 2);
+        assert_eq!(rows[0].duration_nanos, 9_000_000);
+        // Breakdown is self-time sorted: slow self 5ms > inner self 4ms.
+        assert_eq!(rows[0].breakdown[0], ("t:slow".to_owned(), 5_000_000));
+        assert_eq!(rows[0].breakdown[1], ("t:inner".to_owned(), 4_000_000));
+        assert_eq!(rows[1].root_name, "mid");
+    }
+}

@@ -16,7 +16,7 @@ fn main() {
         seed: 42,
         scale: Scale::SMALL,
         seed_share: 0.75,
-        progress: false,
+        ..CampaignConfig::default()
     });
 
     println!(

@@ -16,6 +16,7 @@ fn campaign() -> &'static Campaign {
             scale: Scale { divisor: 8_000 },
             seed_share: 0.8,
             progress: false,
+            ..CampaignConfig::default()
         })
     })
 }

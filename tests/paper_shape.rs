@@ -18,6 +18,7 @@ fn campaign() -> &'static Campaign {
             scale: Scale { divisor: 6_000 },
             seed_share: 0.8,
             progress: false,
+            ..CampaignConfig::default()
         })
     })
 }
