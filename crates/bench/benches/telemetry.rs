@@ -71,8 +71,9 @@ fn bench_round_trip(c: &mut Criterion) {
     let server_metrics = ServerMetrics::register(&registry, &[("market", "bench")]);
     let server =
         HttpServer::spawn_instrumented("127.0.0.1:0", ping_router(), server_metrics).unwrap();
-    let client =
-        HttpClient::with_metrics(Default::default(), ClientMetrics::register(&registry, &[]));
+    let client = HttpClient::builder()
+        .metrics(ClientMetrics::register(&registry, &[]))
+        .build();
     g.bench_function("instrumented", |b| {
         b.iter(|| black_box(client.get(server.addr(), "/ping").unwrap()))
     });
@@ -104,7 +105,7 @@ fn bench_traced_round_trip(c: &mut Criterion) {
         ServerMetrics::standalone().traced(Arc::clone(&cold)),
     )
     .unwrap();
-    let cold_client = HttpClient::with_telemetry(Default::default(), None, Some(Arc::clone(&cold)));
+    let cold_client = HttpClient::builder().tracer(Arc::clone(&cold)).build();
     g.bench_function("traced_rate0", |b| {
         b.iter(|| black_box(cold_client.get(cold_server.addr(), "/ping").unwrap()))
     });
@@ -118,7 +119,7 @@ fn bench_traced_round_trip(c: &mut Criterion) {
         ServerMetrics::standalone().traced(Arc::clone(&hot)),
     )
     .unwrap();
-    let hot_client = HttpClient::with_telemetry(Default::default(), None, Some(Arc::clone(&hot)));
+    let hot_client = HttpClient::builder().tracer(Arc::clone(&hot)).build();
     g.bench_function("traced_sampled", |b| {
         b.iter(|| {
             let root = hot.root_span("bench", "ping");

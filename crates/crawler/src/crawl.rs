@@ -1,10 +1,12 @@
 //! The crawl engine.
 
+use crate::health::MarketHealth;
 use crate::snapshot::{CrawlStats, CrawledListing, MarketSnapshot, Snapshot};
 use marketscope_apk::digest::ApkDigest;
 use marketscope_core::MarketId;
 use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
 use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
+use marketscope_net::resilience::{BreakerConfig, ResilienceMetrics, RetryPolicy};
 use marketscope_net::NetError;
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, TraceSpan};
@@ -53,6 +55,18 @@ pub struct CrawlConfig {
     /// fetches propagate their context to the market servers via the
     /// `x-marketscope-trace` header.
     pub trace_sample: f64,
+    /// Status-level retry policy for the crawl client: deterministic
+    /// exponential backoff honoring server `retry-after` hints within a
+    /// capped budget (`None` = surface every failure immediately).
+    pub retry: Option<RetryPolicy>,
+    /// Per-host circuit breaking for the crawl client: after a run of
+    /// host faults the host is fast-failed instead of hammered
+    /// (`None` = no breaker).
+    pub breaker: Option<BreakerConfig>,
+    /// Quarantine a market mid-harvest after this many *consecutive*
+    /// terminal fetch failures; its remaining listings are deferred to a
+    /// single revisit pass (`0` = never quarantine).
+    pub quarantine_threshold: u32,
 }
 
 impl Default for CrawlConfig {
@@ -64,6 +78,9 @@ impl Default for CrawlConfig {
             per_market_cap: 0,
             politeness_rps: None,
             trace_sample: 0.0,
+            retry: Some(RetryPolicy::default()),
+            breaker: Some(BreakerConfig::default()),
+            quarantine_threshold: 8,
         }
     }
 }
@@ -101,7 +118,33 @@ struct MarketMetrics {
     /// `marketscope_crawler_reach_latency_nanos` — per-APK digest +
     /// reachability extraction latency.
     reach_latency: Arc<Histogram>,
+    /// `marketscope_crawler_fetch_errors_total{market,kind}` — terminal
+    /// fetch failures observed while crawling this market, by
+    /// [`NetError::kind`]. Definitive 404s are answers, not degradation,
+    /// and are never counted here.
+    fetch_errors: Vec<(&'static str, Arc<Counter>)>,
+    /// `marketscope_crawler_quarantines_total` — times this market was
+    /// quarantined mid-harvest.
+    quarantines: Arc<Counter>,
+    /// `marketscope_crawler_deferred_fetches_total` — APK fetches pushed
+    /// past a quarantine to the revisit pass.
+    deferred: Arc<Counter>,
+    /// `marketscope_crawler_revisit_recovered_total` — deferred fetches
+    /// the market answered on revisit.
+    recovered: Arc<Counter>,
 }
+
+/// Error kinds the per-market fetch-error counters are pre-registered
+/// under (mirrors [`NetError::kind`]); pre-registering keeps snapshots
+/// shaped identically whether or not a kind ever fires.
+const FETCH_ERROR_KINDS: [&str; 6] = [
+    "io",
+    "protocol",
+    "too_large",
+    "status",
+    "eof",
+    "circuit_open",
+];
 
 impl MarketMetrics {
     fn register(registry: &Registry, market: MarketId) -> MarketMetrics {
@@ -116,8 +159,41 @@ impl MarketMetrics {
             reach_edges: registry
                 .counter("marketscope_crawler_reach_edges_traversed_total", &labels),
             reach_latency: registry.histogram("marketscope_crawler_reach_latency_nanos", &labels),
+            fetch_errors: FETCH_ERROR_KINDS
+                .iter()
+                .map(|kind| {
+                    let labels = [("market", market.slug()), ("kind", *kind)];
+                    (
+                        *kind,
+                        registry.counter("marketscope_crawler_fetch_errors_total", &labels),
+                    )
+                })
+                .collect(),
+            quarantines: registry.counter("marketscope_crawler_quarantines_total", &labels),
+            deferred: registry.counter("marketscope_crawler_deferred_fetches_total", &labels),
+            recovered: registry.counter("marketscope_crawler_revisit_recovered_total", &labels),
         }
     }
+
+    fn note_fetch_error(&self, kind: &str) {
+        if let Some((_, c)) = self.fetch_errors.iter().find(|(k, _)| *k == kind) {
+            c.inc();
+        }
+    }
+}
+
+/// Account one terminal fetch failure: per-kind market counter, the
+/// campaign-wide stat, and a `fetch_error:<kind>` event on the current
+/// trace span. Definitive 404s are answers, not degradation — they are
+/// deliberately *not* counted (BFS probes and parallel search live on
+/// expected misses).
+fn note_fetch_failure(metrics: &MarketMetrics, stats: &Mutex<CrawlStats>, err: &NetError) {
+    if matches!(err, NetError::Status { code: 404, .. }) {
+        return;
+    }
+    metrics.note_fetch_error(err.kind());
+    stats.lock().fetch_errors += 1;
+    marketscope_telemetry::trace::current_event(&format!("fetch_error:{}", err.kind()));
 }
 
 /// The crawler: a shared HTTP client plus configuration.
@@ -180,17 +256,25 @@ impl Crawler {
             .iter()
             .map(|m| MarketMetrics::register(&registry, *m))
             .collect();
-        let client_metrics = ClientMetrics::register(&registry, &[]);
+        let mut builder = HttpClient::builder()
+            .config(ClientConfig {
+                pool_per_host: 4,
+                ..ClientConfig::default()
+            })
+            .metrics(ClientMetrics::register(&registry, &[]))
+            .tracer(Arc::clone(&tracer));
+        if config.retry.is_some() || config.breaker.is_some() {
+            builder = builder.resilience_metrics(ResilienceMetrics::register(&registry, &[]));
+        }
+        if let Some(policy) = config.retry {
+            builder = builder.retry(policy);
+        }
+        if let Some(breaker) = config.breaker {
+            builder = builder.breaker(breaker);
+        }
         Crawler {
             config,
-            client: Arc::new(HttpClient::with_telemetry(
-                ClientConfig {
-                    pool_per_host: 4,
-                    ..ClientConfig::default()
-                },
-                Some(client_metrics),
-                Some(Arc::clone(&tracer)),
-            )),
+            client: Arc::new(builder.build()),
             buckets,
             registry,
             metrics,
@@ -259,11 +343,17 @@ impl Crawler {
                 .collect()
         });
 
-        // Phase 2: parallel search.
-        let global: HashSet<String> = markets
+        // Phase 2: parallel search. Probed in sorted order so the
+        // per-market request sequence is run-to-run deterministic —
+        // index-keyed fault windows (chaos downtime) would otherwise see
+        // a different request stream every run.
+        let mut global: Vec<String> = markets
             .iter()
             .flat_map(|m| m.listings.iter().map(|l| l.package.clone()))
+            .collect::<HashSet<String>>()
+            .into_iter()
             .collect();
+        global.sort_unstable();
         std::thread::scope(|s| {
             let handles: Vec<_> = markets
                 .iter_mut()
@@ -288,7 +378,7 @@ impl Crawler {
                                 &format!("search {}/{pkg}", snapshot.market.slug()),
                             );
                             if let Some(listing) =
-                                fetch_metadata(&client, addr, pkg, &stats, &metrics.listings)
+                                fetch_metadata(&client, addr, pkg, &stats, metrics)
                             {
                                 snapshot.listings.push(listing);
                                 stats.lock().parallel_search_hits += 1;
@@ -333,9 +423,9 @@ impl Crawler {
     ) -> MarketSnapshot {
         let addr = targets.addr(market);
         let packages = if self.config.bfs_markets.contains(&market) {
-            self.bfs_enumerate(market, addr, client)
+            self.bfs_enumerate(market, addr, client, stats)
         } else {
-            self.index_enumerate(addr, client)
+            self.index_enumerate(market, addr, client, stats)
         };
         let mut listings = Vec::with_capacity(packages.len());
         for pkg in packages {
@@ -348,8 +438,8 @@ impl Crawler {
                 .tracer
                 .root_span("crawler", &format!("listing {}/{pkg}", market.slug()));
             self.polite(market);
-            let listings_fetched = &self.metrics[market.index()].listings;
-            if let Some(listing) = fetch_metadata(client, addr, &pkg, stats, listings_fetched) {
+            let metrics = &self.metrics[market.index()];
+            if let Some(listing) = fetch_metadata(client, addr, &pkg, stats, metrics) {
                 listings.push(listing);
             }
             span.finish();
@@ -358,10 +448,25 @@ impl Crawler {
     }
 
     /// Walk `/index?page=N` to exhaustion.
-    fn index_enumerate(&self, addr: SocketAddr, client: &HttpClient) -> Vec<String> {
+    fn index_enumerate(
+        &self,
+        market: MarketId,
+        addr: SocketAddr,
+        client: &HttpClient,
+        stats: &Mutex<CrawlStats>,
+    ) -> Vec<String> {
         let mut out = Vec::new();
         let mut page = 0u64;
-        while let Ok(doc) = client.get_json(addr, &format!("/index?page={page}")) {
+        loop {
+            let doc = match client.get_json(addr, &format!("/index?page={page}")) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    // An index walk that dies mid-pagination is a real
+                    // coverage loss — account it, don't swallow it.
+                    note_fetch_failure(&self.metrics[market.index()], stats, &e);
+                    break;
+                }
+            };
             let Some(packages) = doc.get("packages").and_then(|p| p.as_arr()) else {
                 break;
             };
@@ -384,6 +489,7 @@ impl Crawler {
         market: MarketId,
         addr: SocketAddr,
         client: &HttpClient,
+        stats: &Mutex<CrawlStats>,
     ) -> Vec<String> {
         let metrics = &self.metrics[market.index()];
         let mut visited: HashSet<String> = HashSet::new();
@@ -395,10 +501,15 @@ impl Crawler {
                 metrics.dedup_hits.inc();
                 continue;
             }
-            // Confirm the package exists in this market.
+            // Confirm the package exists in this market. A 404 is the
+            // expected answer for a probe that misses; anything else is
+            // degradation and gets accounted.
             match client.get_json(addr, &format!("/app/{pkg}")) {
                 Ok(_) => found.push(pkg.clone()),
-                Err(_) => continue,
+                Err(e) => {
+                    note_fetch_failure(metrics, stats, &e);
+                    continue;
+                }
             }
             if let Ok(doc) = client.get_json(addr, &format!("/related/{pkg}")) {
                 if let Some(related) = doc.get("related").and_then(|r| r.as_arr()) {
@@ -416,6 +527,10 @@ impl Crawler {
         found
     }
 
+    /// Harvest one market's APKs, degrading gracefully: consecutive
+    /// terminal failures quarantine the market (via [`MarketHealth`]),
+    /// deferring its remaining listings to a single revisit pass instead
+    /// of burning politeness and retry budget against a dead host.
     fn harvest_market(
         &self,
         snapshot: &mut MarketSnapshot,
@@ -423,66 +538,144 @@ impl Crawler {
         client: &HttpClient,
         stats: &Mutex<CrawlStats>,
     ) {
-        let addr = targets.addr(snapshot.market);
-        let metrics = &self.metrics[snapshot.market.index()];
-        for listing in &mut snapshot.listings {
-            // One (sampled) trace per APK harvest, covering the direct
-            // fetch, any 429 + repository backfill, and digesting.
-            let trace_span = self.tracer.root_span(
-                "crawler",
-                &format!("apk {}/{}", snapshot.market.slug(), listing.package),
-            );
-            self.polite(snapshot.market);
-            let path = format!("/apk/{}", listing.package);
-            let bytes = match client.get(addr, &path) {
-                Ok(resp) => {
-                    stats.lock().apks_direct += 1;
-                    Some(resp.body)
-                }
-                Err(NetError::Status(429)) => {
-                    stats.lock().rate_limited += 1;
-                    trace_span.event("rate_limited_429");
-                    // Backfill from the offline repository by (pkg, version).
-                    targets.repository.and_then(|repo| {
-                        trace_span.event("backfill");
-                        let path = format!("/apk/{}/{}", listing.package, listing.version_code);
-                        match client.get(repo, &path) {
-                            Ok(resp) => {
-                                stats.lock().apks_backfilled += 1;
-                                Some(resp.body)
-                            }
-                            Err(_) => None,
-                        }
-                    })
-                }
-                Err(_) => None,
-            };
-            match bytes {
-                Some(bytes) => {
-                    metrics.apks.inc();
-                    let digest_span = if trace_span.is_sampled() {
-                        self.tracer.span("crawler", "digest")
-                    } else {
-                        TraceSpan::noop()
-                    };
-                    let span = metrics.reach_latency.start_span();
-                    match ApkDigest::from_bytes_with_stats(&bytes) {
-                        Ok((digest, reach)) => {
-                            metrics.reach_methods.add(reach.methods_reached);
-                            metrics.reach_edges.add(reach.edges_traversed);
-                            listing.digest = Some(std::sync::Arc::new(digest));
-                        }
-                        Err(_) => stats.lock().parse_failures += 1,
-                    }
-                    drop(span);
-                    digest_span.finish();
-                }
-                None => {
-                    trace_span.event("missing");
-                    stats.lock().apks_missing += 1;
-                }
+        let market = snapshot.market;
+        let metrics = &self.metrics[market.index()];
+        let mut health = MarketHealth::new(self.config.quarantine_threshold);
+        let mut deferred: Vec<usize> = Vec::new();
+        for i in 0..snapshot.listings.len() {
+            if health.is_quarantined() {
+                deferred.push(i);
+                continue;
             }
-            trace_span.finish();
+            if self.harvest_one(market, targets, &mut snapshot.listings[i], client, stats) {
+                health.note_ok();
+            } else if health.note_failure() {
+                metrics.quarantines.inc();
+                stats.lock().markets_quarantined += 1;
+            }
+        }
+        if deferred.is_empty() {
+            return;
+        }
+        // Revisit pass: by the time the deferred tail comes back around,
+        // a flapping market's downtime window has had time to rotate out
+        // and an open circuit breaker to half-open. Each deferred listing
+        // gets exactly one more chance; what still fails is accounted the
+        // normal way (error kinds, `apks_missing`).
+        metrics.deferred.add(deferred.len() as u64);
+        stats.lock().fetches_deferred += deferred.len() as u64;
+        health.release();
+        for i in deferred {
+            if self.harvest_one(market, targets, &mut snapshot.listings[i], client, stats) {
+                metrics.recovered.inc();
+                stats.lock().revisit_recovered += 1;
+            }
+        }
+    }
+
+    /// Harvest one listing's APK: the direct fetch, any backfill, and
+    /// digesting. Returns whether the market answered definitively
+    /// (success, 404, or a rate limit) — `false` is a vote toward
+    /// quarantine.
+    fn harvest_one(
+        &self,
+        market: MarketId,
+        targets: &CrawlTargets,
+        listing: &mut CrawledListing,
+        client: &HttpClient,
+        stats: &Mutex<CrawlStats>,
+    ) -> bool {
+        let metrics = &self.metrics[market.index()];
+        // One (sampled) trace per APK harvest, covering the direct
+        // fetch, any 429 + repository backfill, and digesting.
+        let trace_span = self.tracer.root_span(
+            "crawler",
+            &format!("apk {}/{}", market.slug(), listing.package),
+        );
+        self.polite(market);
+        let path = format!("/apk/{}", listing.package);
+        let mut healthy = true;
+        let bytes = match client.get(targets.addr(market), &path) {
+            Ok(resp) => {
+                stats.lock().apks_direct += 1;
+                Some(resp.body)
+            }
+            Err(NetError::Status { code: 429, .. }) => {
+                // Throttled — an answer, not an outage. Backfill from
+                // the offline repository by (pkg, version).
+                stats.lock().rate_limited += 1;
+                trace_span.event("rate_limited_429");
+                self.backfill(targets, listing, client, stats, metrics, &trace_span)
+            }
+            Err(NetError::Status { code: 404, .. }) => {
+                // Definitive miss: the store answered that it no longer
+                // serves this package.
+                trace_span.event("gone_404");
+                None
+            }
+            Err(e) => {
+                // Degraded fetch: account the kind and still try the
+                // repository — it mirrors the catalogs, so a flaky
+                // market need not cost us the APK.
+                note_fetch_failure(metrics, stats, &e);
+                healthy = false;
+                self.backfill(targets, listing, client, stats, metrics, &trace_span)
+            }
+        };
+        match bytes {
+            Some(bytes) => {
+                metrics.apks.inc();
+                let digest_span = if trace_span.is_sampled() {
+                    self.tracer.span("crawler", "digest")
+                } else {
+                    TraceSpan::noop()
+                };
+                let span = metrics.reach_latency.start_span();
+                match ApkDigest::from_bytes_with_stats(&bytes) {
+                    Ok((digest, reach)) => {
+                        metrics.reach_methods.add(reach.methods_reached);
+                        metrics.reach_edges.add(reach.edges_traversed);
+                        listing.digest = Some(std::sync::Arc::new(digest));
+                    }
+                    Err(_) => stats.lock().parse_failures += 1,
+                }
+                drop(span);
+                digest_span.finish();
+            }
+            None => {
+                trace_span.event("missing");
+                stats.lock().apks_missing += 1;
+            }
+        }
+        trace_span.finish();
+        healthy
+    }
+
+    /// Fetch `(package, version)` from the offline repository, if one is
+    /// configured. Repository failures are accounted like any other
+    /// fetch error (under the market being harvested); a repository 404
+    /// just means that version was never archived.
+    fn backfill(
+        &self,
+        targets: &CrawlTargets,
+        listing: &CrawledListing,
+        client: &HttpClient,
+        stats: &Mutex<CrawlStats>,
+        metrics: &MarketMetrics,
+        trace_span: &TraceSpan,
+    ) -> Option<Vec<u8>> {
+        let repo = targets.repository?;
+        trace_span.event("backfill");
+        let path = format!("/apk/{}/{}", listing.package, listing.version_code);
+        match client.get(repo, &path) {
+            Ok(resp) => {
+                stats.lock().apks_backfilled += 1;
+                Some(resp.body)
+            }
+            Err(e) => {
+                note_fetch_failure(metrics, stats, &e);
+                None
+            }
         }
     }
 }
@@ -492,11 +685,17 @@ fn fetch_metadata(
     addr: SocketAddr,
     package: &str,
     stats: &Mutex<CrawlStats>,
-    listings_fetched: &Counter,
+    metrics: &MarketMetrics,
 ) -> Option<CrawledListing> {
-    let doc = client.get_json(addr, &format!("/app/{package}")).ok()?;
+    let doc = match client.get_json(addr, &format!("/app/{package}")) {
+        Ok(doc) => doc,
+        Err(e) => {
+            note_fetch_failure(metrics, stats, &e);
+            return None;
+        }
+    };
     stats.lock().metadata_fetched += 1;
-    listings_fetched.inc();
+    metrics.listings.inc();
     CrawledListing::from_metadata(&doc)
 }
 

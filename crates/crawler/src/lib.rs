@@ -34,9 +34,11 @@
 #![warn(missing_docs)]
 
 pub mod crawl;
+pub mod health;
 pub mod progress;
 pub mod snapshot;
 
 pub use crawl::{politeness_burst, CrawlConfig, CrawlTargets, Crawler};
+pub use health::MarketHealth;
 pub use progress::{progress_lines, CrawlProgress};
 pub use snapshot::{CrawlStats, CrawledListing, MarketSnapshot, Snapshot};

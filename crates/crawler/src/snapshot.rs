@@ -127,6 +127,16 @@ pub struct CrawlStats {
     /// Packages found via parallel search in markets that did not list
     /// them in their own index walk.
     pub parallel_search_hits: u64,
+    /// Terminal non-404 fetch failures (metadata, index walk, APK, or
+    /// repository backfill) that survived the client's retry policy.
+    pub fetch_errors: u64,
+    /// Markets quarantined mid-harvest after a run of consecutive
+    /// terminal failures.
+    pub markets_quarantined: u64,
+    /// APK fetches deferred past a quarantine to the revisit pass.
+    pub fetches_deferred: u64,
+    /// Deferred fetches the market answered on revisit.
+    pub revisit_recovered: u64,
 }
 
 /// The assembled dataset: 17 market snapshots plus crawl statistics.

@@ -1,0 +1,258 @@
+//! Graceful degradation under injected faults: backfill rides out a
+//! flaky repository, a dead repository is accounted honestly (right
+//! error kinds, breaker fast-fails included), persistent failures
+//! quarantine a market, and the revisit pass recovers what it can.
+
+use marketscope_core::json::Json;
+use marketscope_core::MarketId;
+use marketscope_crawler::{CrawlConfig, CrawlTargets, Crawler};
+use marketscope_net::fault::{FaultInjector, FaultPlan};
+use marketscope_net::http::{Request, Response, Status};
+use marketscope_net::resilience::BreakerConfig;
+use marketscope_net::router::Router;
+use marketscope_net::server::{HttpServer, ServerHandle, ServerMetrics};
+use marketscope_telemetry::trace::{Tracer, TracerConfig};
+use marketscope_telemetry::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A mock store serving `count` packages whose `/apk` endpoint is
+/// driven by the given closure (call counter included for staged
+/// pathologies).
+fn mock_store(count: usize, apk: impl Fn(u64) -> Response + Send + Sync + 'static) -> ServerHandle {
+    let packages: Vec<String> = (0..count).map(|i| format!("com.mock{i:02}.app")).collect();
+    let calls = AtomicU64::new(0);
+    let router = Router::new()
+        .get("/index", {
+            let packages = packages.clone();
+            move |req: &Request, _: &marketscope_net::router::Params| {
+                let page: usize = req
+                    .query_param("page")
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or(0);
+                let start = (page * 50).min(packages.len());
+                let end = (start + 50).min(packages.len());
+                let mut fields = vec![(
+                    "packages",
+                    Json::Arr(
+                        packages[start..end]
+                            .iter()
+                            .map(|p| Json::from(p.as_str()))
+                            .collect(),
+                    ),
+                )];
+                if end < packages.len() {
+                    fields.push(("next", Json::from((page + 1) as u64)));
+                }
+                Response::json(&Json::obj(fields))
+            }
+        })
+        .get("/app/{pkg}", {
+            let packages = packages.clone();
+            move |_req: &Request, params: &marketscope_net::router::Params| {
+                if !packages.contains(&params["pkg"]) {
+                    return Response::status(Status::NotFound);
+                }
+                Response::json(&Json::obj([
+                    ("package", Json::from(params["pkg"].as_str())),
+                    ("name", Json::from("Mock")),
+                    ("version_code", Json::from(1u64)),
+                    ("rating", Json::from(0.0)),
+                ]))
+            }
+        })
+        .get(
+            "/apk/{pkg}",
+            move |_req: &Request, _: &marketscope_net::router::Params| {
+                apk(calls.fetch_add(1, Ordering::SeqCst))
+            },
+        );
+    HttpServer::spawn(router).unwrap()
+}
+
+/// A store whose direct APK endpoint always throttles with a hint far
+/// over the retry budget — every harvest goes down the backfill path,
+/// while the market itself stays "healthy" (it answered).
+fn throttled_store(count: usize) -> ServerHandle {
+    mock_store(count, |_| {
+        Response::status_with_retry_after(
+            Status::TooManyRequests,
+            std::time::Duration::from_secs(10),
+        )
+    })
+}
+
+/// A dead endpoint (connection refused).
+fn dead_addr() -> std::net::SocketAddr {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    l.local_addr().unwrap()
+}
+
+fn targets_with(
+    addr: std::net::SocketAddr,
+    repository: Option<std::net::SocketAddr>,
+) -> CrawlTargets {
+    CrawlTargets {
+        markets: MarketId::ALL
+            .iter()
+            .map(|m| {
+                if *m == MarketId::TencentMyapp {
+                    addr
+                } else {
+                    dead_addr()
+                }
+            })
+            .collect(),
+        repository,
+    }
+}
+
+fn base_config() -> CrawlConfig {
+    CrawlConfig {
+        seeds: Vec::new(),
+        bfs_markets: Vec::new(),
+        fetch_apks: true,
+        ..CrawlConfig::default()
+    }
+}
+
+#[test]
+fn flaky_repository_is_absorbed_by_retries() {
+    let store = throttled_store(10);
+    // The repository resets every third request; connection-level and
+    // policy retries must absorb every hit.
+    let repo = HttpServer::spawn_with_faults(
+        "127.0.0.1:0",
+        Router::new().get(
+            "/apk/{pkg}/{version}",
+            |_req: &Request, _: &marketscope_net::router::Params| {
+                Response::ok("application/octet-stream", b"not a real apk".to_vec())
+            },
+        ),
+        ServerMetrics::standalone(),
+        FaultInjector::new(
+            11,
+            FaultPlan {
+                downtime_every: 3,
+                downtime_len: 1,
+                ..FaultPlan::none()
+            },
+        ),
+    )
+    .unwrap();
+
+    let crawler = Crawler::new(base_config());
+    let snap = crawler.crawl(&targets_with(store.addr(), Some(repo.addr())));
+
+    assert_eq!(snap.stats.rate_limited, 10, "every direct fetch throttled");
+    assert_eq!(snap.stats.apks_backfilled, 10, "every listing backfilled");
+    assert_eq!(snap.stats.apks_missing, 0);
+    let injected = repo.fault_injector().unwrap().injected();
+    assert!(injected > 0, "the repository really was faulted");
+}
+
+#[test]
+fn dead_repository_yields_missing_apks_with_honest_kind_labels() {
+    let store = throttled_store(10);
+    let registry = Arc::new(Registry::new());
+    let tracer = Arc::new(Tracer::new(TracerConfig::propagate_only(64)));
+    let crawler = Crawler::with_telemetry(
+        CrawlConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 5,
+                cooldown_rejections: 8,
+                half_open_trials: 2,
+            }),
+            ..base_config()
+        },
+        Arc::clone(&registry),
+        tracer,
+    );
+    let snap = crawler.crawl(&targets_with(store.addr(), Some(dead_addr())));
+
+    // Every backfill fails, but nothing is silently dropped: the first
+    // five surface as connection errors and open the repository's
+    // circuit; the remaining five fast-fail locally.
+    assert_eq!(snap.stats.apks_missing, 10);
+    let fetch_errors = |kind: &str| {
+        registry
+            .snapshot()
+            .counter_value(
+                "marketscope_crawler_fetch_errors_total",
+                &[("market", "tencent"), ("kind", kind)],
+            )
+            .unwrap_or(0)
+    };
+    assert_eq!(fetch_errors("io"), 5, "failures until the circuit opened");
+    assert_eq!(fetch_errors("circuit_open"), 5, "fast-fails after it");
+    // The market itself answered every request (429s are definitive),
+    // so it is never quarantined for its repository's sins.
+    assert_eq!(snap.stats.markets_quarantined, 0);
+}
+
+#[test]
+fn persistent_apk_failures_quarantine_the_market() {
+    // /apk answers 500 forever; no repository to fall back on.
+    let store = mock_store(10, |_| Response::status(Status::InternalError));
+    let registry = Arc::new(Registry::new());
+    let tracer = Arc::new(Tracer::new(TracerConfig::propagate_only(64)));
+    let crawler = Crawler::with_telemetry(
+        CrawlConfig {
+            retry: None,
+            breaker: None,
+            quarantine_threshold: 3,
+            ..base_config()
+        },
+        Arc::clone(&registry),
+        tracer,
+    );
+    let snap = crawler.crawl(&targets_with(store.addr(), None));
+
+    // Three consecutive failures trip the quarantine; the remaining
+    // seven listings are deferred, revisited once, and fail again.
+    assert_eq!(snap.stats.markets_quarantined, 1);
+    assert_eq!(snap.stats.fetches_deferred, 7);
+    assert_eq!(snap.stats.revisit_recovered, 0);
+    assert_eq!(snap.stats.apks_missing, 10, "deferral never loses listings");
+    // (stats.fetch_errors is global and also counts the 16 dead
+    // markets' enumeration failures; the per-market counter is exact.)
+    assert_eq!(
+        registry.snapshot().counter_value(
+            "marketscope_crawler_fetch_errors_total",
+            &[("market", "tencent"), ("kind", "status")],
+        ),
+        Some(10)
+    );
+}
+
+#[test]
+fn revisit_pass_recovers_a_market_that_comes_back() {
+    // The first three APK fetches fail, then the store recovers: the
+    // quarantine trips on the outage, and the revisit pass harvests
+    // everything that was deferred.
+    let store = mock_store(10, |call| {
+        if call < 3 {
+            Response::status(Status::InternalError)
+        } else {
+            Response::ok("application/octet-stream", b"not a real apk".to_vec())
+        }
+    });
+    let crawler = Crawler::new(CrawlConfig {
+        retry: None,
+        breaker: None,
+        quarantine_threshold: 3,
+        ..base_config()
+    });
+    let snap = crawler.crawl(&targets_with(store.addr(), None));
+
+    assert_eq!(snap.stats.markets_quarantined, 1);
+    assert_eq!(snap.stats.fetches_deferred, 7);
+    assert_eq!(
+        snap.stats.revisit_recovered, 7,
+        "the deferred listings all came back"
+    );
+    assert_eq!(
+        snap.stats.apks_missing, 3,
+        "only the outage window was lost"
+    );
+}

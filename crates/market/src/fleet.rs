@@ -1,9 +1,11 @@
 //! The full serving fleet: 17 markets plus the offline repository.
 
+use crate::chaos::ChaosProfile;
 use crate::repository::AndroZooServer;
 use crate::server::{CrawlPhase, MarketServer};
 use marketscope_core::MarketId;
 use marketscope_ecosystem::World;
+use marketscope_net::fault::{FaultInjector, FaultPlan};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::Registry;
 use std::net::SocketAddr;
@@ -27,6 +29,24 @@ pub struct MarketFleet {
 impl MarketFleet {
     /// Spawn the whole fleet over a world.
     pub fn spawn(world: Arc<World>) -> Result<MarketFleet, marketscope_net::NetError> {
+        MarketFleet::spawn_inner(world, None)
+    }
+
+    /// Spawn the fleet with seeded chaos: each market serves behind the
+    /// [`FaultInjector`] its [`ChaosProfile`] plan prescribes (Google
+    /// Play stays clean — its pathology is the rate limiter). The
+    /// offline repository is never faulted; it is the backfill anchor.
+    pub fn spawn_with_chaos(
+        world: Arc<World>,
+        chaos: ChaosProfile,
+    ) -> Result<MarketFleet, marketscope_net::NetError> {
+        MarketFleet::spawn_inner(world, Some(chaos))
+    }
+
+    fn spawn_inner(
+        world: Arc<World>,
+        chaos: Option<ChaosProfile>,
+    ) -> Result<MarketFleet, marketscope_net::NetError> {
         // Servers never *start* traces (sample rate 0), but a shared
         // journal records the spans that crawler-sampled requests
         // propagate in — one fleet-wide timeline.
@@ -34,12 +54,30 @@ impl MarketFleet {
         let registry = Arc::new(Registry::new());
         let mut servers = Vec::with_capacity(17);
         for m in MarketId::ALL {
-            servers.push(MarketServer::spawn_with_telemetry(
-                Arc::clone(&world),
-                m,
-                Arc::clone(&registry),
-                Arc::clone(&tracer),
-            )?);
+            let plan = chaos.map(|c| c.plan_for(m)).unwrap_or(FaultPlan::none());
+            servers.push(if plan.is_noop() {
+                MarketServer::spawn_with_telemetry(
+                    Arc::clone(&world),
+                    m,
+                    Arc::clone(&registry),
+                    Arc::clone(&tracer),
+                )?
+            } else {
+                let chaos = chaos.expect("non-noop plan implies a profile");
+                let faults = FaultInjector::instrumented(
+                    chaos.seed_for(m),
+                    plan,
+                    &registry,
+                    &[("market", m.slug())],
+                );
+                MarketServer::spawn_with_chaos(
+                    Arc::clone(&world),
+                    m,
+                    Arc::clone(&registry),
+                    Arc::clone(&tracer),
+                    faults,
+                )?
+            });
         }
         let repository = AndroZooServer::spawn_with_telemetry(
             Arc::clone(&world),
@@ -92,6 +130,16 @@ impl MarketFleet {
     /// Total HTTP requests served across the fleet.
     pub fn total_requests(&self) -> u64 {
         self.servers.iter().map(|s| s.request_count()).sum()
+    }
+
+    /// Total faults injected across the fleet (`0` without chaos).
+    pub fn faults_injected(&self) -> u64 {
+        self.servers.iter().map(|s| s.faults_injected()).sum()
+    }
+
+    /// Faults injected by one market's server.
+    pub fn market_faults_injected(&self, market: MarketId) -> u64 {
+        self.servers[market.index()].faults_injected()
     }
 
     /// Stop every server.

@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod endpoints;
 pub mod fleet;
 pub mod repository;
 pub mod server;
 pub mod submission;
 
+pub use chaos::{ChaosIntensity, ChaosProfile};
 pub use fleet::MarketFleet;
 pub use repository::AndroZooServer;
 pub use server::{CrawlPhase, MarketServer};

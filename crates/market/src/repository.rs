@@ -134,7 +134,7 @@ mod tests {
                     assert_eq!(parsed.manifest.package, app.package);
                     served += 1;
                 }
-                Err(marketscope_net::NetError::Status(404)) => {}
+                Err(marketscope_net::NetError::Status { code: 404, .. }) => {}
                 Err(e) => panic!("{e}"),
             }
         }
@@ -154,7 +154,7 @@ mod tests {
             let app = w.app(listing.app);
             let path = format!("/apk/{}/{}", app.package, listing.version + 100);
             match client.get(repo.addr(), &path) {
-                Err(marketscope_net::NetError::Status(404)) => return,
+                Err(marketscope_net::NetError::Status { code: 404, .. }) => return,
                 Ok(_) => panic!("wrong version must 404"),
                 Err(_) => continue,
             }

@@ -5,6 +5,7 @@ use marketscope_apk::zip::ZipArchive;
 use marketscope_core::json::Json;
 use marketscope_core::MarketId;
 use marketscope_ecosystem::{profile, ListingId, World};
+use marketscope_net::fault::FaultInjector;
 use marketscope_net::http::{Request, Response, Status};
 use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::router::Router;
@@ -100,6 +101,31 @@ impl MarketServer {
         registry: Arc<Registry>,
         tracer: Arc<Tracer>,
     ) -> Result<MarketServer, marketscope_net::NetError> {
+        MarketServer::spawn_inner(world, market, registry, tracer, None)
+    }
+
+    /// Spawn a server behind a seeded [`FaultInjector`]: requests may be
+    /// reset, stalled, truncated or answered 5xx before the market logic
+    /// runs (ops paths under `/__` are exempt). Pair with a
+    /// [`ChaosProfile`](crate::chaos::ChaosProfile) for paper-flavoured
+    /// per-market weather.
+    pub fn spawn_with_chaos(
+        world: Arc<World>,
+        market: MarketId,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+        faults: FaultInjector,
+    ) -> Result<MarketServer, marketscope_net::NetError> {
+        MarketServer::spawn_inner(world, market, registry, tracer, Some(faults))
+    }
+
+    fn spawn_inner(
+        world: Arc<World>,
+        market: MarketId,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+        faults: Option<FaultInjector>,
+    ) -> Result<MarketServer, marketscope_net::NetError> {
         let catalog: Vec<ListingId> = world.market_listings(market).to_vec();
         let by_package = catalog
             .iter()
@@ -150,7 +176,10 @@ impl MarketServer {
             });
         let metrics = ServerMetrics::register(&registry, &[("market", market.slug())])
             .traced(Arc::clone(&tracer));
-        let handle = HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?;
+        let handle = match faults {
+            Some(faults) => HttpServer::spawn_with_faults("127.0.0.1:0", router, metrics, faults)?,
+            None => HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?,
+        };
         Ok(MarketServer {
             market,
             handle,
@@ -183,6 +212,12 @@ impl MarketServer {
     /// Requests served so far.
     pub fn request_count(&self) -> u64 {
         self.handle.request_count()
+    }
+
+    /// Total faults this server's injector has fired (`0` when the
+    /// server runs without chaos).
+    pub fn faults_injected(&self) -> u64 {
+        self.handle.fault_injector().map_or(0, |f| f.injected())
     }
 
     /// Switch the serving phase (both campaigns run against one server).
@@ -361,7 +396,15 @@ fn build_router(state: Arc<MarketState>) -> Router {
                     // a traced harvest shows exactly which attempts the
                     // limiter stalled.
                     marketscope_telemetry::trace::current_event("rate_limited");
-                    return Response::status(Status::TooManyRequests);
+                    // Tell the client when a token will be free: an
+                    // honest `retry-after` lets a polite retry policy
+                    // decide whether waiting fits its budget (for the
+                    // drained bulk-harvest bucket it never does, which
+                    // is what pushes the crawler onto the backfill path).
+                    return Response::status_with_retry_after(
+                        Status::TooManyRequests,
+                        bucket.wait_hint(),
+                    );
                 }
             }
             let Some(id) = st.lookup(&params["pkg"]) else {
@@ -472,11 +515,9 @@ mod tests {
             Arc::clone(&tracer),
         )
         .unwrap();
-        let client = marketscope_net::client::HttpClient::with_telemetry(
-            Default::default(),
-            None,
-            Some(Arc::clone(&tracer)),
-        );
+        let client = marketscope_net::client::HttpClient::builder()
+            .tracer(Arc::clone(&tracer))
+            .build();
         let root = tracer.root_span("crawler", "fetch index");
         client.get(server.addr(), "/index").unwrap();
         root.finish();
@@ -527,7 +568,7 @@ mod tests {
         let mut limited = false;
         for _ in 0..120 {
             match client.get(server.addr(), &format!("/apk/{pkg}")) {
-                Err(marketscope_net::NetError::Status(429)) => {
+                Err(marketscope_net::NetError::Status { code: 429, .. }) => {
                     limited = true;
                     break;
                 }
@@ -567,13 +608,13 @@ mod tests {
         // Far past the catalog end: 404.
         assert!(matches!(
             client.get(server.addr(), "/soft/99999999"),
-            Err(marketscope_net::NetError::Status(404))
+            Err(marketscope_net::NetError::Status { code: 404, .. })
         ));
         // Non-Baidu markets don't expose it.
         let huawei = MarketServer::spawn(Arc::clone(&w), MarketId::HuaweiMarket).unwrap();
         assert!(matches!(
             client.get(huawei.addr(), "/soft/0"),
-            Err(marketscope_net::NetError::Status(404))
+            Err(marketscope_net::NetError::Status { code: 404, .. })
         ));
     }
 
@@ -602,7 +643,7 @@ mod tests {
         server.set_phase(CrawlPhase::Second);
         assert!(matches!(
             client.get(server.addr(), &format!("/app/{pkg}")),
-            Err(marketscope_net::NetError::Status(404))
+            Err(marketscope_net::NetError::Status { code: 404, .. })
         ));
         server.set_phase(CrawlPhase::First);
         assert!(client

@@ -1,9 +1,11 @@
-//! The HTTP client: keep-alive connection pooling, timeouts, bounded
-//! retries.
+//! The HTTP client: keep-alive connection pooling, timeouts, classified
+//! retries, and optional circuit breaking.
 
 use crate::error::NetError;
 use crate::http::{Request, Response, Status};
-use marketscope_telemetry::{Counter, Histogram, Registry, TraceSpan, Tracer};
+use crate::resilience::{BreakerConfig, BreakerSet, ResilienceMetrics, RetryPolicy};
+use marketscope_core::hash::fnv1a64;
+use marketscope_telemetry::{trace, Counter, Histogram, Registry, TraceSpan, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -20,8 +22,9 @@ pub struct ClientConfig {
     pub connect_timeout: Duration,
     /// How many idle connections to keep per remote address.
     pub pool_per_host: usize,
-    /// Transparent retries on connection-level failures (not on HTTP
-    /// error statuses — those are the caller's business).
+    /// Transparent same-request retries on *transient* connection-level
+    /// failures (the keep-alive race, a reset socket). HTTP error
+    /// statuses never retry here — that is [`RetryPolicy`]'s job.
     pub retries: u32,
 }
 
@@ -43,7 +46,14 @@ struct PooledConn {
 }
 
 /// Error kinds the client counts separately (see [`NetError::kind`]).
-const ERROR_KINDS: [&str; 5] = ["io", "protocol", "too_large", "status", "eof"];
+const ERROR_KINDS: [&str; 6] = [
+    "io",
+    "protocol",
+    "too_large",
+    "status",
+    "eof",
+    "circuit_open",
+];
 
 /// Client-side instruments: request latency, transparent retries, and
 /// errors broken down by kind.
@@ -88,6 +98,93 @@ impl ClientMetrics {
     }
 }
 
+/// Configures and builds an [`HttpClient`]. Obtained from
+/// [`HttpClient::builder`]; every knob is optional:
+///
+/// ```no_run
+/// # use marketscope_net::client::{ClientConfig, HttpClient};
+/// # use marketscope_net::resilience::{BreakerConfig, RetryPolicy};
+/// let client = HttpClient::builder()
+///     .config(ClientConfig { pool_per_host: 4, ..ClientConfig::default() })
+///     .retry(RetryPolicy::default())
+///     .breaker(BreakerConfig::default())
+///     .build();
+/// ```
+#[derive(Default)]
+pub struct HttpClientBuilder {
+    config: Option<ClientConfig>,
+    metrics: Option<ClientMetrics>,
+    tracer: Option<Arc<Tracer>>,
+    retry: Option<RetryPolicy>,
+    breaker: Option<BreakerConfig>,
+    resilience_metrics: Option<ResilienceMetrics>,
+}
+
+impl HttpClientBuilder {
+    /// Socket-level configuration (timeouts, pool size, transparent
+    /// connection retries).
+    pub fn config(mut self, config: ClientConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Attach registered instruments: every request records its latency;
+    /// retries and errors are counted by kind.
+    pub fn metrics(mut self, metrics: ClientMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a tracer. When a sampled span is active on the calling
+    /// thread, each request opens a child span plus one span per
+    /// connection attempt, and every attempt carries its own span
+    /// context out in the `x-marketscope-trace` header so the server's
+    /// handler spans link back to this exact attempt.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach a status-level retry policy: [`HttpClient::get`] retries
+    /// [retryable](NetError::is_retryable) failures with deterministic
+    /// backoff, honoring server `retry-after` hints within the policy's
+    /// budget.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Attach per-host circuit breaking: after a run of terminal
+    /// failures, requests to that host fast-fail with
+    /// [`NetError::CircuitOpen`] until a half-open probe succeeds.
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Attach resilience instruments (retry counts, backoff time,
+    /// fast-fails, breaker transitions and the open-circuit gauge).
+    pub fn resilience_metrics(mut self, metrics: ResilienceMetrics) -> Self {
+        self.resilience_metrics = Some(metrics);
+        self
+    }
+
+    /// Build the client.
+    pub fn build(self) -> HttpClient {
+        HttpClient {
+            config: self.config.unwrap_or_default(),
+            pool: Mutex::new(HashMap::new()),
+            metrics: self.metrics,
+            tracer: self.tracer,
+            retry: self.retry,
+            breakers: self
+                .breaker
+                .map(|cfg| BreakerSet::new(cfg, self.resilience_metrics.clone())),
+            resilience_metrics: self.resilience_metrics,
+        }
+    }
+}
+
 /// A blocking HTTP client with per-host keep-alive pooling.
 ///
 /// Cloneable-by-reference via `Arc` at call sites; internally synchronized
@@ -97,57 +194,29 @@ pub struct HttpClient {
     pool: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
     metrics: Option<ClientMetrics>,
     tracer: Option<Arc<Tracer>>,
+    retry: Option<RetryPolicy>,
+    breakers: Option<BreakerSet>,
+    resilience_metrics: Option<ResilienceMetrics>,
 }
 
 impl HttpClient {
-    /// Client with default configuration.
+    /// Client with default configuration, no telemetry, no resilience
+    /// policy — the trivial case. Everything else goes through
+    /// [`HttpClient::builder`].
     pub fn new() -> Self {
-        Self::with_config(ClientConfig::default())
+        Self::builder().build()
     }
 
-    /// Client with explicit configuration.
-    pub fn with_config(config: ClientConfig) -> Self {
-        HttpClient {
-            config,
-            pool: Mutex::new(HashMap::new()),
-            metrics: None,
-            tracer: None,
-        }
-    }
-
-    /// Client with configuration and registered instruments: every
-    /// request records its latency; retries and errors are counted.
-    pub fn with_metrics(config: ClientConfig, metrics: ClientMetrics) -> Self {
-        HttpClient {
-            config,
-            pool: Mutex::new(HashMap::new()),
-            metrics: Some(metrics),
-            tracer: None,
-        }
-    }
-
-    /// Client with metrics *and* a tracer. When a sampled span is active
-    /// on the calling thread, each request opens a child span plus one
-    /// span per connection attempt, and every attempt carries its own
-    /// span context out in the `x-marketscope-trace` header so the
-    /// server's handler spans link back to this exact attempt.
-    pub fn with_telemetry(
-        config: ClientConfig,
-        metrics: Option<ClientMetrics>,
-        tracer: Option<Arc<Tracer>>,
-    ) -> Self {
-        HttpClient {
-            config,
-            pool: Mutex::new(HashMap::new()),
-            metrics,
-            tracer,
-        }
+    /// Start building a configured client.
+    pub fn builder() -> HttpClientBuilder {
+        HttpClientBuilder::default()
     }
 
     /// Issue a request and await the response. Pooled connections are
-    /// reused; connection-level failures on a *reused* connection are
-    /// retried on a fresh one (the server may have dropped an idle
-    /// connection between requests — the classic keep-alive race).
+    /// reused; *transient* connection-level failures (a reset socket,
+    /// mid-message EOF — the classic keep-alive race) are retried on a
+    /// fresh connection, bounded by [`ClientConfig::retries`]. Error
+    /// statuses and protocol violations surface immediately.
     pub fn request(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
         let span = self.metrics.as_ref().map(|m| m.request_nanos.start_span());
         // Child of whatever sampled span is active on this thread (the
@@ -196,16 +265,9 @@ impl HttpClient {
                 }
                 None => req,
             };
-            let reused;
             let conn = match self.take_pooled(addr) {
-                Some(c) => {
-                    reused = true;
-                    c
-                }
-                None => {
-                    reused = false;
-                    self.connect(addr)?
-                }
+                Some(c) => c,
+                None => self.connect(addr)?,
             };
             match self.round_trip(conn, wire_req) {
                 Ok((resp, conn)) => {
@@ -213,13 +275,13 @@ impl HttpClient {
                     return Ok(resp);
                 }
                 Err(e) => {
-                    // A failure on a fresh connection after the first
-                    // attempt is likely a real problem; on a reused one it
-                    // is usually the keep-alive race. Retry both, bounded.
-                    let _ = reused;
                     attempt_span.event(&format!("failed:{}", e.kind()));
+                    // Only transient failures earn a fresh connection;
+                    // a protocol violation or size overflow would just
+                    // repeat itself.
+                    let transient = e.is_transient();
                     last_err = Some(e);
-                    if attempt == self.config.retries {
+                    if !transient || attempt == self.config.retries {
                         break;
                     }
                 }
@@ -228,17 +290,100 @@ impl HttpClient {
         Err(last_err.unwrap_or(NetError::Protocol("retries exhausted")))
     }
 
-    /// Convenience: GET a path and require a 200.
+    /// Convenience: GET a path and require a 200. Non-200 statuses
+    /// surface as [`NetError::Status`] carrying any `retry-after` hint.
+    ///
+    /// This is where the resilience policy lives: with a
+    /// [`RetryPolicy`] attached, retryable failures (connection faults,
+    /// 429/500/503) are retried with deterministic backoff until the
+    /// policy's budget runs out; with a [`BreakerConfig`] attached, a
+    /// host whose requests keep failing terminally gets its circuit
+    /// opened and subsequent calls fast-fail with
+    /// [`NetError::CircuitOpen`] until a probe succeeds.
     pub fn get(&self, addr: SocketAddr, path_and_query: &str) -> Result<Response, NetError> {
-        let resp = self.request(addr, &Request::get(path_and_query))?;
-        if resp.status != Status::Ok {
-            let err = NetError::Status(resp.status.code());
-            if let Some(m) = &self.metrics {
-                m.note_error(&err);
+        let req = Request::get(path_and_query);
+        let breaker = self.breakers.as_ref().map(|b| b.for_host(addr));
+        let key = fnv1a64(path_and_query.as_bytes());
+        let mut slept = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            if let Some(b) = &breaker {
+                if !b.admit() {
+                    let err = NetError::CircuitOpen;
+                    trace::current_event("circuit_open");
+                    if let Some(m) = &self.metrics {
+                        m.note_error(&err);
+                    }
+                    return Err(err);
+                }
             }
-            return Err(err);
+            let result = self.request(addr, &req).and_then(|resp| {
+                if resp.status == Status::Ok {
+                    Ok(resp)
+                } else {
+                    Err(NetError::Status {
+                        code: resp.status.code(),
+                        retry_after: resp.retry_after(),
+                    })
+                }
+            });
+            let err = match result {
+                Ok(resp) => {
+                    if let Some(b) = &breaker {
+                        b.on_success();
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => e,
+            };
+            // Status errors are minted here, after request()'s metrics
+            // pass — count them separately.
+            if matches!(err, NetError::Status { .. }) {
+                if let Some(m) = &self.metrics {
+                    m.note_error(&err);
+                }
+            }
+            let delay = self
+                .retry
+                .as_ref()
+                .and_then(|p| p.delay_for(&err, attempt, key, slept));
+            match delay {
+                Some(wait) => {
+                    // Still trying: the breaker only hears about
+                    // *terminal* outcomes.
+                    trace::current_event(&format!("resilient-retry:{}", err.kind()));
+                    if let Some(rm) = &self.resilience_metrics {
+                        rm.note_retry(wait);
+                    }
+                    std::thread::sleep(wait);
+                    slept += wait;
+                    attempt += 1;
+                }
+                None => {
+                    if let Some(b) = &breaker {
+                        // Only signs of host distress — dead connections
+                        // and 5xx answers — push the circuit toward open.
+                        // A 404 is a definitive answer and a 429 means
+                        // the host is alive enough to throttle us; both
+                        // leave the breaker closed.
+                        let host_fault = err.is_transient()
+                            || matches!(
+                                err,
+                                NetError::Status {
+                                    code: 500..=599,
+                                    ..
+                                }
+                            );
+                        if host_fault {
+                            b.on_failure();
+                        } else {
+                            b.on_success();
+                        }
+                    }
+                    return Err(err);
+                }
+            }
         }
-        Ok(resp)
     }
 
     /// Convenience: GET a path, parse the body as JSON, require a 200.
@@ -257,6 +402,12 @@ impl HttpClient {
     /// Number of idle pooled connections (for tests/metrics).
     pub fn idle_connections(&self) -> usize {
         self.pool.lock().values().map(Vec::len).sum()
+    }
+
+    /// Number of per-host circuits currently not closed (zero without a
+    /// breaker).
+    pub fn open_circuits(&self) -> usize {
+        self.breakers.as_ref().map_or(0, BreakerSet::open_count)
     }
 
     fn connect(&self, addr: SocketAddr) -> Result<PooledConn, NetError> {
@@ -345,12 +496,27 @@ mod tests {
         .unwrap();
         let client = HttpClient::new();
         match client.get(server.addr(), "/limited") {
-            Err(NetError::Status(429)) => {}
+            Err(NetError::Status { code: 429, .. }) => {}
             other => panic!("expected 429, got {other:?}"),
         }
         match client.get(server.addr(), "/nope") {
-            Err(NetError::Status(404)) => {}
+            Err(NetError::Status { code: 404, .. }) => {}
             other => panic!("expected 404, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn status_errors_carry_the_servers_retry_hint() {
+        let server = HttpServer::spawn(|_req: &Request| {
+            Response::status_with_retry_after(Status::TooManyRequests, Duration::from_millis(500))
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        match client.get(server.addr(), "/apk/x") {
+            Err(e @ NetError::Status { code: 429, .. }) => {
+                assert_eq!(e.retry_after(), Some(Duration::from_millis(500)));
+            }
+            other => panic!("expected hinted 429, got {other:?}"),
         }
     }
 
@@ -361,11 +527,13 @@ mod tests {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap()
         };
-        let client = HttpClient::with_config(ClientConfig {
-            retries: 0,
-            connect_timeout: Duration::from_millis(300),
-            ..ClientConfig::default()
-        });
+        let client = HttpClient::builder()
+            .config(ClientConfig {
+                retries: 0,
+                connect_timeout: Duration::from_millis(300),
+                ..ClientConfig::default()
+            })
+            .build();
         assert!(client.get(addr, "/x").is_err());
     }
 
@@ -408,14 +576,13 @@ mod tests {
             }
         })
         .unwrap();
-        let client = HttpClient::with_metrics(
-            ClientConfig::default(),
-            ClientMetrics::register(&registry, &[]),
-        );
+        let client = HttpClient::builder()
+            .metrics(ClientMetrics::register(&registry, &[]))
+            .build();
         client.get(server.addr(), "/ok").unwrap();
         assert!(matches!(
             client.get(server.addr(), "/limited"),
-            Err(NetError::Status(429))
+            Err(NetError::Status { code: 429, .. })
         ));
         let snap = registry.snapshot();
         assert_eq!(
@@ -437,10 +604,12 @@ mod tests {
     fn pool_cap_is_respected() {
         let server =
             HttpServer::spawn(|_req: &Request| Response::ok("text/plain", b"ok".to_vec())).unwrap();
-        let client = HttpClient::with_config(ClientConfig {
-            pool_per_host: 1,
-            ..ClientConfig::default()
-        });
+        let client = HttpClient::builder()
+            .config(ClientConfig {
+                pool_per_host: 1,
+                ..ClientConfig::default()
+            })
+            .build();
         let addr = server.addr();
         // Two concurrent requests force two connections; only one returns
         // to the pool.
@@ -450,5 +619,122 @@ mod tests {
             }
         });
         assert!(client.idle_connections() <= 1);
+    }
+
+    #[test]
+    fn retry_policy_absorbs_hinted_503s() {
+        // Every request 503s twice (with a cheap hint) before answering.
+        let hits = Arc::new(AtomicU64::new(0));
+        let server_hits = Arc::clone(&hits);
+        let server = HttpServer::spawn(move |_req: &Request| {
+            if server_hits.fetch_add(1, Ordering::SeqCst) % 3 < 2 {
+                Response::status_with_retry_after(
+                    Status::ServiceUnavailable,
+                    Duration::from_millis(5),
+                )
+            } else {
+                Response::ok("text/plain", b"ok".to_vec())
+            }
+        })
+        .unwrap();
+        let registry = Registry::new();
+        let client = HttpClient::builder()
+            .retry(RetryPolicy::default())
+            .resilience_metrics(ResilienceMetrics::register(&registry, &[]))
+            .build();
+        for i in 0..5 {
+            client.get(server.addr(), &format!("/item/{i}")).unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("marketscope_net_client_resilient_retries_total", &[]),
+            Some(10),
+            "two retries per request"
+        );
+        assert!(
+            snap.counter_value("marketscope_net_client_backoff_nanos_total", &[])
+                .unwrap()
+                >= 10 * 5_000_000,
+            "each retry paid at least its 5ms hint"
+        );
+    }
+
+    #[test]
+    fn budget_surfaces_unaffordable_hints() {
+        // Google Play shape: a 429 whose hint exceeds the budget must
+        // surface immediately, not stall the harvest loop.
+        let server = HttpServer::spawn(|_req: &Request| {
+            Response::status_with_retry_after(Status::TooManyRequests, Duration::from_millis(500))
+        })
+        .unwrap();
+        let client = HttpClient::builder().retry(RetryPolicy::default()).build();
+        let start = std::time::Instant::now();
+        assert!(matches!(
+            client.get(server.addr(), "/apk/x"),
+            Err(NetError::Status { code: 429, .. })
+        ));
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "hinted 429 must surface without sleeping"
+        );
+    }
+
+    #[test]
+    fn breaker_fast_fails_a_dead_host_and_recovers() {
+        let down = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let down_s = Arc::clone(&down);
+        let server = HttpServer::spawn(move |_req: &Request| {
+            if down_s.load(Ordering::SeqCst) {
+                Response::status(Status::InternalError)
+            } else {
+                Response::ok("text/plain", b"ok".to_vec())
+            }
+        })
+        .unwrap();
+        let cfg = BreakerConfig {
+            failure_threshold: 3,
+            cooldown_rejections: 2,
+            half_open_trials: 1,
+        };
+        let client = HttpClient::builder().breaker(cfg).build();
+        let addr = server.addr();
+        // Three terminal 500s trip the circuit.
+        for _ in 0..3 {
+            assert!(matches!(
+                client.get(addr, "/x"),
+                Err(NetError::Status { code: 500, .. })
+            ));
+        }
+        assert_eq!(client.open_circuits(), 1);
+        // Fast fails while open: no wire traffic.
+        let served_before = server.request_count();
+        for _ in 0..2 {
+            assert!(matches!(client.get(addr, "/x"), Err(NetError::CircuitOpen)));
+        }
+        assert_eq!(server.request_count(), served_before);
+        // Host recovers; the cooldown has elapsed, so the next request
+        // probes and closes the circuit.
+        down.store(false, Ordering::SeqCst);
+        client.get(addr, "/x").unwrap();
+        assert_eq!(client.open_circuits(), 0);
+        client.get(addr, "/x").unwrap();
+    }
+
+    #[test]
+    fn definitive_404s_never_trip_the_breaker() {
+        let server =
+            HttpServer::spawn(|_req: &Request| Response::status(Status::NotFound)).unwrap();
+        let cfg = BreakerConfig {
+            failure_threshold: 2,
+            ..BreakerConfig::default()
+        };
+        let client = HttpClient::builder().breaker(cfg).build();
+        for _ in 0..10 {
+            assert!(matches!(
+                client.get(server.addr(), "/nope"),
+                Err(NetError::Status { code: 404, .. })
+            ));
+        }
+        assert_eq!(client.open_circuits(), 0);
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::io;
+use std::time::Duration;
 
 /// Errors produced by the HTTP client, server and parser.
 #[derive(Debug)]
@@ -18,23 +19,76 @@ pub enum NetError {
         limit: usize,
     },
     /// The server answered with a non-success status the caller did not
-    /// expect (carried so callers can branch on 429 vs 404).
-    Status(u16),
+    /// expect. Carries the code so callers can branch on 429 vs 404, and
+    /// the server's `retry-after` hint (if it sent one) so retry policies
+    /// can honor it instead of guessing a backoff.
+    Status {
+        /// The HTTP status code (404, 429, 503, ...).
+        code: u16,
+        /// Parsed `retry-after` response header, if present.
+        retry_after: Option<Duration>,
+    },
     /// The connection closed before a complete message was read.
     UnexpectedEof,
+    /// The per-host circuit breaker is open: the request was rejected
+    /// locally, without touching the wire (see
+    /// [`crate::resilience::BreakerConfig`]).
+    CircuitOpen,
 }
 
 impl NetError {
+    /// A [`NetError::Status`] with no retry hint — the common construction
+    /// at call sites that only know the code.
+    pub fn status(code: u16) -> NetError {
+        NetError::Status {
+            code,
+            retry_after: None,
+        }
+    }
+
     /// Short stable label for the error's kind, used as the `kind` label
     /// on telemetry counters (`io`, `protocol`, `too_large`, `status`,
-    /// `eof`).
+    /// `eof`, `circuit_open`).
     pub fn kind(&self) -> &'static str {
         match self {
             NetError::Io(_) => "io",
             NetError::Protocol(_) => "protocol",
             NetError::TooLarge { .. } => "too_large",
-            NetError::Status(_) => "status",
+            NetError::Status { .. } => "status",
             NetError::UnexpectedEof => "eof",
+            NetError::CircuitOpen => "circuit_open",
+        }
+    }
+
+    /// Whether a fresh attempt on a new connection may plausibly succeed:
+    /// connection-level failures (socket I/O, mid-message EOF from a reset
+    /// or truncated response). Protocol violations and size-cap overflows
+    /// are deterministic peer bugs — retrying them is blind.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NetError::Io(_) | NetError::UnexpectedEof)
+    }
+
+    /// Whether a retry policy should consider retrying this error:
+    /// [transient](NetError::is_transient) failures plus the retryable
+    /// status codes (429 throttles, 500/503 server faults). 4xx lookup
+    /// misses are definitive answers, not failures.
+    pub fn is_retryable(&self) -> bool {
+        self.is_transient()
+            || matches!(
+                self,
+                NetError::Status {
+                    code: 429 | 500 | 503,
+                    ..
+                }
+            )
+    }
+
+    /// The server's `retry-after` hint, when this is a status error that
+    /// carried one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            NetError::Status { retry_after, .. } => *retry_after,
+            _ => None,
         }
     }
 }
@@ -47,8 +101,15 @@ impl fmt::Display for NetError {
             NetError::TooLarge { what, limit } => {
                 write!(f, "{what} exceeds limit of {limit} bytes")
             }
-            NetError::Status(code) => write!(f, "unexpected status {code}"),
+            NetError::Status { code, retry_after } => {
+                write!(f, "unexpected status {code}")?;
+                if let Some(d) = retry_after {
+                    write!(f, " (retry after {:?})", d)?;
+                }
+                Ok(())
+            }
             NetError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            NetError::CircuitOpen => write!(f, "circuit breaker open for host"),
         }
     }
 }
@@ -77,7 +138,7 @@ mod tests {
         let e = NetError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(NetError::Status(429).to_string().contains("429"));
+        assert!(NetError::status(429).to_string().contains("429"));
         assert!(NetError::TooLarge {
             what: "body",
             limit: 10
@@ -85,14 +146,16 @@ mod tests {
         .to_string()
         .contains("body"));
         assert!(std::error::Error::source(&NetError::UnexpectedEof).is_none());
+        assert!(NetError::CircuitOpen.to_string().contains("breaker"));
     }
 
     #[test]
     fn kinds_are_stable_labels() {
-        assert_eq!(NetError::Status(404).kind(), "status");
+        assert_eq!(NetError::status(404).kind(), "status");
         assert_eq!(NetError::UnexpectedEof.kind(), "eof");
         assert_eq!(NetError::Protocol("x").kind(), "protocol");
         assert_eq!(NetError::from(io::Error::other("boom")).kind(), "io");
+        assert_eq!(NetError::CircuitOpen.kind(), "circuit_open");
         assert_eq!(
             NetError::TooLarge {
                 what: "body",
@@ -101,5 +164,35 @@ mod tests {
             .kind(),
             "too_large"
         );
+    }
+
+    #[test]
+    fn transience_is_connection_level_only() {
+        assert!(NetError::from(io::Error::other("reset")).is_transient());
+        assert!(NetError::UnexpectedEof.is_transient());
+        assert!(!NetError::Protocol("junk").is_transient());
+        assert!(!NetError::status(503).is_transient());
+        assert!(!NetError::CircuitOpen.is_transient());
+    }
+
+    #[test]
+    fn retryability_branches_on_the_error_not_magic_literals() {
+        for code in [429, 500, 503] {
+            assert!(NetError::status(code).is_retryable(), "{code}");
+        }
+        for code in [400, 404] {
+            assert!(!NetError::status(code).is_retryable(), "{code}");
+        }
+        assert!(NetError::UnexpectedEof.is_retryable());
+        assert!(!NetError::CircuitOpen.is_retryable());
+        assert_eq!(
+            NetError::Status {
+                code: 503,
+                retry_after: Some(Duration::from_millis(250)),
+            }
+            .retry_after(),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(NetError::status(503).retry_after(), None);
     }
 }

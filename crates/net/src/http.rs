@@ -3,6 +3,7 @@
 use crate::error::NetError;
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 /// Maximum accepted size of the request/status line plus headers.
 pub const MAX_HEAD: usize = 16 * 1024;
@@ -52,6 +53,8 @@ pub enum Status {
     TooManyRequests,
     /// 500
     InternalError,
+    /// 503 — injected fault bursts and flaky mirrors answer with this.
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -63,6 +66,7 @@ impl Status {
             Status::NotFound => 404,
             Status::TooManyRequests => 429,
             Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -74,6 +78,7 @@ impl Status {
             Status::NotFound => "Not Found",
             Status::TooManyRequests => "Too Many Requests",
             Status::InternalError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 
@@ -85,6 +90,7 @@ impl Status {
             404 => Ok(Status::NotFound),
             429 => Ok(Status::TooManyRequests),
             500 => Ok(Status::InternalError),
+            503 => Ok(Status::ServiceUnavailable),
             _ => Err(NetError::Protocol("unknown status code")),
         }
     }
@@ -250,6 +256,27 @@ impl Response {
         }
     }
 
+    /// An empty response with the given status and a `retry-after` header
+    /// telling the client when to come back. Rendered as decimal seconds
+    /// — a subset extension (RFC 9110 allows only integer seconds, too
+    /// coarse for loopback rate limiters refilling in milliseconds).
+    pub fn status_with_retry_after(status: Status, after: Duration) -> Response {
+        let mut resp = Response::status(status);
+        resp.headers
+            .insert("retry-after".to_owned(), format!("{}", after.as_secs_f64()));
+        resp
+    }
+
+    /// Parsed `retry-after` response header (decimal seconds), if present
+    /// and well-formed. Negative or non-finite values are ignored.
+    pub fn retry_after(&self) -> Option<Duration> {
+        let secs: f64 = self.headers.get("retry-after")?.parse().ok()?;
+        if !secs.is_finite() || secs < 0.0 {
+            return None;
+        }
+        Some(Duration::from_secs_f64(secs))
+    }
+
     /// Serialize onto a writer (adds `Content-Length`).
     pub fn write_to(&self, w: &mut impl Write) -> Result<(), NetError> {
         write!(
@@ -263,6 +290,27 @@ impl Response {
         }
         write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
         w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Serialize a deliberately broken copy of this response: the head
+    /// declares the full `Content-Length` but only the first `keep` body
+    /// bytes follow. A reader sees a mid-body EOF once the connection
+    /// closes — the fault-injection layer's "truncated body" failure mode
+    /// (see [`crate::fault`]).
+    pub fn write_truncated_to(&self, w: &mut impl Write, keep: usize) -> Result<(), NetError> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        )?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body[..keep.min(self.body.len())])?;
         w.flush()?;
         Ok(())
     }
@@ -505,11 +553,44 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_round_trips_fractional_seconds() {
+        let resp = Response::status_with_retry_after(
+            Status::ServiceUnavailable,
+            Duration::from_millis(250),
+        );
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let back = Response::read_from(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(back.status, Status::ServiceUnavailable);
+        assert_eq!(back.retry_after(), Some(Duration::from_millis(250)));
+        // Absent and malformed headers parse to None.
+        assert_eq!(Response::status(Status::Ok).retry_after(), None);
+        let mut junk = Response::status(Status::Ok);
+        junk.headers.insert("retry-after".into(), "soon".into());
+        assert_eq!(junk.retry_after(), None);
+        junk.headers.insert("retry-after".into(), "-3".into());
+        assert_eq!(junk.retry_after(), None);
+    }
+
+    #[test]
+    fn truncated_write_produces_mid_body_eof() {
+        let resp = Response::ok("text/plain", vec![7u8; 100]);
+        let mut wire = Vec::new();
+        resp.write_truncated_to(&mut wire, 40).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
     fn empty_status_responses() {
         for s in [
             Status::NotFound,
             Status::TooManyRequests,
             Status::InternalError,
+            Status::ServiceUnavailable,
         ] {
             let resp = Response::status(s);
             let mut wire = Vec::new();

@@ -13,8 +13,15 @@
 //!
 //! Protocol subset: `GET`/`POST`, `Content-Length` bodies (no chunked
 //! encoding), `Connection: keep-alive`/`close`, status codes the market
-//! simulation needs (200, 400, 404, 429, 500). The parser is total and
-//! size-capped so a misbehaving peer cannot wedge or balloon a worker.
+//! simulation needs (200, 400, 404, 429, 500, 503). The parser is total
+//! and size-capped so a misbehaving peer cannot wedge or balloon a
+//! worker.
+//!
+//! Robustness is first-class: servers can wrap their connection handling
+//! in a seeded [`FaultPlan`] (resets, stalls, truncated bodies, 5xx
+//! bursts, downtime windows — see [`fault`]), and clients counter with a
+//! [`RetryPolicy`] plus per-host circuit breaking (see [`resilience`]),
+//! both deterministic so chaos campaigns replay exactly.
 //!
 //! Every component is instrumented with `marketscope-telemetry`: servers
 //! count requests per status and time handlers ([`ServerMetrics`]),
@@ -29,14 +36,20 @@
 
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod http;
 pub mod ratelimit;
+pub mod resilience;
 pub mod router;
 pub mod server;
 
-pub use client::{ClientMetrics, HttpClient};
+pub use client::{ClientMetrics, HttpClient, HttpClientBuilder};
 pub use error::NetError;
+pub use fault::{FaultAction, FaultInjector, FaultMetrics, FaultPlan};
 pub use http::{Method, Request, Response, Status};
 pub use ratelimit::{RateLimitMetrics, TokenBucket};
+pub use resilience::{
+    BreakerConfig, BreakerSet, BreakerState, CircuitBreaker, ResilienceMetrics, RetryPolicy,
+};
 pub use router::Router;
 pub use server::{HttpServer, ServerHandle, ServerMetrics};

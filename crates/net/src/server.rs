@@ -2,6 +2,7 @@
 //! keep-alive, graceful shutdown, built-in telemetry.
 
 use crate::error::NetError;
+use crate::fault::{FaultAction, FaultInjector};
 use crate::http::{Request, Response, Status};
 use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, TraceSpan, Tracer};
 use parking_lot::Mutex;
@@ -31,12 +32,13 @@ where
 
 /// Status codes the server distinguishes in its per-status counters (the
 /// full set the HTTP subset can produce).
-const TRACKED_STATUSES: [(u16, &str); 5] = [
+const TRACKED_STATUSES: [(u16, &str); 6] = [
     (200, "200"),
     (400, "400"),
     (404, "404"),
     (429, "429"),
     (500, "500"),
+    (503, "503"),
 ];
 
 /// The server-side instrument set: total requests, live connections,
@@ -143,6 +145,29 @@ impl HttpServer {
         handler: impl Handler,
         metrics: ServerMetrics,
     ) -> Result<ServerHandle, NetError> {
+        Self::spawn_inner(addr, handler, metrics, None)
+    }
+
+    /// Bind and serve behind a [`FaultInjector`]: every request is first
+    /// offered to the injector, which may reset the connection, stall or
+    /// truncate the response, or answer 503 before the handler runs.
+    /// With a no-op plan the injector never fires and the fast path is a
+    /// single branch.
+    pub fn spawn_with_faults(
+        addr: &str,
+        handler: impl Handler,
+        metrics: ServerMetrics,
+        faults: FaultInjector,
+    ) -> Result<ServerHandle, NetError> {
+        Self::spawn_inner(addr, handler, metrics, Some(Arc::new(faults)))
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        handler: impl Handler,
+        metrics: ServerMetrics,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<ServerHandle, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -151,6 +176,7 @@ impl HttpServer {
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_metrics = Arc::clone(&metrics);
+        let accept_faults = faults.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("http-accept-{local}"))
             .spawn(move || {
@@ -162,6 +188,7 @@ impl HttpServer {
                     let handler = Arc::clone(&handler);
                     let metrics = Arc::clone(&accept_metrics);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
+                    let conn_faults = accept_faults.clone();
                     metrics.live.inc();
                     let _ = std::thread::Builder::new()
                         .name("http-conn".to_owned())
@@ -171,6 +198,7 @@ impl HttpServer {
                                 handler.as_ref(),
                                 &metrics,
                                 &conn_shutdown,
+                                conn_faults.as_deref(),
                             );
                             metrics.live.dec();
                         });
@@ -182,6 +210,7 @@ impl HttpServer {
             addr: local,
             shutdown,
             metrics,
+            faults,
             accept_thread: Mutex::new(Some(accept_thread)),
         })
     }
@@ -193,6 +222,7 @@ fn serve_connection(
     handler: &dyn Handler,
     metrics: &ServerMetrics,
     shutdown: &AtomicBool,
+    faults: Option<&FaultInjector>,
 ) -> Result<(), NetError> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
@@ -216,6 +246,36 @@ fn serve_connection(
             }
         };
         let close = req.wants_close();
+        // The fault injector gets first refusal, before any span opens:
+        // a reset market never answers, so it must not trace either.
+        let fault = match faults {
+            Some(f) => f.decide(&req.path),
+            None => FaultAction::Serve,
+        };
+        match fault {
+            FaultAction::Serve | FaultAction::Truncate => {}
+            // Slam the door without a byte: the client sees a reset or
+            // a mid-message EOF.
+            FaultAction::Reset => return Ok(()),
+            // Added latency, then serve normally.
+            FaultAction::Stall(d) => std::thread::sleep(d),
+            // Answer for the handler: the market is erroring, not slow.
+            FaultAction::Error {
+                status,
+                retry_after,
+            } => {
+                let resp = match retry_after {
+                    Some(d) => Response::status_with_retry_after(status, d),
+                    None => Response::status(status),
+                };
+                metrics.note_response(status, Duration::ZERO);
+                resp.write_to(&mut writer)?;
+                if close {
+                    return Ok(());
+                }
+                continue;
+            }
+        }
         // A propagated trace context makes this request a remote child
         // of the client-side attempt span; without one (or without a
         // tracer) every span below is a no-op.
@@ -244,6 +304,17 @@ fn serve_connection(
             Some(t) => t.span("server", "write"),
             None => TraceSpan::noop(),
         };
+        if fault == FaultAction::Truncate {
+            // Cut the body mid-stream and close so the client sees an
+            // unexpected EOF. An empty body can't be cut — drop the
+            // connection instead (same observable failure).
+            if !resp.body.is_empty() {
+                resp.write_truncated_to(&mut writer, resp.body.len() / 2)?;
+            }
+            write_span.finish();
+            req_span.finish();
+            return Ok(());
+        }
         resp.write_to(&mut writer)?;
         write_span.finish();
         req_span.finish();
@@ -258,6 +329,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
+    faults: Option<Arc<FaultInjector>>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -291,6 +363,11 @@ impl ServerHandle {
     /// Handler latency histogram (nanoseconds).
     pub fn handler_latency(&self) -> &Arc<Histogram> {
         &self.metrics.handler_nanos
+    }
+
+    /// The fault injector wrapping this server, when spawned with one.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// Stop accepting, wake the accept loop, and join it. Connection

@@ -9,7 +9,7 @@
 //! trip. A second check pins the absolute behaviour: a rate-0 tracer
 //! records zero journal entries under real traffic.
 
-use marketscope_net::client::{ClientConfig, HttpClient};
+use marketscope_net::client::HttpClient;
 use marketscope_net::http::{Request, Response};
 use marketscope_net::server::{HttpServer, ServerMetrics};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
@@ -25,8 +25,7 @@ fn unsampled_tracing_overhead_is_under_5_percent() {
         ServerMetrics::standalone().traced(Arc::clone(&tracer)),
     )
     .unwrap();
-    let client =
-        HttpClient::with_telemetry(ClientConfig::default(), None, Some(Arc::clone(&tracer)));
+    let client = HttpClient::builder().tracer(Arc::clone(&tracer)).build();
 
     // Median of real round trips through the traced stack (warmed).
     for _ in 0..20 {

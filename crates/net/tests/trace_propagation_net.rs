@@ -2,7 +2,7 @@
 //! crawl-side span yields a linked server-side span tree, and an
 //! unsampled request leaves no journal entries and no header.
 
-use marketscope_net::client::{ClientConfig, HttpClient};
+use marketscope_net::client::HttpClient;
 use marketscope_net::http::{Request, Response};
 use marketscope_net::server::{HttpServer, ServerMetrics};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
@@ -33,8 +33,7 @@ fn sampled_request_links_client_and_server_spans() {
         ServerMetrics::standalone().traced(Arc::clone(&tracer)),
     )
     .unwrap();
-    let client =
-        HttpClient::with_telemetry(ClientConfig::default(), None, Some(Arc::clone(&tracer)));
+    let client = HttpClient::builder().tracer(Arc::clone(&tracer)).build();
 
     let root = tracer.root_span("crawler", "fetch /x");
     let root_ctx = root.context().unwrap();
@@ -91,8 +90,7 @@ fn unsampled_request_sends_no_header_and_records_nothing() {
         ServerMetrics::standalone().traced(Arc::clone(&tracer)),
     )
     .unwrap();
-    let client =
-        HttpClient::with_telemetry(ClientConfig::default(), None, Some(Arc::clone(&tracer)));
+    let client = HttpClient::builder().tracer(Arc::clone(&tracer)).build();
 
     let root = tracer.root_span("crawler", "fetch /x"); // rate 0: no-op
     assert!(!root.is_sampled());
@@ -136,8 +134,7 @@ fn retries_stay_in_one_trace_as_sibling_attempts() {
     });
 
     let tracer = Arc::new(Tracer::new(TracerConfig::always(64)));
-    let client =
-        HttpClient::with_telemetry(ClientConfig::default(), None, Some(Arc::clone(&tracer)));
+    let client = HttpClient::builder().tracer(Arc::clone(&tracer)).build();
     let root = tracer.root_span("crawler", "fetch /r");
     let root_ctx = root.context().unwrap();
     let resp = client.get(addr, "/r").unwrap();
@@ -195,8 +192,7 @@ fn header_survives_even_without_server_tracer() {
         )
     })
     .unwrap();
-    let client =
-        HttpClient::with_telemetry(ClientConfig::default(), None, Some(Arc::clone(&tracer)));
+    let client = HttpClient::builder().tracer(Arc::clone(&tracer)).build();
     let root = tracer.root_span("crawler", "fetch");
     let resp = client.get(server.addr(), "/x").unwrap();
     root.finish();

@@ -3,14 +3,21 @@
 //!
 //! ```text
 //! reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress]
-//!           [--trace-out FILE]
+//!           [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy]
 //! ```
 //!
 //! `--trace-out FILE` samples every fetch (trace rate 1.0) and writes the
 //! merged crawler + fleet + analysis span journal as Chrome trace-event
 //! JSON — load it at `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `--chaos-seed N` runs the campaign under seeded market chaos (resets,
+//! stalls, truncated downloads, 5xx bursts, downtime windows — see
+//! `marketscope_market::chaos`); the same seed injects the same fault
+//! sequence every run. `--chaos-profile` picks the intensity (default
+//! `light`); the `ops` artifact gains a "Degraded markets" section.
 
 use marketscope_ecosystem::Scale;
+use marketscope_market::{ChaosIntensity, ChaosProfile};
 use marketscope_report::experiments as ex;
 use marketscope_report::{run_campaign, Campaign, CampaignConfig};
 
@@ -51,6 +58,24 @@ fn main() {
                         .unwrap_or_else(|| usage("--trace-out needs a file path")),
                 ));
                 config.trace_sample = 1.0;
+            }
+            "--chaos-seed" => {
+                let seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--chaos-seed needs an integer"));
+                config.chaos = Some(ChaosProfile {
+                    seed,
+                    intensity: config.chaos.map_or(ChaosIntensity::Light, |c| c.intensity),
+                });
+            }
+            "--chaos-profile" => {
+                let intensity: ChaosIntensity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--chaos-profile needs light|heavy"));
+                let seed = config.chaos.map_or(0, |c| c.seed);
+                config.chaos = Some(ChaosProfile { seed, intensity });
             }
             "--progress" => config.progress = true,
             "--help" | "-h" => usage(""),
@@ -136,7 +161,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE]"
+        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy]"
     );
     eprintln!("artifacts: table1..table6, fig1..fig13, sec53, sec64, ops");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -29,6 +29,43 @@ pub struct MarketOps {
     pub apks: u64,
 }
 
+/// One market's degradation picture: what the chaos layer injected into
+/// its server and how the crawler weathered it.
+#[derive(Debug, Clone)]
+pub struct DegradedMarket {
+    /// Market slug.
+    pub market: String,
+    /// Faults the server-side injector fired (resets, stalls, truncated
+    /// bodies, 5xx, downtime resets).
+    pub faults_injected: u64,
+    /// Terminal crawler-side fetch failures, summed over error kinds.
+    pub fetch_errors: u64,
+    /// Nonzero `(kind, count)` breakdown of `fetch_errors`, kind-sorted.
+    pub error_kinds: Vec<(String, u64)>,
+    /// Times the market was quarantined mid-harvest.
+    pub quarantines: u64,
+    /// APK fetches deferred past a quarantine to the revisit pass.
+    pub deferred: u64,
+    /// Deferred fetches the market answered on revisit.
+    pub recovered: u64,
+}
+
+/// Aggregate client-side resilience totals (the retry policy and circuit
+/// breaker share one unlabeled instrument set).
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceOps {
+    /// Status-level retries the policy performed.
+    pub retries: u64,
+    /// Total nanoseconds slept across those retries.
+    pub backoff_nanos: u64,
+    /// Requests fast-failed by an open circuit.
+    pub fast_fails: u64,
+    /// Breaker transitions to open.
+    pub breaker_opens: u64,
+    /// Breaker transitions back to closed.
+    pub breaker_closes: u64,
+}
+
 /// One analysis stage's recorded work, read back from the engine's
 /// telemetry instruments.
 #[derive(Debug, Clone)]
@@ -52,6 +89,12 @@ pub struct OpsSummary {
     pub total_requests: u64,
     /// Total non-200 responses across the fleet.
     pub total_errors: u64,
+    /// Markets that saw injected faults, terminal fetch errors or a
+    /// quarantine, sorted by market slug; empty for a clean campaign.
+    pub degraded: Vec<DegradedMarket>,
+    /// Client-side resilience totals; `None` when neither the retry
+    /// policy nor the breaker ever fired.
+    pub resilience: Option<ResilienceOps>,
     /// Analysis-engine stage rows, in stage-graph order; empty when the
     /// snapshot holds no engine telemetry.
     pub analysis: Vec<StageOps>,
@@ -113,6 +156,74 @@ impl OpsSummary {
                 apks,
             });
         }
+        let fault_kinds = snap.label_values("fault");
+        let error_kinds = snap.label_values("kind");
+        let mut degraded = Vec::new();
+        for market in snap.label_values("market") {
+            let faults_injected: u64 = fault_kinds
+                .iter()
+                .map(|f| {
+                    snap.counter_value(
+                        "marketscope_net_faults_injected_total",
+                        &[("fault", f.as_str()), ("market", market.as_str())],
+                    )
+                    .unwrap_or(0)
+                })
+                .sum();
+            let kinds: Vec<(String, u64)> = error_kinds
+                .iter()
+                .filter_map(|k| {
+                    let n = snap
+                        .counter_value(
+                            "marketscope_crawler_fetch_errors_total",
+                            &[("kind", k.as_str()), ("market", market.as_str())],
+                        )
+                        .unwrap_or(0);
+                    (n > 0).then(|| (k.clone(), n))
+                })
+                .collect();
+            let fetch_errors: u64 = kinds.iter().map(|(_, n)| n).sum();
+            let labels = [("market", market.as_str())];
+            let quarantines = snap
+                .counter_value("marketscope_crawler_quarantines_total", &labels)
+                .unwrap_or(0);
+            let deferred = snap
+                .counter_value("marketscope_crawler_deferred_fetches_total", &labels)
+                .unwrap_or(0);
+            let recovered = snap
+                .counter_value("marketscope_crawler_revisit_recovered_total", &labels)
+                .unwrap_or(0);
+            if faults_injected == 0 && fetch_errors == 0 && quarantines == 0 {
+                continue;
+            }
+            degraded.push(DegradedMarket {
+                market,
+                faults_injected,
+                fetch_errors,
+                error_kinds: kinds,
+                quarantines,
+                deferred,
+                recovered,
+            });
+        }
+        let resilience = {
+            let c = |name| snap.counter_value(name, &[]).unwrap_or(0);
+            let t = |to| {
+                snap.counter_value(
+                    "marketscope_net_client_breaker_transitions_total",
+                    &[("to", to)],
+                )
+                .unwrap_or(0)
+            };
+            let ops = ResilienceOps {
+                retries: c("marketscope_net_client_resilient_retries_total"),
+                backoff_nanos: c("marketscope_net_client_backoff_nanos_total"),
+                fast_fails: c("marketscope_net_client_fast_fails_total"),
+                breaker_opens: t("open"),
+                breaker_closes: t("closed"),
+            };
+            (ops.retries + ops.fast_fails + ops.breaker_opens > 0).then_some(ops)
+        };
         let analysis = crate::engine::STAGE_GRAPH
             .iter()
             .filter_map(|spec| {
@@ -137,6 +248,8 @@ impl OpsSummary {
             markets,
             total_requests,
             total_errors,
+            degraded,
+            resilience,
             analysis,
             slowest: Vec::new(),
         }
@@ -178,6 +291,40 @@ impl OpsSummary {
                 100.0 * self.total_errors as f64 / self.total_requests as f64
             }
         ));
+        if !self.degraded.is_empty() {
+            out.push_str("\nDegraded markets\n");
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>7} {:>6} {:>9} {:>10}  {}\n",
+                "market", "faults", "errors", "quar", "deferred", "recovered", "error kinds"
+            ));
+            for d in &self.degraded {
+                let kinds: Vec<String> = d
+                    .error_kinds
+                    .iter()
+                    .map(|(k, n)| format!("{k}={n}"))
+                    .collect();
+                out.push_str(&format!(
+                    "{:<14} {:>7} {:>7} {:>6} {:>9} {:>10}  {}\n",
+                    d.market,
+                    d.faults_injected,
+                    d.fetch_errors,
+                    d.quarantines,
+                    d.deferred,
+                    d.recovered,
+                    kinds.join(" ")
+                ));
+            }
+        }
+        if let Some(r) = &self.resilience {
+            out.push_str(&format!(
+                "resilience: {} retries ({:.1}ms backoff), {} fast fails, breaker opened {} / closed {}\n",
+                r.retries,
+                r.backoff_nanos as f64 / 1e6,
+                r.fast_fails,
+                r.breaker_opens,
+                r.breaker_closes
+            ));
+        }
         if !self.analysis.is_empty() {
             out.push_str("\nAnalysis engine stages\n");
             out.push_str(&format!(
@@ -313,6 +460,80 @@ mod tests {
         assert!(rendered.contains("Slowest traces"));
         assert!(rendered.contains("apk gp/com.example"));
         assert!(rendered.contains("crawler:digest"));
+    }
+
+    #[test]
+    fn degraded_markets_and_resilience_render() {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "marketscope_net_faults_injected_total",
+                &[("fault", "reset"), ("market", "tencent_myapp")],
+            )
+            .add(9);
+        registry
+            .counter(
+                "marketscope_crawler_fetch_errors_total",
+                &[("kind", "io"), ("market", "tencent_myapp")],
+            )
+            .add(4);
+        registry
+            .counter(
+                "marketscope_crawler_quarantines_total",
+                &[("market", "tencent_myapp")],
+            )
+            .inc();
+        registry
+            .counter(
+                "marketscope_crawler_deferred_fetches_total",
+                &[("market", "tencent_myapp")],
+            )
+            .add(12);
+        registry
+            .counter(
+                "marketscope_crawler_revisit_recovered_total",
+                &[("market", "tencent_myapp")],
+            )
+            .add(10);
+        registry
+            .counter("marketscope_net_client_resilient_retries_total", &[])
+            .add(6);
+        registry
+            .counter("marketscope_net_client_backoff_nanos_total", &[])
+            .add(3_000_000);
+        registry
+            .counter(
+                "marketscope_net_client_breaker_transitions_total",
+                &[("to", "open")],
+            )
+            .inc();
+
+        let ops = OpsSummary::from_snapshot(&registry.snapshot());
+        assert_eq!(ops.degraded.len(), 1);
+        let d = &ops.degraded[0];
+        assert_eq!(d.faults_injected, 9);
+        assert_eq!(d.fetch_errors, 4);
+        assert_eq!(d.error_kinds, vec![("io".to_string(), 4)]);
+        assert_eq!((d.quarantines, d.deferred, d.recovered), (1, 12, 10));
+        let r = ops.resilience.expect("resilience totals present");
+        assert_eq!((r.retries, r.breaker_opens), (6, 1));
+        let rendered = ops.render();
+        assert!(rendered.contains("Degraded markets"), "{rendered}");
+        assert!(rendered.contains("io=4"), "{rendered}");
+        assert!(rendered.contains("6 retries"), "{rendered}");
+    }
+
+    #[test]
+    fn clean_campaigns_render_no_degradation_section() {
+        let registry = Registry::new();
+        registry
+            .counter("marketscope_net_requests_total", &[("market", "gp")])
+            .add(3);
+        let ops = OpsSummary::from_snapshot(&registry.snapshot());
+        assert!(ops.degraded.is_empty());
+        assert!(ops.resilience.is_none());
+        assert!(!ops.render().contains("Degraded markets"));
+        assert!(!ops.render().contains("resilience:"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::ops::OpsSummary;
 use marketscope_core::MarketId;
 use marketscope_crawler::{CrawlConfig, CrawlProgress, CrawlTargets, Crawler, Snapshot};
 use marketscope_ecosystem::{generate, Scale, World, WorldConfig};
-use marketscope_market::{CrawlPhase, MarketFleet};
+use marketscope_market::{ChaosProfile, CrawlPhase, MarketFleet};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::{JournalSnapshot, Registry};
 use std::sync::Arc;
@@ -30,6 +30,10 @@ pub struct CampaignConfig {
     /// `1.0` = every fetch). Sampled spans propagate over the wire, so
     /// the fleet's server-side spans join the same traces.
     pub trace_sample: f64,
+    /// Seeded chaos for the market fleet (`None` = clean weather). The
+    /// same profile injects the same fault sequence every run, so a
+    /// chaos campaign replays exactly.
+    pub chaos: Option<ChaosProfile>,
 }
 
 impl Default for CampaignConfig {
@@ -40,6 +44,7 @@ impl Default for CampaignConfig {
             seed_share: 0.75,
             progress: false,
             trace_sample: 0.0,
+            chaos: None,
         }
     }
 }
@@ -74,7 +79,11 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         seed: config.seed,
         scale: config.scale,
     }));
-    let fleet = MarketFleet::spawn(Arc::clone(&world)).expect("spawn fleet");
+    let fleet = match config.chaos {
+        Some(profile) => MarketFleet::spawn_with_chaos(Arc::clone(&world), profile),
+        None => MarketFleet::spawn(Arc::clone(&world)),
+    }
+    .expect("spawn fleet");
     let targets = CrawlTargets {
         markets: MarketId::ALL.iter().map(|m| fleet.addr(*m)).collect(),
         repository: Some(fleet.repository_addr()),

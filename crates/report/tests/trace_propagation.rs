@@ -8,7 +8,7 @@ use marketscope_core::json::Json;
 use marketscope_core::MarketId;
 use marketscope_ecosystem::{generate, Scale, WorldConfig};
 use marketscope_market::MarketServer;
-use marketscope_net::client::{ClientConfig, HttpClient};
+use marketscope_net::client::HttpClient;
 use marketscope_report::{run_campaign, CampaignConfig};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::{chrome_trace, Registry, SpanRecord};
@@ -119,8 +119,7 @@ fn rate_limit_stall_stays_inside_one_trace() {
         Arc::clone(&tracer),
     )
     .unwrap();
-    let client =
-        HttpClient::with_telemetry(ClientConfig::default(), None, Some(Arc::clone(&tracer)));
+    let client = HttpClient::builder().tracer(Arc::clone(&tracer)).build();
     let pkg = {
         let doc = client.get_json(server.addr(), "/index").unwrap();
         doc.get("packages").unwrap().as_arr().unwrap()[0]
@@ -136,7 +135,7 @@ fn rate_limit_stall_stays_inside_one_trace() {
     let mut limited = false;
     for _ in 0..120 {
         match client.get(server.addr(), &format!("/apk/{pkg}")) {
-            Err(marketscope_net::NetError::Status(429)) => {
+            Err(marketscope_net::NetError::Status { code: 429, .. }) => {
                 limited = true;
                 break;
             }
