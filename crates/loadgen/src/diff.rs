@@ -1,0 +1,350 @@
+//! BENCH regression comparison.
+//!
+//! [`diff`] takes two parsed BENCH documents (old baseline, new
+//! candidate) and returns every metric whose movement exceeds the
+//! configured thresholds. Only *worsening* movement counts: throughput
+//! dropping, latency/memory rising. Improvements never flag, so a diff
+//! against a faster build is clean in one direction and fails in the
+//! other — the property the regression test in this module proves.
+
+use crate::report::BENCH_SCHEMA_VERSION;
+use marketscope_core::json::Json;
+
+/// Tolerances before a movement counts as a regression. The defaults
+/// are deliberately loose: BENCH runs on shared CI hardware, where a
+/// few percent of jitter is noise, not signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// Max fractional drop in overall achieved RPS (0.2 = 20%).
+    pub max_rps_drop: f64,
+    /// Max fractional rise in any endpoint's p99 latency.
+    pub max_p99_rise: f64,
+    /// p99 values below this many nanoseconds are never compared —
+    /// sub-floor latencies are scheduler noise on loopback.
+    pub p99_floor_ns: u64,
+    /// Max fractional rise in peak RSS.
+    pub max_rss_rise: f64,
+    /// Max fractional rise in bytes allocated (only meaningful when
+    /// both runs were built with the `alloc-profile` feature).
+    pub max_alloc_rise: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> DiffThresholds {
+        DiffThresholds {
+            max_rps_drop: 0.20,
+            max_p99_rise: 0.50,
+            p99_floor_ns: 200_000,
+            max_rss_rise: 0.50,
+            max_alloc_rise: 0.50,
+        }
+    }
+}
+
+/// One metric that moved past its threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which metric (e.g. `achieved_rps`, `p99_ns{endpoint=detail}`).
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed fractional change, positive = worse (drop for
+    /// throughput, rise for latency/memory).
+    pub change: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} -> {:.1} ({:+.1}% worse)",
+            self.metric,
+            self.old,
+            self.new,
+            self.change * 100.0
+        )
+    }
+}
+
+/// Why two BENCH documents could not be compared at all. Distinct from
+/// a regression: the CLI exits 2 on these, 1 on regressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// `schema_version` missing, unreadable, or not the version this
+    /// binary understands.
+    SchemaMismatch {
+        /// Baseline's declared version (None = missing/unreadable).
+        old: Option<u64>,
+        /// Candidate's declared version.
+        new: Option<u64>,
+    },
+    /// A required field was absent or had the wrong type.
+    Malformed(String),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::SchemaMismatch { old, new } => write!(
+                f,
+                "schema mismatch: baseline={:?} candidate={:?} (this tool understands {})",
+                old, new, BENCH_SCHEMA_VERSION
+            ),
+            DiffError::Malformed(path) => write!(f, "malformed BENCH document: missing {path}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+fn schema_version(doc: &Json) -> Option<u64> {
+    doc.get("schema_version")?.as_u64()
+}
+
+fn field_f64<'a>(doc: &Json, path: &[&str], full: &str) -> Result<f64, DiffError> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| DiffError::Malformed(full.to_owned()))?;
+    }
+    cur.as_f64()
+        .ok_or_else(|| DiffError::Malformed(full.to_owned()))
+}
+
+/// `(new - old) / old` — fractional rise; negative means it shrank.
+fn rise(old: f64, new: f64) -> f64 {
+    (new - old) / old
+}
+
+/// Compare a candidate BENCH document against a baseline. Returns the
+/// regressions past `thresholds` (empty = clean) or a [`DiffError`]
+/// when the documents are not comparable.
+pub fn diff(
+    old: &Json,
+    new: &Json,
+    thresholds: &DiffThresholds,
+) -> Result<Vec<Regression>, DiffError> {
+    let (ov, nv) = (schema_version(old), schema_version(new));
+    if ov != Some(BENCH_SCHEMA_VERSION) || nv != Some(BENCH_SCHEMA_VERSION) {
+        return Err(DiffError::SchemaMismatch { old: ov, new: nv });
+    }
+
+    let mut out = Vec::new();
+
+    let old_rps = field_f64(old, &["load", "achieved_rps"], "load.achieved_rps")?;
+    let new_rps = field_f64(new, &["load", "achieved_rps"], "load.achieved_rps")?;
+    if old_rps > 0.0 {
+        let drop = (old_rps - new_rps) / old_rps;
+        if drop > thresholds.max_rps_drop {
+            out.push(Regression {
+                metric: "achieved_rps".to_owned(),
+                old: old_rps,
+                new: new_rps,
+                change: drop,
+            });
+        }
+    }
+
+    // Endpoint p99s: match by name; endpoints present on only one side
+    // are skipped (a changed mix is a schedule change, not a perf one).
+    let old_eps = old
+        .get("load")
+        .and_then(|l| l.get("endpoints"))
+        .and_then(Json::as_arr)
+        .ok_or_else(|| DiffError::Malformed("load.endpoints".to_owned()))?;
+    let new_eps = new
+        .get("load")
+        .and_then(|l| l.get("endpoints"))
+        .and_then(Json::as_arr)
+        .ok_or_else(|| DiffError::Malformed("load.endpoints".to_owned()))?;
+    for oe in old_eps {
+        let name = oe
+            .get("endpoint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| DiffError::Malformed("load.endpoints[].endpoint".to_owned()))?;
+        let Some(ne) = new_eps
+            .iter()
+            .find(|e| e.get("endpoint").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let old_p99 = field_f64(oe, &["p99_ns"], "load.endpoints[].p99_ns")?;
+        let new_p99 = field_f64(ne, &["p99_ns"], "load.endpoints[].p99_ns")?;
+        let floor = thresholds.p99_floor_ns as f64;
+        if new_p99 <= floor || old_p99 <= 0.0 {
+            continue;
+        }
+        // Compare against max(old, floor) so a sub-floor baseline can't
+        // manufacture a huge fractional rise out of noise.
+        let base = old_p99.max(floor);
+        let r = rise(base, new_p99);
+        if r > thresholds.max_p99_rise {
+            out.push(Regression {
+                metric: format!("p99_ns{{endpoint={name}}}"),
+                old: old_p99,
+                new: new_p99,
+                change: r,
+            });
+        }
+    }
+
+    let old_rss = field_f64(
+        old,
+        &["load", "resources", "rss_peak_bytes"],
+        "load.resources.rss_peak_bytes",
+    )?;
+    let new_rss = field_f64(
+        new,
+        &["load", "resources", "rss_peak_bytes"],
+        "load.resources.rss_peak_bytes",
+    )?;
+    if old_rss > 0.0 {
+        let r = rise(old_rss, new_rss);
+        if r > thresholds.max_rss_rise {
+            out.push(Regression {
+                metric: "rss_peak_bytes".to_owned(),
+                old: old_rss,
+                new: new_rss,
+                change: r,
+            });
+        }
+    }
+
+    let old_alloc = field_f64(
+        old,
+        &["load", "alloc", "bytes_allocated"],
+        "load.alloc.bytes_allocated",
+    )?;
+    let new_alloc = field_f64(
+        new,
+        &["load", "alloc", "bytes_allocated"],
+        "load.alloc.bytes_allocated",
+    )?;
+    // Zero means the producing build lacked `alloc-profile`; comparing
+    // against it (either side) would be meaningless.
+    if old_alloc > 0.0 && new_alloc > 0.0 {
+        let r = rise(old_alloc, new_alloc);
+        if r > thresholds.max_alloc_rise {
+            out.push(Regression {
+                metric: "alloc_bytes".to_owned(),
+                old: old_alloc,
+                new: new_alloc,
+                change: r,
+            });
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rps: f64, p99_ns: u64, rss: u64, alloc_bytes: u64) -> Json {
+        doc_with_version(BENCH_SCHEMA_VERSION, rps, p99_ns, rss, alloc_bytes)
+    }
+
+    fn doc_with_version(
+        version: u64,
+        rps: f64,
+        p99_ns: u64,
+        rss: u64,
+        alloc_bytes: u64,
+    ) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema_version":{version},"label":"t","load":{{
+                "achieved_rps":{rps},
+                "endpoints":[{{"endpoint":"detail","p99_ns":{p99_ns}}}],
+                "resources":{{"rss_peak_bytes":{rss}}},
+                "alloc":{{"bytes_allocated":{alloc_bytes}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    const RSS: u64 = 64 << 20;
+    const ALLOC: u64 = 1 << 20;
+
+    #[test]
+    fn clean_when_metrics_hold_or_improve() {
+        let old = doc(200.0, 900_000, RSS, ALLOC);
+        // Faster, leaner run in every dimension: no regressions.
+        let better = doc(260.0, 500_000, RSS / 2, ALLOC / 2);
+        assert_eq!(diff(&old, &better, &DiffThresholds::default()).unwrap(), []);
+        // Identical run: also clean.
+        assert_eq!(diff(&old, &old, &DiffThresholds::default()).unwrap(), []);
+        // Jitter inside the tolerances: clean.
+        let jitter = doc(190.0, 1_100_000, RSS + (RSS / 10), ALLOC + (ALLOC / 10));
+        assert_eq!(diff(&old, &jitter, &DiffThresholds::default()).unwrap(), []);
+    }
+
+    #[test]
+    fn flags_each_regression_direction() {
+        let old = doc(200.0, 900_000, RSS, ALLOC);
+        let worse = doc(120.0, 2_000_000, RSS * 2, ALLOC * 2);
+        let regs = diff(&old, &worse, &DiffThresholds::default()).unwrap();
+        let metrics: Vec<&str> = regs.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"achieved_rps"), "{metrics:?}");
+        assert!(metrics.contains(&"p99_ns{endpoint=detail}"), "{metrics:?}");
+        assert!(metrics.contains(&"rss_peak_bytes"), "{metrics:?}");
+        assert!(metrics.contains(&"alloc_bytes"), "{metrics:?}");
+        // ...and the reverse diff (treating the slow run as baseline)
+        // is clean: improvements never flag.
+        assert_eq!(diff(&worse, &old, &DiffThresholds::default()).unwrap(), []);
+    }
+
+    #[test]
+    fn p99_floor_suppresses_loopback_noise() {
+        // 10us -> 40us is a 300% rise, but both sit under the 200us
+        // floor where loopback scheduling jitter dominates.
+        let old = doc(200.0, 10_000, RSS, ALLOC);
+        let new = doc(200.0, 40_000, RSS, ALLOC);
+        assert_eq!(diff(&old, &new, &DiffThresholds::default()).unwrap(), []);
+        // Rising from sub-floor to well above the floor DOES flag, and
+        // the change is measured against the floor, not the tiny base.
+        let high = doc(200.0, 400_000, RSS, ALLOC);
+        let regs = diff(&old, &high, &DiffThresholds::default()).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].change - 1.0).abs() < 1e-9, "{:?}", regs[0]);
+    }
+
+    #[test]
+    fn zero_alloc_side_skips_alloc_comparison() {
+        // Baseline built without alloc-profile: candidate's real counts
+        // must not read as an infinite rise.
+        let old = doc(200.0, 900_000, RSS, 0);
+        let new = doc(200.0, 900_000, RSS, ALLOC * 100);
+        assert_eq!(diff(&old, &new, &DiffThresholds::default()).unwrap(), []);
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error_not_a_regression() {
+        let old = doc(200.0, 900_000, RSS, ALLOC);
+        let future = doc_with_version(BENCH_SCHEMA_VERSION + 1, 200.0, 900_000, RSS, ALLOC);
+        assert_eq!(
+            diff(&old, &future, &DiffThresholds::default()),
+            Err(DiffError::SchemaMismatch {
+                old: Some(BENCH_SCHEMA_VERSION),
+                new: Some(BENCH_SCHEMA_VERSION + 1),
+            })
+        );
+        let missing = Json::parse(r#"{"label":"x"}"#).unwrap();
+        assert!(matches!(
+            diff(&missing, &old, &DiffThresholds::default()),
+            Err(DiffError::SchemaMismatch { old: None, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_field_is_malformed() {
+        let old = doc(200.0, 900_000, RSS, ALLOC);
+        let bare = Json::parse(r#"{"schema_version":1,"load":{}}"#).unwrap();
+        assert_eq!(
+            diff(&old, &bare, &DiffThresholds::default()),
+            Err(DiffError::Malformed("load.achieved_rps".to_owned()))
+        );
+    }
+}

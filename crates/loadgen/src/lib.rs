@@ -1,0 +1,504 @@
+//! # marketscope-loadgen
+//!
+//! The closed-loop load-generation harness behind the repo's standing
+//! perf baseline. It drives a [`MarketFleet`] with deterministic request
+//! schedules at configurable concurrency — optionally stepping the
+//! worker count up until the fleet saturates — and collects the numbers
+//! every scaling PR must regress against:
+//!
+//! * offered vs achieved RPS per step (offered is only meaningful for
+//!   paced steps; unpaced closed-loop steps *are* the saturation probe);
+//! * p50/p90/p99/max latency per endpoint, pulled from the existing
+//!   `marketscope_net_client_request_nanos` histograms — the harness
+//!   never re-measures what the telemetry layer already records;
+//! * fault/retry/circuit counts from the same instruments the crawler
+//!   uses;
+//! * allocation and RSS peaks via [`telemetry::perf`]
+//!   (`marketscope_telemetry::perf`).
+//!
+//! Results serialize into a schema-versioned `BENCH_<label>.json`
+//! ([`report::BenchReport`]) and regress via [`diff`].
+//!
+//! Determinism: with a fixed seed and a mix that excludes the
+//! rate-limited `/apk` endpoint, two runs issue identical request
+//! streams and produce identical attempted/completed/error counts —
+//! only latencies differ. That property is what makes BENCH files from
+//! different commits comparable (and is pinned by this crate's tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod report;
+pub mod schedule;
+
+pub use diff::{diff, DiffError, DiffThresholds, Regression};
+pub use report::{BenchReport, StageTiming, BENCH_SCHEMA_VERSION};
+pub use schedule::{Corpus, Endpoint, EndpointMix, RequestPlan, Schedule, ENDPOINTS};
+
+use marketscope_market::MarketFleet;
+use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
+use marketscope_net::resilience::{BreakerConfig, ResilienceMetrics, RetryPolicy};
+use marketscope_telemetry::perf::{AllocDelta, AllocPhase, ResourcePeaks, ResourceSampler};
+use marketscope_telemetry::{Registry, RegistrySnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One load step: `workers` closed-loop workers each issuing
+/// `requests_per_worker` requests, optionally paced to a target rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadStep {
+    /// Concurrent workers.
+    pub workers: usize,
+    /// Requests each worker issues (closed loop: next starts when the
+    /// previous completes).
+    pub requests_per_worker: usize,
+    /// Offered request rate across all workers. `None` = unpaced: each
+    /// worker fires as fast as responses return, so the step measures
+    /// the saturation throughput at this concurrency.
+    pub target_rps: Option<f64>,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Seed for the request schedule (pure function of the seed).
+    pub seed: u64,
+    /// Steps, run in order against the same fleet.
+    pub steps: Vec<LoadStep>,
+    /// Endpoint draw weights.
+    pub mix: EndpointMix,
+    /// Per-endpoint-client cap on in-flight requests
+    /// ([`ClientConfig::max_inflight`]). `None` = bounded only by the
+    /// worker count.
+    pub max_inflight: Option<usize>,
+    /// Attach the crawler's retry policy and circuit breaker to the
+    /// load clients, so a chaos-profiled fleet exercises (and counts)
+    /// the whole resilience stack under load.
+    pub resilience: bool,
+    /// Interval between RSS/thread samples.
+    pub sample_every: Duration,
+}
+
+impl LoadConfig {
+    /// The CI smoke profile: two short steps, metadata-only mix (fully
+    /// deterministic counters), no pacing. Finishes in seconds on one
+    /// CPU.
+    pub fn smoke(seed: u64) -> LoadConfig {
+        LoadConfig {
+            seed,
+            steps: vec![
+                LoadStep {
+                    workers: 2,
+                    requests_per_worker: 40,
+                    target_rps: None,
+                },
+                LoadStep {
+                    workers: 4,
+                    requests_per_worker: 40,
+                    target_rps: None,
+                },
+            ],
+            mix: EndpointMix::metadata(),
+            max_inflight: None,
+            resilience: false,
+            sample_every: Duration::from_millis(25),
+        }
+    }
+
+    /// The saturation profile: steps the worker count up through the
+    /// crawl-shaped mix (APK downloads included) until added concurrency
+    /// stops buying throughput. The per-step RPS curve in the BENCH file
+    /// is the saturation knee.
+    pub fn saturation(seed: u64) -> LoadConfig {
+        LoadConfig {
+            seed,
+            steps: [1usize, 2, 4, 8, 16]
+                .into_iter()
+                .map(|workers| LoadStep {
+                    workers,
+                    requests_per_worker: 60,
+                    target_rps: None,
+                })
+                .collect(),
+            mix: EndpointMix::crawl(),
+            max_inflight: None,
+            resilience: true,
+            sample_every: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One step's measured outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Workers the step ran.
+    pub workers: usize,
+    /// Requests attempted (always `workers × requests_per_worker`).
+    pub attempted: u64,
+    /// Requests that returned 200.
+    pub completed: u64,
+    /// Requests that errored (any [`NetError`], including non-200
+    /// statuses and circuit fast-fails).
+    ///
+    /// [`NetError`]: marketscope_net::NetError
+    pub errors: u64,
+    /// Step wall clock in microseconds.
+    pub duration_us: u64,
+    /// Offered rate, when the step was paced.
+    pub offered_rps: Option<f64>,
+    /// `attempted / duration` — the saturation throughput when unpaced.
+    pub achieved_rps: f64,
+}
+
+/// Per-endpoint totals and latency quantiles (nanoseconds), read from
+/// the client histograms after the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointReport {
+    /// Endpoint name (metric label / BENCH key).
+    pub endpoint: &'static str,
+    /// Requests attempted against this endpoint.
+    pub attempted: u64,
+    /// 200s.
+    pub completed: u64,
+    /// Errors (including 404/429/5xx statuses).
+    pub errors: u64,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 90th percentile, ns.
+    pub p90_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Exact maximum, ns.
+    pub max_ns: u64,
+}
+
+/// Whole-run totals across every step and endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadTotals {
+    /// Requests attempted.
+    pub attempted: u64,
+    /// 200s.
+    pub completed: u64,
+    /// Errors.
+    pub errors: u64,
+    /// Transparent connection-level retries inside the client.
+    pub transparent_retries: u64,
+    /// Policy-level resilient retries (0 without `resilience`).
+    pub resilient_retries: u64,
+    /// Nanoseconds slept in backoff (0 without `resilience`).
+    pub backoff_nanos: u64,
+    /// Requests fast-failed by an open circuit.
+    pub fast_fails: u64,
+    /// Requests the fleet's servers actually saw.
+    pub fleet_requests: u64,
+    /// Faults the fleet's chaos injectors fired (0 without chaos).
+    pub faults_injected: u64,
+}
+
+/// Everything one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-step outcomes, in run order.
+    pub steps: Vec<StepReport>,
+    /// Per-endpoint stats, in [`ENDPOINTS`] order (zero-weight endpoints
+    /// report zeros).
+    pub endpoints: Vec<EndpointReport>,
+    /// Whole-run totals.
+    pub totals: LoadTotals,
+    /// RSS/thread peaks sampled during the run.
+    pub resources: ResourcePeaks,
+    /// Allocation delta across the run (zeros unless the binary installs
+    /// the `alloc-profile` counting allocator).
+    pub alloc: AllocDelta,
+    /// Whole-run wall clock, microseconds.
+    pub duration_us: u64,
+    /// Snapshot of the harness's client-side registry, for callers that
+    /// want to merge it into a fleet-wide ops view.
+    pub snapshot: RegistrySnapshot,
+}
+
+/// Per-endpoint counters the worker threads update lock-free.
+#[derive(Default)]
+struct EndpointCounters {
+    attempted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Drive `fleet` with `config` and collect the report.
+///
+/// The harness registers one [`HttpClient`] per endpoint, each with its
+/// own `endpoint="<name>"`-labelled [`ClientMetrics`] in a private
+/// registry — per-endpoint latency quantiles then fall out of the
+/// existing histogram snapshots.
+pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
+    let registry = Arc::new(Registry::new());
+    marketscope_telemetry::perf::register_build_info(
+        &registry,
+        env!("CARGO_PKG_VERSION"),
+        marketscope_telemetry::perf::build_profile(),
+    );
+    let clients: Vec<Arc<HttpClient>> = ENDPOINTS
+        .iter()
+        .map(|&e| {
+            let mut b = HttpClient::builder()
+                .config(ClientConfig {
+                    max_inflight: config.max_inflight,
+                    ..ClientConfig::default()
+                })
+                .metrics(ClientMetrics::register(
+                    &registry,
+                    &[("endpoint", e.name())],
+                ));
+            if config.resilience {
+                b = b
+                    .retry(RetryPolicy::default())
+                    .breaker(BreakerConfig::default())
+                    .resilience_metrics(ResilienceMetrics::register(
+                        &registry,
+                        &[("endpoint", e.name())],
+                    ));
+            }
+            Arc::new(b.build())
+        })
+        .collect();
+    let corpus = Corpus::from_world(fleet.world());
+    let counters: Vec<EndpointCounters> =
+        ENDPOINTS.iter().map(|_| EndpointCounters::default()).collect();
+
+    let alloc_phase = AllocPhase::start();
+    let sampler = ResourceSampler::spawn(Arc::clone(&registry), config.sample_every);
+    let run_start = Instant::now();
+    let fleet_requests_before = fleet.total_requests();
+
+    let mut steps = Vec::with_capacity(config.steps.len());
+    for (si, step) in config.steps.iter().enumerate() {
+        // Each step draws an independent schedule stream: inserting a
+        // step never changes what later steps request.
+        let schedule = Schedule::build(
+            config.seed ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            &corpus,
+            step.workers,
+            step.requests_per_worker,
+            &config.mix,
+        );
+        // Pacing: each worker fires at a fixed slot interval so the
+        // whole step offers `target_rps` requests per second.
+        let slot = step.target_rps.map(|rps| {
+            Duration::from_secs_f64((step.workers.max(1)) as f64 / rps.max(0.001))
+        });
+        let step_start = Instant::now();
+        std::thread::scope(|scope| {
+            for worker_plans in &schedule.workers {
+                let clients = &clients;
+                let counters = &counters;
+                scope.spawn(move || {
+                    let worker_start = Instant::now();
+                    for (i, plan) in worker_plans.iter().enumerate() {
+                        if let Some(slot) = slot {
+                            // Sleep until this request's slot opens; a
+                            // worker that has fallen behind just keeps
+                            // going (achieved < offered = saturation).
+                            let due = slot.mul_f64(i as f64);
+                            let elapsed = worker_start.elapsed();
+                            if due > elapsed {
+                                std::thread::sleep(due - elapsed);
+                            }
+                        }
+                        let ei = ENDPOINTS
+                            .iter()
+                            .position(|&e| e == plan.endpoint)
+                            .expect("endpoint in table");
+                        counters[ei].attempted.fetch_add(1, Ordering::Relaxed);
+                        match clients[ei].get(fleet.addr(plan.market), &plan.path) {
+                            Ok(_) => {
+                                counters[ei].completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                counters[ei].errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let duration = step_start.elapsed();
+        let attempted = (step.workers * step.requests_per_worker) as u64;
+        let (completed, errors) = {
+            // Steps run serially, so per-step deltas are the counter
+            // totals minus what previous steps accumulated.
+            let done: u64 = counters
+                .iter()
+                .map(|c| c.completed.load(Ordering::Relaxed))
+                .sum();
+            let errs: u64 = counters
+                .iter()
+                .map(|c| c.errors.load(Ordering::Relaxed))
+                .sum();
+            let prev_done: u64 = steps
+                .iter()
+                .map(|s: &StepReport| s.completed)
+                .sum();
+            let prev_errs: u64 = steps.iter().map(|s: &StepReport| s.errors).sum();
+            (done - prev_done, errs - prev_errs)
+        };
+        steps.push(StepReport {
+            workers: step.workers,
+            attempted,
+            completed,
+            errors,
+            duration_us: duration.as_micros().min(u64::MAX as u128) as u64,
+            offered_rps: step.target_rps,
+            achieved_rps: attempted as f64 / duration.as_secs_f64().max(1e-9),
+        });
+    }
+
+    let duration = run_start.elapsed();
+    let resources = sampler.stop();
+    let alloc = alloc_phase.delta();
+    let snapshot = registry.snapshot();
+
+    let endpoints: Vec<EndpointReport> = ENDPOINTS
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| {
+            let labels = [("endpoint", e.name())];
+            let hist = snapshot
+                .histogram("marketscope_net_client_request_nanos", &labels)
+                .cloned()
+                .unwrap_or_default();
+            EndpointReport {
+                endpoint: e.name(),
+                attempted: counters[i].attempted.load(Ordering::Relaxed),
+                completed: counters[i].completed.load(Ordering::Relaxed),
+                errors: counters[i].errors.load(Ordering::Relaxed),
+                p50_ns: hist.p50(),
+                p90_ns: hist.p90(),
+                p99_ns: hist.p99(),
+                max_ns: hist.max,
+            }
+        })
+        .collect();
+
+    let totals = LoadTotals {
+        attempted: endpoints.iter().map(|e| e.attempted).sum(),
+        completed: endpoints.iter().map(|e| e.completed).sum(),
+        errors: endpoints.iter().map(|e| e.errors).sum(),
+        transparent_retries: snapshot
+            .counter_sum("marketscope_net_client_retries_total", &[]),
+        resilient_retries: snapshot
+            .counter_sum("marketscope_net_client_resilient_retries_total", &[]),
+        backoff_nanos: snapshot.counter_sum("marketscope_net_client_backoff_nanos_total", &[]),
+        fast_fails: snapshot.counter_sum("marketscope_net_client_fast_fails_total", &[]),
+        fleet_requests: fleet.total_requests() - fleet_requests_before,
+        faults_injected: fleet.faults_injected(),
+    };
+
+    LoadReport {
+        steps,
+        endpoints,
+        totals,
+        resources,
+        alloc,
+        duration_us: duration.as_micros().min(u64::MAX as u128) as u64,
+        snapshot,
+    }
+}
+
+impl LoadReport {
+    /// Whole-run achieved RPS (`attempted / duration`).
+    pub fn achieved_rps(&self) -> f64 {
+        self.totals.attempted as f64 / (self.duration_us as f64 / 1e6).max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_ecosystem::{generate, Scale, WorldConfig};
+
+    #[test]
+    fn smoke_run_measures_the_fleet() {
+        let world = Arc::new(generate(WorldConfig {
+            seed: 31,
+            scale: Scale { divisor: 60_000 },
+        }));
+        let fleet = MarketFleet::spawn(world).unwrap();
+        let mut config = LoadConfig::smoke(7);
+        config.steps = vec![LoadStep {
+            workers: 2,
+            requests_per_worker: 20,
+            target_rps: None,
+        }];
+        let report = run_against(&fleet, &config);
+        assert_eq!(report.totals.attempted, 40);
+        assert_eq!(
+            report.totals.completed + report.totals.errors,
+            report.totals.attempted
+        );
+        // Metadata mix against a healthy fleet: everything succeeds.
+        assert_eq!(report.totals.errors, 0);
+        assert!(report.achieved_rps() > 0.0);
+        assert!(report.totals.fleet_requests >= 40);
+        assert_eq!(report.totals.faults_injected, 0);
+        // Latency histograms saw every request.
+        let measured: u64 = report
+            .endpoints
+            .iter()
+            .map(|e| {
+                report
+                    .snapshot
+                    .histogram(
+                        "marketscope_net_client_request_nanos",
+                        &[("endpoint", e.endpoint)],
+                    )
+                    .map(|h| h.count())
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(measured, 40);
+        for e in &report.endpoints {
+            if e.attempted > 0 {
+                assert!(e.p50_ns > 0, "{} has zero p50", e.endpoint);
+                assert!(e.max_ns >= e.p99_ns);
+            }
+        }
+        assert!(report.resources.samples >= 1);
+        fleet.stop();
+    }
+
+    #[test]
+    fn paced_step_reports_offered_rate() {
+        let world = Arc::new(generate(WorldConfig {
+            seed: 32,
+            scale: Scale { divisor: 60_000 },
+        }));
+        let fleet = MarketFleet::spawn(world).unwrap();
+        let config = LoadConfig {
+            seed: 3,
+            steps: vec![LoadStep {
+                workers: 2,
+                requests_per_worker: 10,
+                target_rps: Some(100.0),
+            }],
+            mix: EndpointMix::metadata(),
+            max_inflight: Some(2),
+            resilience: false,
+            sample_every: Duration::from_millis(25),
+        };
+        let report = run_against(&fleet, &config);
+        let step = &report.steps[0];
+        assert_eq!(step.offered_rps, Some(100.0));
+        // 20 requests at 100 rps offered: the step takes ~200ms, so the
+        // achieved rate cannot exceed the offered rate by much (slack
+        // for timer coarseness), and pacing actually slowed us down.
+        assert!(
+            step.achieved_rps <= 130.0,
+            "paced step ran unpaced: {} rps",
+            step.achieved_rps
+        );
+        fleet.stop();
+    }
+}

@@ -1,0 +1,327 @@
+//! Deterministic request schedules.
+//!
+//! A schedule is a pure function of `(seed, corpus, shape, mix)`: the
+//! same inputs always produce the same per-worker request sequences, so
+//! two BENCH runs at the same seed issue byte-identical request streams
+//! and their counters are directly comparable. Randomness flows through
+//! [`DetRng`] sub-streams (one per worker), so changing the worker count
+//! never perturbs the endpoints another worker draws.
+
+use marketscope_core::rng::DetRng;
+use marketscope_core::MarketId;
+use marketscope_ecosystem::World;
+
+/// The market endpoints the generator exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// `GET /index?page=N` — catalog pagination.
+    Index,
+    /// `GET /app/{pkg}` — listing detail.
+    Detail,
+    /// `GET /search?q={pkg}` — package search.
+    Search,
+    /// `GET /apk/{pkg}` — APK download (builds real bytes; the heavy one).
+    Apk,
+    /// `GET /__health` — the ops path (fault-exempt, cheap).
+    Health,
+}
+
+/// Every endpoint, in schedule-draw order.
+pub const ENDPOINTS: [Endpoint; 5] = [
+    Endpoint::Index,
+    Endpoint::Detail,
+    Endpoint::Search,
+    Endpoint::Apk,
+    Endpoint::Health,
+];
+
+impl Endpoint {
+    /// Stable name used as the `endpoint` metric label and BENCH key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Index => "index",
+            Endpoint::Detail => "detail",
+            Endpoint::Search => "search",
+            Endpoint::Apk => "apk",
+            Endpoint::Health => "health",
+        }
+    }
+}
+
+/// Relative draw weights per endpoint. Zero removes an endpoint from the
+/// schedule entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointMix {
+    /// Weight of `/index` pages.
+    pub index: u32,
+    /// Weight of `/app/{pkg}` detail fetches.
+    pub detail: u32,
+    /// Weight of `/search` queries.
+    pub search: u32,
+    /// Weight of `/apk/{pkg}` downloads.
+    pub apk: u32,
+    /// Weight of `/__health` probes.
+    pub health: u32,
+}
+
+impl EndpointMix {
+    /// The crawl-shaped default: detail-heavy with a trickle of
+    /// everything else, mirroring how the harvest actually hits markets.
+    pub fn crawl() -> EndpointMix {
+        EndpointMix {
+            index: 20,
+            detail: 55,
+            search: 10,
+            apk: 10,
+            health: 5,
+        }
+    }
+
+    /// Metadata-only mix: no APK downloads, so no rate-limiter 429s and
+    /// no APK-build cost — every request outcome is deterministic.
+    pub fn metadata() -> EndpointMix {
+        EndpointMix {
+            index: 30,
+            detail: 50,
+            search: 15,
+            apk: 0,
+            health: 5,
+        }
+    }
+
+    fn weight(&self, e: Endpoint) -> u32 {
+        match e {
+            Endpoint::Index => self.index,
+            Endpoint::Detail => self.detail,
+            Endpoint::Search => self.search,
+            Endpoint::Apk => self.apk,
+            Endpoint::Health => self.health,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        ENDPOINTS.iter().map(|&e| self.weight(e)).sum()
+    }
+}
+
+/// What the schedule builder needs to know about the served world:
+/// per-market package samples and index page counts.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Per market (by [`MarketId::index`]): up to [`Corpus::SAMPLE_CAP`]
+    /// package names from the catalog, in stable catalog order.
+    packages: Vec<Vec<String>>,
+    /// Per market: number of index pages its catalog spans.
+    pages: Vec<usize>,
+}
+
+impl Corpus {
+    /// Packages sampled per market — enough that detail fetches spread
+    /// across the catalog without the corpus itself dominating memory.
+    pub const SAMPLE_CAP: usize = 256;
+
+    /// Build the corpus from a generated world.
+    pub fn from_world(world: &World) -> Corpus {
+        let mut packages = Vec::with_capacity(MarketId::ALL.len());
+        let mut pages = Vec::with_capacity(MarketId::ALL.len());
+        for m in MarketId::ALL {
+            let listings = world.market_listings(m);
+            packages.push(
+                listings
+                    .iter()
+                    .take(Self::SAMPLE_CAP)
+                    .map(|id| world.app(world.listing(*id).app).package.as_str().to_owned())
+                    .collect(),
+            );
+            pages.push(listings.len().div_ceil(marketscope_market::PAGE_SIZE).max(1));
+        }
+        Corpus { packages, pages }
+    }
+
+    /// Markets that actually have at least one listed package.
+    fn populated_markets(&self) -> Vec<MarketId> {
+        MarketId::ALL
+            .iter()
+            .copied()
+            .filter(|m| !self.packages[m.index()].is_empty())
+            .collect()
+    }
+}
+
+/// One planned request: which market, which endpoint, what path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestPlan {
+    /// Target market.
+    pub market: MarketId,
+    /// Endpoint class (keys the per-endpoint client and its metrics).
+    pub endpoint: Endpoint,
+    /// Path and query to GET.
+    pub path: String,
+}
+
+/// A full schedule: one request sequence per worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `workers[w]` is worker `w`'s request sequence, issued in order.
+    pub workers: Vec<Vec<RequestPlan>>,
+}
+
+impl Schedule {
+    /// Build a schedule of `workers × per_worker` requests. Pure: same
+    /// arguments, same schedule. Panics if the mix has zero total weight
+    /// or the corpus has no populated market.
+    pub fn build(
+        seed: u64,
+        corpus: &Corpus,
+        workers: usize,
+        per_worker: usize,
+        mix: &EndpointMix,
+    ) -> Schedule {
+        let total_weight = mix.total();
+        assert!(total_weight > 0, "endpoint mix has zero total weight");
+        let markets = corpus.populated_markets();
+        assert!(!markets.is_empty(), "corpus has no populated market");
+        let root = DetRng::new(seed);
+        let workers = (0..workers)
+            .map(|w| {
+                let mut rng = root.derive_indexed("loadgen-worker", w as u64);
+                (0..per_worker)
+                    .map(|_| plan_one(&mut rng, corpus, &markets, mix, total_weight))
+                    .collect()
+            })
+            .collect();
+        Schedule { workers }
+    }
+
+    /// Total requests across all workers.
+    pub fn len(&self) -> usize {
+        self.workers.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests per endpoint, indexed like [`ENDPOINTS`] — the
+    /// schedule-side counts a deterministic run must reproduce.
+    pub fn endpoint_counts(&self) -> [u64; ENDPOINTS.len()] {
+        let mut counts = [0u64; ENDPOINTS.len()];
+        for w in &self.workers {
+            for plan in w {
+                let i = ENDPOINTS.iter().position(|&e| e == plan.endpoint).unwrap();
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+}
+
+fn plan_one(
+    rng: &mut DetRng,
+    corpus: &Corpus,
+    markets: &[MarketId],
+    mix: &EndpointMix,
+    total_weight: u32,
+) -> RequestPlan {
+    let market = *rng.pick(markets);
+    let mut draw = rng.range_u64(0, total_weight as u64) as u32;
+    let endpoint = ENDPOINTS
+        .iter()
+        .copied()
+        .find(|&e| {
+            let w = mix.weight(e);
+            if draw < w {
+                true
+            } else {
+                draw -= w;
+                false
+            }
+        })
+        .expect("draw under total weight");
+    let packages = &corpus.packages[market.index()];
+    let path = match endpoint {
+        Endpoint::Index => format!("/index?page={}", rng.index(corpus.pages[market.index()])),
+        Endpoint::Detail => format!("/app/{}", rng.pick(packages)),
+        Endpoint::Search => format!("/search?q={}", rng.pick(packages)),
+        Endpoint::Apk => format!("/apk/{}", rng.pick(packages)),
+        Endpoint::Health => "/__health".to_owned(),
+    };
+    RequestPlan {
+        market,
+        endpoint,
+        path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_ecosystem::{generate, Scale, WorldConfig};
+
+    fn corpus() -> Corpus {
+        Corpus::from_world(&generate(WorldConfig {
+            seed: 11,
+            scale: Scale { divisor: 60_000 },
+        }))
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let c = corpus();
+        let mix = EndpointMix::crawl();
+        let a = Schedule::build(42, &c, 4, 25, &mix);
+        let b = Schedule::build(42, &c, 4, 25, &mix);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = corpus();
+        let mix = EndpointMix::crawl();
+        let a = Schedule::build(1, &c, 4, 25, &mix);
+        let b = Schedule::build(2, &c, 4, 25, &mix);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adding_workers_preserves_existing_streams() {
+        let c = corpus();
+        let mix = EndpointMix::crawl();
+        let small = Schedule::build(9, &c, 2, 10, &mix);
+        let large = Schedule::build(9, &c, 4, 10, &mix);
+        assert_eq!(small.workers[0], large.workers[0]);
+        assert_eq!(small.workers[1], large.workers[1]);
+    }
+
+    #[test]
+    fn zero_weight_excludes_endpoint() {
+        let c = corpus();
+        let mix = EndpointMix::metadata();
+        let s = Schedule::build(5, &c, 4, 50, &mix);
+        assert!(s
+            .workers
+            .iter()
+            .flatten()
+            .all(|p| p.endpoint != Endpoint::Apk));
+        let counts = s.endpoint_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn paths_match_endpoints() {
+        let c = corpus();
+        let s = Schedule::build(7, &c, 2, 40, &EndpointMix::crawl());
+        for p in s.workers.iter().flatten() {
+            let ok = match p.endpoint {
+                Endpoint::Index => p.path.starts_with("/index?page="),
+                Endpoint::Detail => p.path.starts_with("/app/"),
+                Endpoint::Search => p.path.starts_with("/search?q="),
+                Endpoint::Apk => p.path.starts_with("/apk/"),
+                Endpoint::Health => p.path == "/__health",
+            };
+            assert!(ok, "{:?} has path {}", p.endpoint, p.path);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! BENCH comparability guard: with a fixed seed and the metadata mix,
+//! two runs against the same fleet issue identical request streams and
+//! land identical counters. Latency fields move between runs; every
+//! count-bearing field must not — that is what lets `bench-diff` treat
+//! two BENCH files from different commits as the same workload.
+
+use marketscope_ecosystem::{generate, Scale, WorldConfig};
+use marketscope_loadgen::{run_against, Corpus, LoadConfig, LoadStep, Schedule, ENDPOINTS};
+use marketscope_market::MarketFleet;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn single_step_config(seed: u64) -> LoadConfig {
+    let mut config = LoadConfig::smoke(seed);
+    config.steps = vec![LoadStep {
+        workers: 3,
+        requests_per_worker: 30,
+        target_rps: None,
+    }];
+    config.sample_every = Duration::from_millis(10);
+    config
+}
+
+#[test]
+fn fixed_seed_runs_are_counter_identical() {
+    let world = Arc::new(generate(WorldConfig {
+        seed: 77,
+        scale: Scale { divisor: 60_000 },
+    }));
+    let fleet = MarketFleet::spawn(world).unwrap();
+    let config = single_step_config(1234);
+
+    let a = run_against(&fleet, &config);
+    let b = run_against(&fleet, &config);
+
+    assert_eq!(a.totals.attempted, 90);
+    assert_eq!(a.totals.attempted, b.totals.attempted);
+    assert_eq!(a.totals.completed, b.totals.completed);
+    assert_eq!(a.totals.errors, b.totals.errors);
+    // Metadata mix, healthy fleet: no retries in either run.
+    assert_eq!(a.totals.transparent_retries, 0);
+    assert_eq!(b.totals.transparent_retries, 0);
+
+    assert_eq!(a.endpoints.len(), b.endpoints.len());
+    for (ea, eb) in a.endpoints.iter().zip(&b.endpoints) {
+        assert_eq!(ea.endpoint, eb.endpoint);
+        assert_eq!(ea.attempted, eb.attempted, "{}", ea.endpoint);
+        assert_eq!(ea.completed, eb.completed, "{}", ea.endpoint);
+        assert_eq!(ea.errors, eb.errors, "{}", ea.endpoint);
+    }
+    for (sa, sb) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(sa.attempted, sb.attempted);
+        assert_eq!(sa.completed, sb.completed);
+        assert_eq!(sa.errors, sb.errors);
+    }
+    fleet.stop();
+}
+
+#[test]
+fn reported_counts_match_the_schedule() {
+    let world = Arc::new(generate(WorldConfig {
+        seed: 78,
+        scale: Scale { divisor: 60_000 },
+    }));
+    let fleet = MarketFleet::spawn(world).unwrap();
+    let config = single_step_config(555);
+
+    let report = run_against(&fleet, &config);
+
+    // A single-step config's schedule stream is seeded by the config
+    // seed itself, so the test can rebuild exactly what was issued.
+    let corpus = Corpus::from_world(fleet.world());
+    let schedule = Schedule::build(config.seed, &corpus, 3, 30, &config.mix);
+    let expected = schedule.endpoint_counts();
+    for (i, e) in ENDPOINTS.iter().enumerate() {
+        let ep = report
+            .endpoints
+            .iter()
+            .find(|r| r.endpoint == e.name())
+            .unwrap();
+        assert_eq!(ep.attempted, expected[i], "{}", e.name());
+    }
+    fleet.stop();
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    let world = Arc::new(generate(WorldConfig {
+        seed: 79,
+        scale: Scale { divisor: 60_000 },
+    }));
+    let fleet = MarketFleet::spawn(world).unwrap();
+    let a = run_against(&fleet, &single_step_config(1));
+    let b = run_against(&fleet, &single_step_config(2));
+    // Totals match (same shape), but the per-endpoint split differs —
+    // the seed genuinely reaches the draw stream.
+    assert_eq!(a.totals.attempted, b.totals.attempted);
+    assert_ne!(
+        a.endpoints
+            .iter()
+            .map(|e| e.attempted)
+            .collect::<Vec<_>>(),
+        b.endpoints
+            .iter()
+            .map(|e| e.attempted)
+            .collect::<Vec<_>>()
+    );
+    fleet.stop();
+}

@@ -1,0 +1,91 @@
+//! Measurement-overhead guard, same shape as the net crate's tracing
+//! and resilience guards: the harness's own per-request bookkeeping must
+//! cost under 5% of a loopback round trip, or the baseline would be
+//! measuring the measurer.
+//!
+//! The harness adds exactly three things to each request the client
+//! stack doesn't already do: an endpoint-table position lookup, two
+//! relaxed atomic increments (attempted + outcome), and — off the
+//! request path entirely — a background RSS/thread sampler. The guard
+//! bounds the on-path cost directly and separately requires one sampler
+//! tick to fit inside 5% of the smoke profile's sampling interval, so
+//! the sampler thread can always keep up without stealing a core.
+
+use marketscope_loadgen::{Endpoint, ENDPOINTS};
+use marketscope_net::client::HttpClient;
+use marketscope_net::http::{Request, Response};
+use marketscope_net::server::HttpServer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+#[test]
+fn harness_bookkeeping_overhead_is_under_5_percent() {
+    let server = HttpServer::spawn(|_req: &Request| {
+        Response::ok("text/plain", b"ok".to_vec())
+    })
+    .unwrap();
+    let client = HttpClient::builder().build();
+
+    // Median of real loopback round trips (warmed).
+    for _ in 0..20 {
+        client.get(server.addr(), "/x").unwrap();
+    }
+    let mut samples: Vec<u64> = (0..200)
+        .map(|_| {
+            let t = Instant::now();
+            client.get(server.addr(), "/x").unwrap();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    let median_round_trip = samples[samples.len() / 2];
+
+    // The harness's actual per-request additions, amortized over 1M
+    // iterations: endpoint-table lookup + attempted + outcome counters.
+    let attempted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let iters = 1_000_000u64;
+    let t = Instant::now();
+    for i in 0..iters {
+        // Rotate through the table so the lookup isn't branch-predicted
+        // into oblivion; Health sits last = worst case scan.
+        let target = ENDPOINTS[(i % ENDPOINTS.len() as u64) as usize];
+        let ei = ENDPOINTS
+            .iter()
+            .position(|&e| e == target)
+            .expect("endpoint in table");
+        attempted.fetch_add(1, Ordering::Relaxed);
+        completed.fetch_add(ei as u64 & 1, Ordering::Relaxed);
+    }
+    let per_request = t.elapsed().as_nanos() as u64 / iters;
+    assert_eq!(attempted.load(Ordering::Relaxed), iters);
+    assert_eq!(ENDPOINTS[ENDPOINTS.len() - 1], Endpoint::Health);
+
+    let overhead = per_request.max(1);
+    let budget = median_round_trip / 20; // 5%
+    assert!(
+        overhead < budget,
+        "harness bookkeeping {overhead}ns exceeds 5% of median \
+         round trip {median_round_trip}ns"
+    );
+}
+
+#[test]
+fn resource_sampler_tick_fits_its_interval() {
+    // One tick = one RSS read + one thread-count read from
+    // /proc/self/status. The smoke profile samples every 25ms; a tick
+    // must cost under 5% of that or the sampler thread falls behind and
+    // peaks go stale exactly when the fleet is busiest.
+    let iters = 200u32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        let _ = marketscope_telemetry::rss_bytes();
+        let _ = marketscope_telemetry::thread_count();
+    }
+    let per_tick = t.elapsed().as_nanos() as u64 / iters as u64;
+    let interval_ns = 25_000_000u64;
+    assert!(
+        per_tick < interval_ns / 20,
+        "sampler tick {per_tick}ns exceeds 5% of the 25ms interval"
+    );
+}

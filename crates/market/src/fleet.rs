@@ -52,6 +52,13 @@ impl MarketFleet {
         // propagate in — one fleet-wide timeline.
         let tracer = Arc::new(Tracer::new(TracerConfig::propagate_only(16_384)));
         let registry = Arc::new(Registry::new());
+        // Stamp the exposition with the producing binary: BENCH files and
+        // scrapes record which version/profile served the fleet.
+        marketscope_telemetry::perf::register_build_info(
+            &registry,
+            env!("CARGO_PKG_VERSION"),
+            marketscope_telemetry::perf::build_profile(),
+        );
         let mut servers = Vec::with_capacity(17);
         for m in MarketId::ALL {
             let plan = chaos.map(|c| c.plan_for(m)).unwrap_or(FaultPlan::none());
@@ -217,6 +224,26 @@ mod tests {
             snap.counter_value(
                 "marketscope_net_requests_total",
                 &[("market", huawei.slug())]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn fleet_exposition_carries_build_info() {
+        let w = Arc::new(generate(WorldConfig {
+            seed: 3,
+            scale: Scale { divisor: 60_000 },
+        }));
+        let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
+        let snap = fleet.registry().snapshot();
+        assert_eq!(
+            snap.gauge_value(
+                "marketscope_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("profile", marketscope_telemetry::perf::build_profile()),
+                ]
             ),
             Some(1)
         );

@@ -36,5 +36,5 @@ pub mod submission;
 pub use chaos::{ChaosIntensity, ChaosProfile};
 pub use fleet::MarketFleet;
 pub use repository::AndroZooServer;
-pub use server::{CrawlPhase, MarketServer};
+pub use server::{CrawlPhase, MarketServer, PAGE_SIZE};
 pub use submission::{evaluate, SubmissionOutcome};

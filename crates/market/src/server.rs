@@ -126,6 +126,8 @@ impl MarketServer {
         tracer: Arc<Tracer>,
         faults: Option<FaultInjector>,
     ) -> Result<MarketServer, marketscope_net::NetError> {
+        let faults = faults.map(Arc::new);
+        let started = std::time::Instant::now();
         let catalog: Vec<ListingId> = world.market_listings(market).to_vec();
         let by_package = catalog
             .iter()
@@ -173,11 +175,71 @@ impl MarketServer {
                     let json = marketscope_telemetry::chrome_trace(&tracer.snapshot());
                     Response::ok("application/json", json.into_bytes())
                 }
+            })
+            .get("/__health", {
+                // The health closure reads the same registry instruments
+                // ServerMetrics registers (get-or-create by identical
+                // name+labels returns the same Arc), so totals here match
+                // `/__metrics` exactly.
+                let st = Arc::clone(&state);
+                let requests = registry.counter(
+                    "marketscope_net_requests_total",
+                    &[("market", market.slug())],
+                );
+                let live = registry.gauge(
+                    "marketscope_net_live_connections",
+                    &[("market", market.slug())],
+                );
+                let faults = faults.clone();
+                move |_req: &Request, _: &marketscope_net::router::Params| {
+                    let phase = match *st.phase.read() {
+                        CrawlPhase::First => "first",
+                        CrawlPhase::Second => "second",
+                    };
+                    let rate_limiter = match &st.apk_bucket {
+                        Some(bucket) => {
+                            let hint = bucket.wait_hint();
+                            Json::obj([
+                                ("limiter", Json::from("apk_download")),
+                                ("ready", Json::from(hint.is_zero())),
+                                ("wait_hint_ms", Json::from(hint.as_millis() as u64)),
+                            ])
+                        }
+                        None => Json::Null,
+                    };
+                    let chaos = match &faults {
+                        Some(f) => {
+                            let plan = f.plan();
+                            Json::obj([
+                                ("faults_injected", Json::from(f.injected())),
+                                ("reset", Json::from(plan.reset)),
+                                ("stall", Json::from(plan.stall)),
+                                ("truncate", Json::from(plan.truncate)),
+                                ("error_5xx", Json::from(plan.error_5xx)),
+                                ("downtime_every", Json::from(plan.downtime_every)),
+                            ])
+                        }
+                        None => Json::Null,
+                    };
+                    Response::json(&Json::obj([
+                        ("status", Json::from("ok")),
+                        ("market", Json::from(st.market.slug())),
+                        ("phase", Json::from(phase)),
+                        ("uptime_ms", Json::from(started.elapsed().as_millis() as u64)),
+                        ("requests_total", Json::from(requests.get())),
+                        ("live_connections", Json::from(live.get().max(0) as u64)),
+                        ("catalog_size", Json::from(st.catalog.len())),
+                        ("rate_limiter", rate_limiter),
+                        ("chaos", chaos),
+                    ]))
+                }
             });
         let metrics = ServerMetrics::register(&registry, &[("market", market.slug())])
             .traced(Arc::clone(&tracer));
         let handle = match faults {
-            Some(faults) => HttpServer::spawn_with_faults("127.0.0.1:0", router, metrics, faults)?,
+            Some(faults) => {
+                HttpServer::spawn_with_shared_faults("127.0.0.1:0", router, metrics, faults)?
+            }
             None => HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?,
         };
         Ok(MarketServer {
@@ -544,6 +606,73 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         server.stop();
+    }
+
+    #[test]
+    fn health_endpoint_reports_ops_state() {
+        let w = world();
+        let server = MarketServer::spawn(Arc::clone(&w), MarketId::GooglePlay).unwrap();
+        let client = HttpClient::new();
+        client.get_json(server.addr(), "/index").unwrap();
+        let health = client.get_json(server.addr(), "/__health").unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            health.get("market").unwrap().as_str(),
+            Some(MarketId::GooglePlay.slug())
+        );
+        assert_eq!(health.get("phase").unwrap().as_str(), Some("first"));
+        // The /index request above is counted; the health request itself
+        // is not yet (metrics record after the handler returns).
+        assert_eq!(health.get("requests_total").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            health.get("catalog_size").unwrap().as_u64(),
+            Some(w.market_listings(MarketId::GooglePlay).len() as u64)
+        );
+        assert!(health.get("uptime_ms").unwrap().as_u64().is_some());
+        // Google Play rate-limits APK downloads, so the limiter reports.
+        let limiter = health.get("rate_limiter").unwrap();
+        assert_eq!(limiter.get("limiter").unwrap().as_str(), Some("apk_download"));
+        assert!(limiter.get("wait_hint_ms").unwrap().as_u64().is_some());
+        // No chaos on a plain spawn.
+        assert_eq!(health.get("chaos"), Some(&Json::Null));
+
+        server.set_phase(CrawlPhase::Second);
+        let health = client.get_json(server.addr(), "/__health").unwrap();
+        assert_eq!(health.get("phase").unwrap().as_str(), Some("second"));
+        // An unlimited market reports no limiter.
+        let huawei = MarketServer::spawn(Arc::clone(&w), MarketId::HuaweiMarket).unwrap();
+        let health = client.get_json(huawei.addr(), "/__health").unwrap();
+        assert_eq!(health.get("rate_limiter"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn health_endpoint_reports_chaos_and_survives_faults() {
+        use marketscope_net::fault::FaultPlan;
+        let w = world();
+        // A plan that faults every request — ops paths must still answer.
+        let plan = FaultPlan {
+            error_5xx: 1.0,
+            ..FaultPlan::none()
+        };
+        let server = MarketServer::spawn_with_chaos(
+            Arc::clone(&w),
+            MarketId::BaiduMarket,
+            Arc::new(Registry::new()),
+            Arc::new(Tracer::new(TracerConfig::propagate_only(256))),
+            FaultInjector::new(7, plan),
+        )
+        .unwrap();
+        let client = HttpClient::new();
+        // Market traffic 503s...
+        assert!(matches!(
+            client.get(server.addr(), "/index"),
+            Err(marketscope_net::NetError::Status { code: 503, .. })
+        ));
+        // ...but the health endpoint is exempt and reports the chaos.
+        let health = client.get_json(server.addr(), "/__health").unwrap();
+        let chaos = health.get("chaos").unwrap();
+        assert_eq!(chaos.get("error_5xx").unwrap().as_f64(), Some(1.0));
+        assert_eq!(chaos.get("faults_injected").unwrap().as_u64(), Some(1));
     }
 
     #[test]

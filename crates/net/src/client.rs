@@ -26,6 +26,12 @@ pub struct ClientConfig {
     /// failures (the keep-alive race, a reset socket). HTTP error
     /// statuses never retry here — that is [`RetryPolicy`]'s job.
     pub retries: u32,
+    /// Cap on concurrently in-flight requests through this client.
+    /// `None` (the default) means unbounded; the load generator sets it
+    /// to hold *offered* concurrency constant while it sweeps worker
+    /// counts, so achieved-vs-offered RPS is attributable to the server
+    /// side rather than to client-side queueing.
+    pub max_inflight: Option<usize>,
 }
 
 impl Default for ClientConfig {
@@ -35,7 +41,48 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(5),
             pool_per_host: 8,
             retries: 2,
+            max_inflight: None,
         }
+    }
+}
+
+/// A counting semaphore bounding in-flight requests (parking_lot
+/// `Mutex` + `Condvar`; uncontended acquire is one lock round trip).
+struct InflightGate {
+    limit: usize,
+    inflight: Mutex<usize>,
+    cond: parking_lot::Condvar,
+}
+
+impl InflightGate {
+    fn new(limit: usize) -> InflightGate {
+        InflightGate {
+            limit: limit.max(1),
+            inflight: Mutex::new(0),
+            cond: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Block until a slot frees, then hold it until the guard drops.
+    fn acquire(&self) -> InflightPermit<'_> {
+        let mut inflight = self.inflight.lock();
+        while *inflight >= self.limit {
+            self.cond.wait(&mut inflight);
+        }
+        *inflight += 1;
+        InflightPermit { gate: self }
+    }
+}
+
+struct InflightPermit<'a> {
+    gate: &'a InflightGate,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self.gate.inflight.lock();
+        *inflight -= 1;
+        self.gate.cond.notify_one();
     }
 }
 
@@ -171,8 +218,10 @@ impl HttpClientBuilder {
 
     /// Build the client.
     pub fn build(self) -> HttpClient {
+        let config = self.config.unwrap_or_default();
         HttpClient {
-            config: self.config.unwrap_or_default(),
+            inflight: config.max_inflight.map(InflightGate::new),
+            config,
             pool: Mutex::new(HashMap::new()),
             metrics: self.metrics,
             tracer: self.tracer,
@@ -191,6 +240,7 @@ impl HttpClientBuilder {
 /// so crawler worker threads can share one client.
 pub struct HttpClient {
     config: ClientConfig,
+    inflight: Option<InflightGate>,
     pool: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
     metrics: Option<ClientMetrics>,
     tracer: Option<Arc<Tracer>>,
@@ -218,6 +268,9 @@ impl HttpClient {
     /// fresh connection, bounded by [`ClientConfig::retries`]. Error
     /// statuses and protocol violations surface immediately.
     pub fn request(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
+        // Queueing for a slot happens *outside* the latency span: the
+        // histogram measures the wire, not the gate.
+        let _permit = self.inflight.as_ref().map(InflightGate::acquire);
         let span = self.metrics.as_ref().map(|m| m.request_nanos.start_span());
         // Child of whatever sampled span is active on this thread (the
         // crawler's fetch span); a no-op when tracing is off or the
@@ -619,6 +672,48 @@ mod tests {
             }
         });
         assert!(client.idle_connections() <= 1);
+    }
+
+    #[test]
+    fn max_inflight_bounds_server_side_concurrency() {
+        // Each handler invocation bumps a live counter; the peak it ever
+        // reaches is the true concurrency the server saw.
+        let live = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let (h_live, h_peak) = (Arc::clone(&live), Arc::clone(&peak));
+        let server = HttpServer::spawn(move |_req: &Request| {
+            let now = h_live.fetch_add(1, Ordering::SeqCst) + 1;
+            h_peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(5));
+            h_live.fetch_sub(1, Ordering::SeqCst);
+            Response::ok("text/plain", b"ok".to_vec())
+        })
+        .unwrap();
+        let client = Arc::new(
+            HttpClient::builder()
+                .config(ClientConfig {
+                    max_inflight: Some(2),
+                    ..ClientConfig::default()
+                })
+                .build(),
+        );
+        let addr = server.addr();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let client = Arc::clone(&client);
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        client.get(addr, "/x").unwrap();
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "gate leaked: peak concurrency {}",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(server.request_count(), 24);
     }
 
     #[test]

@@ -159,7 +159,19 @@ impl HttpServer {
         metrics: ServerMetrics,
         faults: FaultInjector,
     ) -> Result<ServerHandle, NetError> {
-        Self::spawn_inner(addr, handler, metrics, Some(Arc::new(faults)))
+        Self::spawn_with_shared_faults(addr, handler, metrics, Arc::new(faults))
+    }
+
+    /// Like [`HttpServer::spawn_with_faults`], but the caller keeps a
+    /// clone of the injector — the market `/__health` handler reports
+    /// the chaos plan and fault counts of the server it runs inside.
+    pub fn spawn_with_shared_faults(
+        addr: &str,
+        handler: impl Handler,
+        metrics: ServerMetrics,
+        faults: Arc<FaultInjector>,
+    ) -> Result<ServerHandle, NetError> {
+        Self::spawn_inner(addr, handler, metrics, Some(faults))
     }
 
     fn spawn_inner(

@@ -15,17 +15,27 @@
 //! `marketscope_market::chaos`); the same seed injects the same fault
 //! sequence every run. `--chaos-profile` picks the intensity (default
 //! `light`); the `ops` artifact gains a "Degraded markets" section.
+//!
+//! `--bench LABEL` follows the campaign with a short load-generation
+//! pass (the `marketscope_loadgen` smoke profile) against a fresh fleet
+//! over the same world, and writes a schema-versioned `BENCH_LABEL.json`
+//! — achieved RPS, per-endpoint latency quantiles, resource peaks, and
+//! the campaign's per-stage analysis timings. Compare two of them with
+//! `loadgen bench-diff`.
 
 use marketscope_ecosystem::Scale;
-use marketscope_market::{ChaosIntensity, ChaosProfile};
+use marketscope_loadgen::{BenchReport, LoadConfig, StageTiming};
+use marketscope_market::{ChaosIntensity, ChaosProfile, MarketFleet};
 use marketscope_report::experiments as ex;
 use marketscope_report::{run_campaign, Campaign, CampaignConfig};
+use std::sync::Arc;
 
 fn main() {
     let mut config = CampaignConfig::default();
     let mut only: Option<String> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut bench_label: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -77,6 +87,9 @@ fn main() {
                 let seed = config.chaos.map_or(0, |c| c.seed);
                 config.chaos = Some(ChaosProfile { seed, intensity });
             }
+            "--bench" => {
+                bench_label = Some(args.next().unwrap_or_else(|| usage("--bench needs a label")));
+            }
             "--progress" => config.progress = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
@@ -123,6 +136,40 @@ fn main() {
             campaign.traces.records.len()
         );
     }
+    if let Some(label) = bench_label {
+        eprintln!("bench: running loadgen smoke profile against a fresh fleet ...");
+        // The campaign stopped its fleet; the perf baseline gets its own
+        // over the same world so the load run measures serving, not the
+        // crawl's leftovers.
+        let fleet = MarketFleet::spawn(Arc::clone(&campaign.world)).expect("spawn fleet");
+        let load = marketscope_loadgen::run_against(&fleet, &LoadConfig::smoke(config.seed));
+        fleet.stop();
+        let report = BenchReport {
+            label,
+            seed: config.seed,
+            scale_divisor: config.scale.divisor as u64,
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            profile: marketscope_telemetry::perf::build_profile().to_owned(),
+            load,
+            stages: campaign
+                .ops
+                .analysis
+                .iter()
+                .map(|s| StageTiming {
+                    stage: s.stage.clone(),
+                    items: s.items,
+                    elapsed_us: s.elapsed_us,
+                })
+                .collect(),
+        };
+        let dir = out_dir.clone().unwrap_or_else(|| std::path::PathBuf::from("."));
+        let path = report.write(&dir).expect("write bench report");
+        eprintln!(
+            "bench report written to {} ({:.0} rps achieved)",
+            path.display(),
+            report.load.achieved_rps()
+        );
+    }
 }
 
 /// All artifacts in paper order.
@@ -161,7 +208,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy]"
+        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy] [--bench LABEL]"
     );
     eprintln!("artifacts: table1..table6, fig1..fig13, sec53, sec64, ops");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -25,5 +25,5 @@ pub mod pipeline;
 
 pub use context::{Analyzed, LabelSource, UniqueApp};
 pub use engine::{AnalysisEngine, EngineConfig, StageSpec, STAGE_GRAPH};
-pub use ops::{MarketOps, OpsSummary, StageOps};
+pub use ops::{MarketOps, OpsSummary, PerfOps, StageOps};
 pub use pipeline::{run_campaign, Campaign, CampaignConfig};

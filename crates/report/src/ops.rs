@@ -66,6 +66,21 @@ pub struct ResilienceOps {
     pub breaker_closes: u64,
 }
 
+/// Process-level resource picture: the `telemetry::perf` sampler's peak
+/// gauges plus the build-info marker, read back from the snapshot.
+#[derive(Debug, Clone)]
+pub struct PerfOps {
+    /// Peak resident set observed by the sampler, bytes (0 when the
+    /// platform exposes no `/proc/self/status`).
+    pub rss_peak_bytes: u64,
+    /// Peak OS thread count observed by the sampler.
+    pub threads_peak: u64,
+    /// `marketscope_build_info` version label, when registered.
+    pub build_version: Option<String>,
+    /// `marketscope_build_info` profile label (`debug`/`release`).
+    pub build_profile: Option<String>,
+}
+
 /// One analysis stage's recorded work, read back from the engine's
 /// telemetry instruments.
 #[derive(Debug, Clone)]
@@ -98,6 +113,9 @@ pub struct OpsSummary {
     /// Analysis-engine stage rows, in stage-graph order; empty when the
     /// snapshot holds no engine telemetry.
     pub analysis: Vec<StageOps>,
+    /// Resource peaks and build identity; `None` when no perf sampler
+    /// or build-info gauge ever touched the snapshot.
+    pub perf: Option<PerfOps>,
     /// Slowest sampled traces (top-k by root-span duration), filled by
     /// [`OpsSummary::with_traces`]; empty when tracing was off.
     pub slowest: Vec<TraceSummary>,
@@ -244,6 +262,26 @@ impl OpsSummary {
                 })
             })
             .collect();
+        let perf = {
+            let rss_peak = snap
+                .gauge_value("marketscope_process_rss_peak_bytes", &[])
+                .unwrap_or(0)
+                .max(0) as u64;
+            let threads_peak = snap
+                .gauge_value("marketscope_process_threads_peak", &[])
+                .unwrap_or(0)
+                .max(0) as u64;
+            let build = snap
+                .gauges
+                .keys()
+                .find(|id| id.name == "marketscope_build_info");
+            (rss_peak > 0 || threads_peak > 0 || build.is_some()).then(|| PerfOps {
+                rss_peak_bytes: rss_peak,
+                threads_peak,
+                build_version: build.and_then(|id| id.label("version").map(str::to_owned)),
+                build_profile: build.and_then(|id| id.label("profile").map(str::to_owned)),
+            })
+        };
         OpsSummary {
             markets,
             total_requests,
@@ -251,6 +289,7 @@ impl OpsSummary {
             degraded,
             resilience,
             analysis,
+            perf,
             slowest: Vec::new(),
         }
     }
@@ -337,6 +376,17 @@ impl OpsSummary {
                     s.stage, s.items, s.elapsed_us
                 ));
             }
+        }
+        if let Some(p) = &self.perf {
+            out.push_str(&format!(
+                "perf: rss peak {:.1} MiB, {} threads peak",
+                p.rss_peak_bytes as f64 / (1024.0 * 1024.0),
+                p.threads_peak
+            ));
+            if let (Some(v), Some(pr)) = (&p.build_version, &p.build_profile) {
+                out.push_str(&format!(" (build {v}, {pr})"));
+            }
+            out.push('\n');
         }
         if !self.slowest.is_empty() {
             out.push_str("\nSlowest traces\n");
@@ -534,6 +584,31 @@ mod tests {
         assert!(ops.resilience.is_none());
         assert!(!ops.render().contains("Degraded markets"));
         assert!(!ops.render().contains("resilience:"));
+    }
+
+    #[test]
+    fn perf_section_reads_sampler_and_build_gauges() {
+        let registry = Registry::new();
+        registry
+            .gauge("marketscope_process_rss_peak_bytes", &[])
+            .set(128 * 1024 * 1024);
+        registry
+            .gauge("marketscope_process_threads_peak", &[])
+            .set(22);
+        marketscope_telemetry::perf::register_build_info(&registry, "0.1.0", "debug");
+        let ops = OpsSummary::from_snapshot(&registry.snapshot());
+        let p = ops.perf.clone().expect("perf section present");
+        assert_eq!(p.rss_peak_bytes, 128 * 1024 * 1024);
+        assert_eq!(p.threads_peak, 22);
+        assert_eq!(p.build_version.as_deref(), Some("0.1.0"));
+        assert_eq!(p.build_profile.as_deref(), Some("debug"));
+        let rendered = ops.render();
+        assert!(rendered.contains("rss peak 128.0 MiB"), "{rendered}");
+        assert!(rendered.contains("build 0.1.0, debug"), "{rendered}");
+        // An untouched snapshot has no perf section at all.
+        assert!(OpsSummary::from_snapshot(&Registry::new().snapshot())
+            .perf
+            .is_none());
     }
 
     #[test]

@@ -102,6 +102,18 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
     // accumulate across crawls; merged with the fleet's registry at the
     // end, it becomes the ops summary.
     let crawl_registry = Arc::new(Registry::new());
+    // Resource profiling rides the crawl registry: RSS/thread peaks
+    // sampled across both crawls and the analysis, plus the build-info
+    // marker, surface as the ops summary's perf section.
+    marketscope_telemetry::perf::register_build_info(
+        &crawl_registry,
+        env!("CARGO_PKG_VERSION"),
+        marketscope_telemetry::perf::build_profile(),
+    );
+    let sampler = marketscope_telemetry::perf::ResourceSampler::spawn(
+        Arc::clone(&crawl_registry),
+        Duration::from_millis(100),
+    );
     // One crawl-side tracer shared by both crawlers and the analysis
     // engine; the fleet keeps its own propagate-only tracer, and the two
     // journals merge into one timeline at the end.
@@ -165,6 +177,8 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
     )
     .run(&snapshot);
     let traces = tracer.snapshot().merge(&serving_traces);
+    // Settle the peak gauges before the registry is snapshotted below.
+    sampler.stop();
     let ops = OpsSummary::from_snapshot(
         &serving
             .merge(&crawl_registry.snapshot())

@@ -34,12 +34,17 @@
 //! counters and `_nanos` for duration histograms; dimensions (market,
 //! status, error kind) travel as labels.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the optional counting global allocator in
+// [`perf`] needs one `unsafe impl GlobalAlloc`, explicitly allowed at the
+// impl site behind the `alloc-profile` feature. Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counter;
 pub mod exposition;
 pub mod histogram;
+pub mod perf;
 pub mod registry;
 pub mod span;
 pub mod trace;
@@ -48,6 +53,10 @@ pub mod trace_export;
 pub use counter::{Counter, Gauge};
 pub use exposition::{parse, Sample};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use perf::{
+    alloc_stats, build_profile, register_build_info, rss_bytes, thread_count, AllocDelta,
+    AllocPhase, AllocStats, ResourcePeaks, ResourceSampler,
+};
 pub use registry::{InstrumentId, Registry, RegistrySnapshot};
 pub use span::Span;
 pub use trace::{

@@ -1,0 +1,45 @@
+//! Allocation-profiling integration test: installs [`CountingAlloc`] as
+//! this test binary's global allocator and proves the counters see real
+//! traffic. Only meaningful with the feature on —
+//! `cargo test -p marketscope-telemetry --features alloc-profile` —
+//! without it the whole file compiles away.
+
+#![cfg(feature = "alloc-profile")]
+
+use marketscope_telemetry::perf::{alloc_stats, AllocPhase, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn counting_allocator_sees_real_allocations() {
+    let phase = AllocPhase::start();
+    // 64 KiB in one shot, plus growth churn from the pushes.
+    let mut v: Vec<u8> = Vec::with_capacity(64 * 1024);
+    for i in 0..1024u32 {
+        v.push(i as u8);
+    }
+    let boxed = vec![0u64; 4096].into_boxed_slice();
+    std::hint::black_box(&v);
+    std::hint::black_box(&boxed);
+    let delta = phase.delta();
+    assert!(delta.allocs >= 2, "allocs: {}", delta.allocs);
+    assert!(
+        delta.bytes_allocated >= 64 * 1024 + 4096 * 8,
+        "bytes: {}",
+        delta.bytes_allocated
+    );
+
+    // Dropping feeds the free side.
+    drop(v);
+    drop(boxed);
+    let after = phase.delta();
+    assert!(after.frees > delta.frees);
+    assert!(after.bytes_freed >= delta.bytes_freed + 64 * 1024);
+
+    // The process-wide totals are monotonic and at least as large as
+    // any phase delta carved out of them.
+    let totals = alloc_stats();
+    assert!(totals.allocs >= after.allocs);
+    assert!(totals.bytes_allocated >= after.bytes_allocated);
+}
