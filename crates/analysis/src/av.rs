@@ -128,7 +128,9 @@ impl Default for AvSimulator {
 }
 
 fn md5_key(digest: &ApkDigest) -> u64 {
-    u64::from_le_bytes(digest.file_md5[..8].try_into().expect("md5 is 16 bytes"))
+    let mut k = [0u8; 8];
+    k.copy_from_slice(&digest.file_md5[..8]);
+    u64::from_le_bytes(k)
 }
 
 fn unit(h: u64) -> f64 {

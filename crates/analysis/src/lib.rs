@@ -11,6 +11,9 @@
 //! * [`overpriv`] — PScout-style over-privilege analysis (declared
 //!   permissions vs. permissions exercised by API calls, under both the
 //!   flat and the reachable footprint);
+//! * [`taint`] — privacy-leak analysis: digest-time taint flows joined
+//!   against library-detection ownership, attributing each leak to host
+//!   code or a bundled third-party library;
 //! * [`av`] — a simulated 60-engine VirusTotal ensemble producing
 //!   AV-ranks and per-engine labels;
 //! * [`avclass`] — AVClass-style family-label normalization and
@@ -27,6 +30,7 @@ pub mod fake;
 pub mod overpriv;
 pub mod reach;
 pub mod removal;
+pub mod taint;
 
 pub use av::{AvReport, AvSimulator, ENGINE_COUNT};
 pub use avclass::normalize_label;
@@ -34,3 +38,4 @@ pub use fake::{FakeDetector, FakeReport};
 pub use overpriv::{FootprintMode, OverprivilegeAnalyzer, OverprivilegeResult};
 pub use reach::{ReachabilityAnalyzer, ReachabilityReport};
 pub use removal::{removal_rates, RemovalInput, RemovalReport};
+pub use taint::{LeakAnalyzer, LeakAttribution, LeakFlow, LeakResult};

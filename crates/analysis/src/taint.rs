@@ -1,0 +1,333 @@
+//! Privacy-leak analysis: taint flows joined against library ownership
+//! (the paper's Section 6 misbehaviour catalog, extended with the
+//! FlowDroid-style pass the comparison literature applies to Chinese
+//! markets).
+//!
+//! The format-level pass ([`marketscope_apk::taint`]) runs at digest
+//! time — the digest is the last point where invocation edges exist —
+//! and records each source→sink flow with the Java package of the sink
+//! site. This module is the analysis-facing engine: it attributes every
+//! flow to **host** code or a detected **third-party library** by
+//! joining the sink package against the library-detection ownership
+//! index ([`PackageOwnership`]), the distinction the ecosystem papers
+//! care about (an SDK exfiltrating the IMEI is a supply-chain problem;
+//! host code doing it is developer intent). Every pass feeds four
+//! instruments:
+//!
+//! * `marketscope_analysis_taint_flows_total`
+//! * `marketscope_analysis_taint_library_flows_total`
+//! * `marketscope_analysis_taint_leaky_apps_total`
+//! * `marketscope_analysis_taint_latency_nanos`
+
+use marketscope_apk::digest::ApkDigest;
+use marketscope_apk::permmap::{SinkClass, SourceClass};
+use marketscope_libdetect::PackageOwnership;
+use marketscope_telemetry::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Who owns the code performing the sink call of a leak flow.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LeakAttribution {
+    /// The app's own (or at least un-clustered) code.
+    Host,
+    /// A detected third-party library, by root package.
+    Library(String),
+}
+
+impl LeakAttribution {
+    /// Whether the flow sinks inside a detected library.
+    pub fn is_library(&self) -> bool {
+        matches!(self, LeakAttribution::Library(_))
+    }
+}
+
+/// One attributed leak flow.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeakFlow {
+    /// What private data leaks.
+    pub source: SourceClass,
+    /// How it leaves the app.
+    pub sink: SinkClass,
+    /// Host code or a detected library root.
+    pub attribution: LeakAttribution,
+}
+
+/// One app's attributed leak flows (input order preserved from the
+/// digest, which is already deduplicated and sorted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeakResult {
+    /// Attributed flows.
+    pub flows: Vec<LeakFlow>,
+}
+
+impl LeakResult {
+    /// Whether the app leaks at all.
+    pub fn leaks(&self) -> bool {
+        !self.flows.is_empty()
+    }
+
+    /// Number of flows sinking in host code.
+    pub fn host_flows(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|f| !f.attribution.is_library())
+            .count()
+    }
+
+    /// Number of flows sinking in detected libraries.
+    pub fn library_flows(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|f| f.attribution.is_library())
+            .count()
+    }
+
+    /// Whether any flow sinks in a detected library.
+    pub fn leaks_via_library(&self) -> bool {
+        self.flows.iter().any(|f| f.attribution.is_library())
+    }
+}
+
+/// The leak engine. Cheap to clone; instruments are shared.
+#[derive(Clone)]
+pub struct LeakAnalyzer {
+    flows_total: Arc<Counter>,
+    library_flows: Arc<Counter>,
+    leaky_apps: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl Default for LeakAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LeakAnalyzer {
+    /// Analyzer with a private registry (tests, one-off runs).
+    pub fn new() -> Self {
+        Self::with_registry(&Registry::new())
+    }
+
+    /// Analyzer publishing into a shared registry (pipeline use).
+    pub fn with_registry(registry: &Registry) -> Self {
+        LeakAnalyzer {
+            flows_total: registry.counter("marketscope_analysis_taint_flows_total", &[]),
+            library_flows: registry.counter("marketscope_analysis_taint_library_flows_total", &[]),
+            leaky_apps: registry.counter("marketscope_analysis_taint_leaky_apps_total", &[]),
+            latency: registry.histogram("marketscope_analysis_taint_latency_nanos", &[]),
+        }
+    }
+
+    /// Attribute one digest's taint flows against the ownership join.
+    pub fn analyze(&self, digest: &ApkDigest, ownership: &PackageOwnership) -> LeakResult {
+        let _span = self.latency.start_span();
+        let flows: Vec<LeakFlow> = digest
+            .flows
+            .iter()
+            .map(|f| {
+                let attribution = f
+                    .sink_package
+                    .as_deref()
+                    .and_then(|p| ownership.owner_of(p))
+                    .map_or(LeakAttribution::Host, |root| {
+                        LeakAttribution::Library(root.to_owned())
+                    });
+                LeakFlow {
+                    source: f.source,
+                    sink: f.sink,
+                    attribution,
+                }
+            })
+            .collect();
+        self.flows_total.add(flows.len() as u64);
+        self.library_flows
+            .add(flows.iter().filter(|f| f.attribution.is_library()).count() as u64);
+        if !flows.is_empty() {
+            self.leaky_apps.add(1);
+        }
+        LeakResult { flows }
+    }
+
+    /// Analyze a batch of digests across `workers` threads.
+    ///
+    /// [`analyze`](Self::analyze) is a pure function of the digest and
+    /// the ownership join, so the batch is embarrassingly parallel;
+    /// results come back in input order and are bit-identical to calling
+    /// `analyze` per digest, regardless of `workers`.
+    pub fn analyze_batch(
+        &self,
+        digests: &[&ApkDigest],
+        ownership: &PackageOwnership,
+        workers: usize,
+    ) -> Vec<LeakResult> {
+        marketscope_core::parallel::par_map(workers, digests, |d| self.analyze(d, ownership))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marketscope_apk::builder::ApkBuilder;
+    use marketscope_apk::dex::{ClassDef, DexFile, MethodDef, MethodRef};
+    use marketscope_apk::manifest::{Component, ComponentKind, Manifest};
+    use marketscope_apk::permmap::PermissionMap;
+    use marketscope_core::{DeveloperKey, PackageName, VersionCode};
+
+    fn digest(dex: DexFile) -> ApkDigest {
+        let manifest = Manifest {
+            package: PackageName::new("com.t.x").unwrap(),
+            version_code: VersionCode(1),
+            version_name: "1".into(),
+            min_sdk: 9,
+            target_sdk: 23,
+            app_label: "T".into(),
+            permissions: vec![],
+            category: "Tools".into(),
+            components: vec![Component {
+                kind: ComponentKind::Activity,
+                class: "Lcom/t/x/Main;".into(),
+            }],
+        };
+        let bytes = ApkBuilder::new(manifest, dex)
+            .build(DeveloperKey::from_label("d"))
+            .unwrap();
+        ApkDigest::from_bytes(&bytes).unwrap()
+    }
+
+    fn method(calls: &[marketscope_apk::ApiCallId], invokes: &[(u16, u16)]) -> MethodDef {
+        MethodDef {
+            api_calls: calls.to_vec(),
+            code_hash: 3,
+            invokes: invokes
+                .iter()
+                .map(|&(class, method)| MethodRef { class, method })
+                .collect(),
+        }
+    }
+
+    /// Main reads the device id, relays into an ad-SDK subpackage that
+    /// sends it out, and also logs it from its own code.
+    fn leaky_digest(m: &PermissionMap) -> ApkDigest {
+        let src = m.source_apis(SourceClass::DeviceId)[0];
+        let net = m.sink_apis(SinkClass::NetworkSend)[0];
+        let log = m.sink_apis(SinkClass::LogExfil)[0];
+        digest(DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "Lcom/t/x/Main;".into(),
+                    methods: vec![method(&[src], &[(1, 0), (2, 0)])],
+                },
+                ClassDef {
+                    name: "Lcom/ads/sdk/v2/Send;".into(),
+                    methods: vec![method(&[net], &[])],
+                },
+                ClassDef {
+                    name: "Lcom/t/x/Log;".into(),
+                    methods: vec![method(&[log], &[])],
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn attributes_flows_to_library_and_host() {
+        let m = PermissionMap::standard();
+        let d = leaky_digest(&m);
+        let ownership = PackageOwnership::new(["com.ads.sdk".to_owned()]);
+        let r = LeakAnalyzer::new().analyze(&d, &ownership);
+        assert_eq!(
+            r.flows,
+            vec![
+                LeakFlow {
+                    source: SourceClass::DeviceId,
+                    sink: SinkClass::NetworkSend,
+                    attribution: LeakAttribution::Library("com.ads.sdk".into()),
+                },
+                LeakFlow {
+                    source: SourceClass::DeviceId,
+                    sink: SinkClass::LogExfil,
+                    attribution: LeakAttribution::Host,
+                },
+            ]
+        );
+        assert!(r.leaks());
+        assert!(r.leaks_via_library());
+        assert_eq!(r.host_flows(), 1);
+        assert_eq!(r.library_flows(), 1);
+    }
+
+    #[test]
+    fn without_detected_libraries_everything_is_host() {
+        let m = PermissionMap::standard();
+        let d = leaky_digest(&m);
+        let r = LeakAnalyzer::new().analyze(&d, &PackageOwnership::default());
+        assert_eq!(r.flows.len(), 2);
+        assert_eq!(r.host_flows(), 2);
+        assert!(!r.leaks_via_library());
+    }
+
+    #[test]
+    fn clean_app_has_no_flows() {
+        let d = digest(DexFile {
+            classes: vec![ClassDef {
+                name: "Lcom/t/x/Main;".into(),
+                methods: vec![method(&[marketscope_apk::ApiCallId(40_000)], &[])],
+            }],
+        });
+        let r = LeakAnalyzer::new().analyze(&d, &PackageOwnership::default());
+        assert!(!r.leaks());
+        assert_eq!(r, LeakResult::default());
+    }
+
+    #[test]
+    fn batch_is_order_preserving_and_worker_invariant() {
+        let m = PermissionMap::standard();
+        let leaky = leaky_digest(&m);
+        let clean = digest(DexFile {
+            classes: vec![ClassDef {
+                name: "Lcom/t/x/Main;".into(),
+                methods: vec![method(&[], &[])],
+            }],
+        });
+        let digests: Vec<&ApkDigest> = vec![&leaky, &clean, &leaky, &clean, &leaky];
+        let ownership = PackageOwnership::new(["com.ads.sdk".to_owned()]);
+        let analyzer = LeakAnalyzer::new();
+        let sequential: Vec<LeakResult> = digests
+            .iter()
+            .map(|d| analyzer.analyze(d, &ownership))
+            .collect();
+        for workers in [1, 2, 8] {
+            let batch = analyzer.analyze_batch(&digests, &ownership, workers);
+            assert_eq!(batch, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn instruments_accumulate_in_shared_registry() {
+        let registry = Registry::new();
+        let analyzer = LeakAnalyzer::with_registry(&registry);
+        let m = PermissionMap::standard();
+        let d = leaky_digest(&m);
+        let ownership = PackageOwnership::new(["com.ads.sdk".to_owned()]);
+        analyzer.analyze(&d, &ownership);
+        analyzer.analyze(&d, &ownership);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("marketscope_analysis_taint_flows_total", &[]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter_value("marketscope_analysis_taint_library_flows_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("marketscope_analysis_taint_leaky_apps_total", &[]),
+            Some(2)
+        );
+        let lat = snap
+            .histogram("marketscope_analysis_taint_latency_nanos", &[])
+            .unwrap();
+        assert_eq!(lat.count(), 2);
+    }
+}

@@ -16,7 +16,9 @@
 
 use crate::apicalls::ApiCallId;
 use crate::parse::ParsedApk;
+use crate::permmap::PermissionMap;
 use crate::reach::{CallGraph, ReachStats};
+use crate::taint::{self, TaintFlow};
 use marketscope_core::hash::{fnv1a64, mix64};
 use marketscope_core::{AppKey, DeveloperKey, PackageName, VersionCode};
 use std::collections::{BTreeMap, BTreeSet};
@@ -86,6 +88,12 @@ pub struct ApkDigest {
     /// (with library subtrees excluded), over-privilege analysis and AV
     /// scanning all read from these.
     pub package_features: Vec<PackageFeature>,
+    /// Source→sink taint flows found by the interprocedural pass over
+    /// the same call graph and entry-point policy as the reachability
+    /// accounting (deduplicated, sorted). The privacy-leak analyzer
+    /// attributes each flow's sink package to host code or a detected
+    /// third-party library.
+    pub flows: Vec<TaintFlow>,
 }
 
 impl ApkDigest {
@@ -107,6 +115,10 @@ impl ApkDigest {
             graph.reach_from_classes(apk.manifest.components.iter().map(|c| c.class.as_str()))
         };
         let stats = reach.stats;
+        // Taint runs here because the digest is the last point where the
+        // invocation edges still exist (they are dropped below — only the
+        // per-package summaries survive).
+        let flows = taint::propagate(&apk.dex, &graph, &reach, PermissionMap::shared()).flows;
 
         // Group classes by their full Java package: in this substrate a
         // library's classes sit directly under its root package, so the
@@ -180,6 +192,7 @@ impl ApkDigest {
             channels: apk.channels.iter().map(|(n, _)| n.clone()).collect(),
             component_count: apk.manifest.components.len() as u32,
             package_features,
+            flows,
         };
         (digest, stats)
     }
@@ -497,6 +510,57 @@ mod tests {
         assert_eq!(reachable, vec![1, 7]);
         let dead: Vec<&str> = d.dead_packages().map(|f| f.java_package.as_str()).collect();
         assert_eq!(dead, vec!["com.dead.lib"]);
+    }
+
+    #[test]
+    fn digest_carries_taint_flows_with_entry_point_gating() {
+        use crate::permmap::{SinkClass, SourceClass};
+        let m = PermissionMap::shared();
+        let src = m.source_apis(SourceClass::DeviceId)[0].0;
+        let snk = m.sink_apis(SinkClass::NetworkSend)[0].0;
+        let log = m.sink_apis(SinkClass::LogExfil)[0].0;
+        // Main (source) → ads sink; a dead class holds a log sink that
+        // must not be reported once components gate reachability.
+        let classes = vec![
+            ClassDef {
+                name: "Lcom/my/app/Main;".into(),
+                methods: vec![MethodDef {
+                    api_calls: vec![ApiCallId(src)],
+                    code_hash: 1,
+                    invokes: vec![MethodRef {
+                        class: 1,
+                        method: 0,
+                    }],
+                }],
+            },
+            class("Lcom/ads/net/S;", &[snk], 2),
+            class("Lcom/dead/lib/L;", &[log], 3),
+        ];
+        let bytes = build_with_components(
+            classes.clone(),
+            "com.my.app",
+            vec![Component {
+                kind: ComponentKind::Activity,
+                class: "Lcom/my/app/Main;".into(),
+            }],
+        );
+        let d = ApkDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            d.flows,
+            vec![crate::taint::TaintFlow {
+                source: SourceClass::DeviceId,
+                sink: SinkClass::NetworkSend,
+                sink_package: Some("com.ads.net".into()),
+            }]
+        );
+        // Without components everything is reachable, so the same-method
+        // fallback also reports the dead class's log sink — but there is
+        // no path from the source to it, so only reachability (not the
+        // flow set) changes... unless the walk finds one. Here it cannot:
+        // the dead class has no incoming edges from the source.
+        let bytes = build(classes, "com.my.app");
+        let d = ApkDigest::from_bytes(&bytes).unwrap();
+        assert_eq!(d.flows.len(), 1, "{:?}", d.flows);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod manifest;
 pub mod parse;
 pub mod permmap;
 pub mod reach;
+pub mod taint;
 pub mod zip;
 
 pub use apicalls::{ApiCallId, API_DIMENSIONS};
@@ -50,6 +51,7 @@ pub use digest::{ApkDigest, PackageFeature};
 pub use error::ApkError;
 pub use manifest::{Component, ComponentKind, Manifest};
 pub use parse::ParsedApk;
-pub use permmap::{Permission, PermissionMap};
+pub use permmap::{Permission, PermissionMap, SinkClass, SourceClass};
 pub use reach::{CallGraph, ReachStats, Reachability};
+pub use taint::{TaintAnalysis, TaintFlow, TaintStats};
 pub use zip::{ZipArchive, ZipEntry};

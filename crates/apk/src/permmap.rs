@@ -86,15 +86,154 @@ const DANGEROUS: [&str; 16] = [
 const PERMISSION_RELATED_NUM: u64 = 217;
 const PERMISSION_RELATED_DEN: u64 = 40_960;
 
-/// The API → permission map.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PermissionMap;
+/// Density of *unprotected* method-call ids classified as log-exfil
+/// sinks (`Log.d` of structured payloads, `System.out` writes to
+/// world-readable files…). Sparse by design: a random app method almost
+/// never logs sensitively, so discovered flows trace back to planted
+/// ones.
+const LOG_EXFIL_NUM: u64 = 21;
+const LOG_EXFIL_DEN: u64 = 40_960;
+const LOG_EXFIL_SALT: u64 = 0x10_6e;
+
+/// A class of privacy-sensitive *source* APIs — framework method calls
+/// whose return value is private user data. Mirrors SuSi/FlowDroid's
+/// source categories restricted to the ones the paper's permission
+/// analysis already models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SourceClass {
+    /// IMEI / phone identity (`READ_PHONE_STATE`-protected getters).
+    DeviceId,
+    /// Coarse or fine location reads.
+    Location,
+    /// Contact-book and call-log reads.
+    Contacts,
+    /// Account-manager identity reads (`GET_ACCOUNTS`).
+    Account,
+}
+
+impl SourceClass {
+    /// Every source class, in taint-propagation order.
+    pub const ALL: [SourceClass; 4] = [
+        SourceClass::DeviceId,
+        SourceClass::Location,
+        SourceClass::Contacts,
+        SourceClass::Account,
+    ];
+
+    /// Stable display / telemetry label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceClass::DeviceId => "device_id",
+            SourceClass::Location => "location",
+            SourceClass::Contacts => "contacts",
+            SourceClass::Account => "account",
+        }
+    }
+
+    /// Dense index into per-class tables (matches `ALL` order).
+    pub fn index(self) -> usize {
+        match self {
+            SourceClass::DeviceId => 0,
+            SourceClass::Location => 1,
+            SourceClass::Contacts => 2,
+            SourceClass::Account => 3,
+        }
+    }
+}
+
+/// A class of *sink* APIs — framework method calls that move data out of
+/// the app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SinkClass {
+    /// Socket / HTTP transmission (`INTERNET`-protected calls).
+    NetworkSend,
+    /// Logging or world-readable writes: unprotected, but exfiltration
+    /// in PScout's extended listing.
+    LogExfil,
+}
+
+impl SinkClass {
+    /// Every sink class.
+    pub const ALL: [SinkClass; 2] = [SinkClass::NetworkSend, SinkClass::LogExfil];
+
+    /// Stable display / telemetry label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkClass::NetworkSend => "network_send",
+            SinkClass::LogExfil => "log_exfil",
+        }
+    }
+
+    /// Dense index into per-class tables (matches `ALL` order).
+    pub fn index(self) -> usize {
+        match self {
+            SinkClass::NetworkSend => 0,
+            SinkClass::LogExfil => 1,
+        }
+    }
+}
+
+/// The API → permission map, with the source/sink classification the
+/// taint pass consumes and a precomputed permission → API reverse index.
+#[derive(Debug, Clone)]
+pub struct PermissionMap {
+    /// Reverse index: per permission (in `PERMISSIONS` order), every API
+    /// id requiring it, ascending.
+    reverse: Vec<Vec<ApiCallId>>,
+    /// Per source class (in `SourceClass::ALL` order), every source API
+    /// id, ascending.
+    sources: Vec<Vec<ApiCallId>>,
+    /// Per sink class (in `SinkClass::ALL` order), every sink API id,
+    /// ascending.
+    sinks: Vec<Vec<ApiCallId>>,
+}
+
+impl Default for PermissionMap {
+    fn default() -> Self {
+        PermissionMap::standard()
+    }
+}
 
 impl PermissionMap {
     /// The standard platform map (deterministic; same on both sides of
-    /// the simulation).
+    /// the simulation). Builds the reverse and source/sink indices once,
+    /// so lookups afterwards never rescan the id space.
     pub fn standard() -> PermissionMap {
-        PermissionMap
+        let probe = PermissionMap {
+            reverse: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+        };
+        let mut reverse = vec![Vec::new(); PERMISSIONS.len()];
+        let mut sources = vec![Vec::new(); SourceClass::ALL.len()];
+        let mut sinks = vec![Vec::new(); SinkClass::ALL.len()];
+        for raw in 0..crate::apicalls::API_DIMENSIONS {
+            let api = ApiCallId(raw);
+            if let Some(p) = probe.required(api) {
+                if let Some(idx) = PERMISSIONS.iter().position(|q| *q == p.0) {
+                    reverse[idx].push(api);
+                }
+            }
+            if let Some(s) = probe.source_class(api) {
+                sources[s.index()].push(api);
+            }
+            if let Some(s) = probe.sink_class(api) {
+                sinks[s.index()].push(api);
+            }
+        }
+        PermissionMap {
+            reverse,
+            sources,
+            sinks,
+        }
+    }
+
+    /// A process-wide shared copy of the standard map, for hot paths
+    /// (digest extraction runs once per APK) that should not rebuild the
+    /// reverse index each time.
+    pub fn shared() -> &'static PermissionMap {
+        static SHARED: std::sync::OnceLock<PermissionMap> = std::sync::OnceLock::new();
+        SHARED.get_or_init(PermissionMap::standard)
     }
 
     /// The permission required to invoke `api`, if any.
@@ -129,12 +268,68 @@ impl PermissionMap {
     }
 
     /// All API ids (within a range) that exercise `perm` — used by the
-    /// generator to pick code that needs a chosen permission.
+    /// generator to pick code that needs a chosen permission. Served from
+    /// the reverse index built in [`PermissionMap::standard`]; the index
+    /// is ascending, so the range cut is a prefix.
     pub fn apis_for(&self, perm: Permission, scan_limit: u32) -> Vec<ApiCallId> {
-        (0..scan_limit)
-            .filter_map(ApiCallId::new)
-            .filter(|id| self.required(*id) == Some(perm))
+        let Some(idx) = PERMISSIONS.iter().position(|q| *q == perm.0) else {
+            return Vec::new();
+        };
+        self.reverse[idx]
+            .iter()
+            .take_while(|id| id.0 < scan_limit)
+            .copied()
             .collect()
+    }
+
+    /// The privacy-source class of `api`, if any. Pure function of the
+    /// permission map: `READ_PHONE_STATE`-protected method calls read the
+    /// device identity, the two location permissions read location,
+    /// contact-book and call-log reads share a class, and `GET_ACCOUNTS`
+    /// reads account identity. Intents and providers are never sources —
+    /// the taint pass tracks data returned *into* app code.
+    pub fn source_class(&self, api: ApiCallId) -> Option<SourceClass> {
+        if api.family() != ApiFamily::MethodCall {
+            return None;
+        }
+        match self.required(api)?.short() {
+            "READ_PHONE_STATE" => Some(SourceClass::DeviceId),
+            "ACCESS_COARSE_LOCATION" | "ACCESS_FINE_LOCATION" => Some(SourceClass::Location),
+            "READ_CONTACTS" | "READ_CALL_LOG" => Some(SourceClass::Contacts),
+            "GET_ACCOUNTS" => Some(SourceClass::Account),
+            _ => None,
+        }
+    }
+
+    /// The exfiltration-sink class of `api`, if any. `INTERNET`-protected
+    /// method calls transmit; a sparse slice of the *unprotected* ids are
+    /// log-exfil sinks. Disjoint from every source class by construction
+    /// (sources carry non-`INTERNET` permissions, log sinks carry none).
+    pub fn sink_class(&self, api: ApiCallId) -> Option<SinkClass> {
+        if api.family() != ApiFamily::MethodCall {
+            return None;
+        }
+        match self.required(api) {
+            Some(p) if p.short() == "INTERNET" => Some(SinkClass::NetworkSend),
+            Some(_) => None,
+            None => {
+                if mix64(api.0 as u64, LOG_EXFIL_SALT) % LOG_EXFIL_DEN < LOG_EXFIL_NUM {
+                    Some(SinkClass::LogExfil)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Every source API of one class, ascending (precomputed).
+    pub fn source_apis(&self, class: SourceClass) -> &[ApiCallId] {
+        &self.sources[class.index()]
+    }
+
+    /// Every sink API of one class, ascending (precomputed).
+    pub fn sink_apis(&self, class: SinkClass) -> &[ApiCallId] {
+        &self.sinks[class.index()]
     }
 }
 
@@ -195,5 +390,95 @@ mod tests {
         assert!(Permission("android.permission.CAMERA").is_dangerous());
         assert!(!Permission("android.permission.INTERNET").is_dangerous());
         assert_eq!(Permission("android.permission.CAMERA").short(), "CAMERA");
+    }
+
+    #[test]
+    fn reverse_index_matches_linear_scan() {
+        // The satellite's contract: the precomputed reverse index must
+        // reproduce the old O(scan_limit) filter exactly, at every cut.
+        let m = PermissionMap::standard();
+        for p in PERMISSIONS {
+            let perm = Permission(p);
+            for limit in [0, 1_000, API_CALL_RANGE, API_DIMENSIONS] {
+                let scanned: Vec<ApiCallId> = (0..limit)
+                    .filter_map(ApiCallId::new)
+                    .filter(|id| m.required(*id) == Some(perm))
+                    .collect();
+                assert_eq!(m.apis_for(perm, limit), scanned, "{p} at limit {limit}");
+            }
+        }
+        // Unknown permissions have no index entry.
+        assert!(m
+            .apis_for(Permission("android.permission.BOGUS"), API_DIMENSIONS)
+            .is_empty());
+    }
+
+    #[test]
+    fn source_and_sink_tables_match_pure_classification() {
+        let m = PermissionMap::standard();
+        for class in SourceClass::ALL {
+            let scanned: Vec<ApiCallId> = (0..API_DIMENSIONS)
+                .filter_map(ApiCallId::new)
+                .filter(|id| m.source_class(*id) == Some(class))
+                .collect();
+            assert_eq!(m.source_apis(class), scanned.as_slice(), "{class:?}");
+            assert!(!scanned.is_empty(), "{class:?} has no source APIs");
+        }
+        for class in SinkClass::ALL {
+            let scanned: Vec<ApiCallId> = (0..API_DIMENSIONS)
+                .filter_map(ApiCallId::new)
+                .filter(|id| m.sink_class(*id) == Some(class))
+                .collect();
+            assert_eq!(m.sink_apis(class), scanned.as_slice(), "{class:?}");
+            assert!(!scanned.is_empty(), "{class:?} has no sink APIs");
+        }
+    }
+
+    #[test]
+    fn sources_and_sinks_are_disjoint_method_calls() {
+        let m = PermissionMap::standard();
+        for id in 0..API_DIMENSIONS {
+            let api = ApiCallId(id);
+            let src = m.source_class(api);
+            let snk = m.sink_class(api);
+            assert!(
+                src.is_none() || snk.is_none(),
+                "id {id} is both {src:?} and {snk:?}"
+            );
+            if id >= API_CALL_RANGE {
+                assert!(src.is_none() && snk.is_none(), "non-method id {id} tagged");
+            }
+        }
+        // Log-exfil sinks are sparse by design (they gate false flows).
+        let log = m.sink_apis(SinkClass::LogExfil).len() as f64;
+        assert!(
+            log / (API_CALL_RANGE as f64) < 0.002,
+            "log-exfil density too high: {log}"
+        );
+    }
+
+    #[test]
+    fn source_classes_follow_their_permissions() {
+        let m = PermissionMap::standard();
+        for class in SourceClass::ALL {
+            for api in m.source_apis(class) {
+                let perm = m.required(*api).expect("sources are protected");
+                let ok = match class {
+                    SourceClass::DeviceId => perm.short() == "READ_PHONE_STATE",
+                    SourceClass::Location => perm.short().ends_with("_LOCATION"),
+                    SourceClass::Contacts => {
+                        matches!(perm.short(), "READ_CONTACTS" | "READ_CALL_LOG")
+                    }
+                    SourceClass::Account => perm.short() == "GET_ACCOUNTS",
+                };
+                assert!(ok, "{class:?} api {} has {}", api.0, perm.0);
+            }
+        }
+        for api in m.sink_apis(SinkClass::NetworkSend) {
+            assert_eq!(m.required(*api).map(|p| p.short()), Some("INTERNET"));
+        }
+        for api in m.sink_apis(SinkClass::LogExfil) {
+            assert_eq!(m.required(*api), None, "log sinks are unprotected");
+        }
     }
 }

@@ -27,6 +27,13 @@ pub struct CallGraph<'a> {
     owner: Vec<(u32, u32)>,
     /// Class descriptor → class index, for entry-point resolution.
     by_name: HashMap<&'a str, usize>,
+    /// CSR edge index: `targets[edge_base[m]..edge_base[m + 1]]` are the
+    /// flat indices method `m` invokes — deduplicated (a method invoking
+    /// the same target repeatedly contributes one edge) and with dangling
+    /// refs dropped at build time, so edge counts never inflate.
+    edge_base: Vec<u32>,
+    /// Flat, deduplicated invocation targets (CSR payload).
+    targets: Vec<u32>,
 }
 
 /// Counters describing one reachability pass (telemetry feed).
@@ -63,11 +70,37 @@ impl<'a> CallGraph<'a> {
             }
             next += class.methods.len() as u32;
         }
+        // CSR edge lists: resolve each invoke to a flat target, dropping
+        // dangling refs (possible only in hand-built in-memory files) and
+        // duplicates (first occurrence wins, order preserved).
+        let mut edge_base = Vec::with_capacity(owner.len() + 1);
+        let mut targets: Vec<u32> = Vec::with_capacity(dex.edge_count());
+        edge_base.push(0);
+        for class in &dex.classes {
+            for m in &class.methods {
+                let start = targets.len();
+                for r in &m.invokes {
+                    let Some(target_class) = dex.classes.get(r.class as usize) else {
+                        continue;
+                    };
+                    if (r.method as usize) >= target_class.methods.len() {
+                        continue;
+                    }
+                    let tgt = method_base[r.class as usize] + r.method as u32;
+                    if !targets[start..].contains(&tgt) {
+                        targets.push(tgt);
+                    }
+                }
+                edge_base.push(targets.len() as u32);
+            }
+        }
         CallGraph {
             dex,
             method_base,
             owner,
             by_name,
+            edge_base,
+            targets,
         }
     }
 
@@ -76,9 +109,10 @@ impl<'a> CallGraph<'a> {
         self.owner.len()
     }
 
-    /// Total invocation edges in the graph.
+    /// Total invocation edges in the graph, after deduplication and
+    /// dangling-ref removal (may be below [`DexFile::edge_count`]).
     pub fn edge_count(&self) -> usize {
-        self.dex.edge_count()
+        self.targets.len()
     }
 
     /// Resolve a class descriptor to its index.
@@ -86,11 +120,23 @@ impl<'a> CallGraph<'a> {
         self.by_name.get(name).copied()
     }
 
+    /// The (class, method) coordinates of a flat method index.
+    pub fn owner_of(&self, flat: usize) -> (usize, usize) {
+        let (ci, mi) = self.owner[flat];
+        (ci as usize, mi as usize)
+    }
+
+    /// The deduplicated flat invocation targets of one flat method index.
+    pub fn targets_of(&self, flat: usize) -> &[u32] {
+        &self.targets[self.edge_base[flat] as usize..self.edge_base[flat + 1] as usize]
+    }
+
     /// Worklist reachability from a set of entry classes (every method of
     /// an entry class is a root, mirroring how the framework may invoke
     /// any lifecycle callback of a declared component). Entry names that
-    /// match no class are ignored; edges that dangle (possible only in
-    /// hand-built in-memory files, never in decoded ones) are skipped.
+    /// match no class are ignored; dangling and duplicate edges were
+    /// already dropped when the CSR index was built, so `edges_traversed`
+    /// counts distinct resolved edges only.
     pub fn reach_from_classes<'n, I>(&self, entries: I) -> Reachability
     where
         I: IntoIterator<Item = &'n str>,
@@ -115,16 +161,8 @@ impl<'a> CallGraph<'a> {
         };
         while let Some(flat) = work.pop() {
             stats.methods_reached += 1;
-            let (ci, mi) = self.owner[flat as usize];
-            for r in &self.dex.classes[ci as usize].methods[mi as usize].invokes {
+            for &tgt in self.targets_of(flat as usize) {
                 stats.edges_traversed += 1;
-                let Some(class) = self.dex.classes.get(r.class as usize) else {
-                    continue;
-                };
-                if (r.method as usize) >= class.methods.len() {
-                    continue;
-                }
-                let tgt = self.method_base[r.class as usize] + r.method as u32;
                 if !reached[tgt as usize] {
                     reached[tgt as usize] = true;
                     work.push(tgt);
@@ -266,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn dangling_in_memory_edges_are_skipped() {
+    fn dangling_in_memory_edges_are_dropped_at_build() {
         let dex = DexFile {
             classes: vec![ClassDef {
                 name: "La/A;".into(),
@@ -274,8 +312,36 @@ mod tests {
             }],
         };
         let graph = CallGraph::new(&dex);
+        // Both refs dangle: neither survives CSR construction.
+        assert_eq!(graph.edge_count(), 0);
         let r = graph.reach_from_classes(["La/A;"]);
         assert_eq!(r.reached_count(), 1);
+        assert_eq!(r.stats.edges_traversed, 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated_at_build() {
+        // Main's first method invokes Helper.0 three times and itself
+        // twice; the CSR index keeps one edge each, so neither the edge
+        // count nor the traversal counter inflates.
+        let dex = DexFile {
+            classes: vec![
+                ClassDef {
+                    name: "La/Main;".into(),
+                    methods: vec![method(&[], &[(1, 0), (1, 0), (0, 0), (1, 0), (0, 0)])],
+                },
+                ClassDef {
+                    name: "La/Helper;".into(),
+                    methods: vec![method(&[], &[])],
+                },
+            ],
+        };
+        assert_eq!(dex.edge_count(), 5, "raw wire edges keep multiplicity");
+        let graph = CallGraph::new(&dex);
+        assert_eq!(graph.edge_count(), 2, "CSR deduplicates");
+        assert_eq!(graph.targets_of(0), &[1, 0]);
+        let r = graph.reach_from_classes(["La/Main;"]);
+        assert_eq!(r.reached_count(), 2);
         assert_eq!(r.stats.edges_traversed, 2);
     }
 

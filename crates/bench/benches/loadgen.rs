@@ -16,10 +16,13 @@ fn bench_schedule(c: &mut Criterion) {
     let world = generate(WorldConfig {
         seed: 0xBE7C4,
         scale: bench_scale(),
+        ..WorldConfig::default()
     });
     let corpus = Corpus::from_world(&world);
     let mut g = c.benchmark_group("loadgen");
-    g.bench_function("corpus_from_world", |b| b.iter(|| Corpus::from_world(&world)));
+    g.bench_function("corpus_from_world", |b| {
+        b.iter(|| Corpus::from_world(&world))
+    });
     for workers in [4usize, 16] {
         let requests = workers * 100;
         g.throughput(Throughput::Elements(requests as u64));
@@ -38,6 +41,7 @@ fn bench_closed_loop(c: &mut Criterion) {
     let world = Arc::new(generate(WorldConfig {
         seed: 0xBE7C4,
         scale: bench_scale(),
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(Arc::clone(&world)).expect("spawn fleet");
     let config = LoadConfig {

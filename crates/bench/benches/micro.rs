@@ -64,6 +64,7 @@ fn bench_digest_and_av(c: &mut Criterion) {
     let world = generate(WorldConfig {
         seed: 9,
         scale: Scale { divisor: 40_000 },
+        ..WorldConfig::default()
     });
     let apk = world.build_apk(marketscope::ecosystem::AppId(0), 1, false);
     let digest = ApkDigest::from_bytes(&apk).unwrap();

@@ -20,6 +20,7 @@ fn bench_generation(c: &mut Criterion) {
             generate(WorldConfig {
                 seed: 1,
                 scale: Scale { divisor: 4_000 },
+                ..WorldConfig::default()
             })
         })
     });
@@ -28,6 +29,7 @@ fn bench_generation(c: &mut Criterion) {
             generate(WorldConfig {
                 seed: 1,
                 scale: Scale { divisor: 16_000 },
+                ..WorldConfig::default()
             })
         })
     });
@@ -38,6 +40,7 @@ fn bench_apk_build(c: &mut Criterion) {
     let world = Arc::new(generate(WorldConfig {
         seed: 2,
         scale: Scale { divisor: 16_000 },
+        ..WorldConfig::default()
     }));
     let mut g = c.benchmark_group("pipeline");
     g.bench_function("build_one_apk", |b| {
@@ -54,6 +57,7 @@ fn bench_crawl(c: &mut Criterion) {
     let world = Arc::new(generate(WorldConfig {
         seed: 3,
         scale: Scale { divisor: 40_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(Arc::clone(&world)).expect("fleet");
     let targets = CrawlTargets {

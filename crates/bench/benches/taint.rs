@@ -1,0 +1,119 @@
+//! Taint-pass benchmarks: interprocedural source→sink propagation and
+//! the leak-attribution join on a synthetic 10k-method app, at several
+//! edge densities.
+//!
+//! The propagation pass is one `O(V + E)` worklist walk per source
+//! class, so doubling the edge count should roughly double walk time —
+//! the per-density group IDs make that scaling directly readable off
+//! the criterion report, exactly as for the reachability benches.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marketscope::analysis::taint::LeakAnalyzer;
+use marketscope::apk::apicalls::ApiCallId;
+use marketscope::apk::builder::ApkBuilder;
+use marketscope::apk::dex::{ClassDef, DexFile, MethodDef, MethodRef};
+use marketscope::apk::digest::ApkDigest;
+use marketscope::apk::manifest::Manifest;
+use marketscope::apk::permmap::{PermissionMap, SinkClass, SourceClass};
+use marketscope::apk::reach::CallGraph;
+use marketscope::apk::taint;
+use marketscope::core::{DeveloperKey, PackageName, VersionCode};
+use marketscope::libdetect::PackageOwnership;
+
+const CLASSES: usize = 1_000;
+const METHODS_PER_CLASS: usize = 10; // 10k methods total
+
+/// A synthetic leaky app: the reach.rs synthetic topology, with real
+/// source APIs seeded into ~1/50 methods and real sink APIs into
+/// ~1/100, so the walk genuinely taints and records flows
+/// (deterministic, no RNG dependency).
+fn leaky_app(edges_per_method: usize, map: &PermissionMap) -> DexFile {
+    let sources = SourceClass::ALL.map(|s| map.source_apis(s)[0]);
+    let sinks = SinkClass::ALL.map(|s| map.sink_apis(s)[0]);
+    let classes = (0..CLASSES)
+        .map(|ci| ClassDef {
+            name: format!("Lapp/p{}/C{ci};", ci % 37),
+            methods: (0..METHODS_PER_CLASS)
+                .map(|mi| {
+                    let invokes = (0..edges_per_method)
+                        .map(|k| {
+                            let h = (ci * 1_000_003 + mi * 10_007 + k * 101) as u64;
+                            let h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                            MethodRef {
+                                class: ((h >> 16) % CLASSES as u64) as u16,
+                                method: ((h >> 48) % METHODS_PER_CLASS as u64) as u16,
+                            }
+                        })
+                        .collect();
+                    let flat = ci * METHODS_PER_CLASS + mi;
+                    let mut api_calls = vec![ApiCallId(((ci * 7 + mi) % 40_000) as u32)];
+                    if flat % 50 == 0 {
+                        api_calls.push(sources[(flat / 50) % sources.len()]);
+                    }
+                    if flat % 100 == 7 {
+                        api_calls.push(sinks[(flat / 100) % sinks.len()]);
+                    }
+                    MethodDef {
+                        api_calls,
+                        code_hash: (ci * 1_000 + mi) as u64,
+                        invokes,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    DexFile { classes }
+}
+
+fn bench_propagate(c: &mut Criterion) {
+    let map = PermissionMap::shared();
+    let mut g = c.benchmark_group("taint/propagate");
+    for edges_per_method in [1usize, 2, 4, 8] {
+        let dex = leaky_app(edges_per_method, map);
+        let graph = CallGraph::new(&dex);
+        let reach = graph.reach_all();
+        g.throughput(Throughput::Elements(dex.edge_count() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("10k_methods_edges_per_method", edges_per_method),
+            &edges_per_method,
+            |b, _| {
+                b.iter(|| taint::propagate(black_box(&dex), &graph, &reach, map));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    // Digest once (the expensive propagation happened there), then
+    // measure the per-app ownership join the engine's taint stage runs.
+    let map = PermissionMap::shared();
+    let manifest = Manifest {
+        package: PackageName::new("app.bench.taint").expect("static package"),
+        version_code: VersionCode(1),
+        version_name: "1.0".into(),
+        min_sdk: 9,
+        target_sdk: 23,
+        app_label: "bench".into(),
+        permissions: vec![],
+        category: "Tools".into(),
+        components: vec![],
+    };
+    let bytes = ApkBuilder::new(manifest, leaky_app(4, map))
+        .build(DeveloperKey::from_label("bench"))
+        .expect("build synthetic apk");
+    let digest = ApkDigest::from_bytes(&bytes).expect("digest synthetic apk");
+    // Half the synthetic packages are "detected libraries": both Host
+    // and Library attribution paths get exercised.
+    let ownership = PackageOwnership::new((0..37).step_by(2).map(|p| format!("app.p{p}")));
+    let analyzer = LeakAnalyzer::new();
+    let mut g = c.benchmark_group("taint/attribution");
+    g.throughput(Throughput::Elements(digest.flows.len().max(1) as u64));
+    g.bench_function("analyze_10k_method_digest", |b| {
+        b.iter(|| analyzer.analyze(black_box(&digest), &ownership))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_propagate, bench_attribution);
+criterion_main!(benches);

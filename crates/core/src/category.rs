@@ -65,10 +65,10 @@ impl Category {
 
     /// Stable dense index in `0..22`.
     pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|c| *c == self)
-            .expect("all variants listed")
+        match Self::ALL.iter().position(|v| *v == self) {
+            Some(i) => i,
+            None => unreachable!("all variants listed"),
+        }
     }
 
     /// Display label matching the paper's Figure 1.

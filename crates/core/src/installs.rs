@@ -78,10 +78,10 @@ impl InstallRange {
 
     /// Stable dense index in `0..7`.
     pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|r| *r == self)
-            .expect("all variants listed")
+        match Self::ALL.iter().position(|v| *v == self) {
+            Some(i) => i,
+            None => unreachable!("all variants listed"),
+        }
     }
 
     /// Figure 2 column label.

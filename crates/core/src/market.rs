@@ -76,10 +76,10 @@ impl MarketId {
 
     /// Stable dense index in `0..17`, usable for array-backed tables.
     pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|m| *m == self)
-            .expect("all variants listed")
+        match Self::ALL.iter().position(|v| *v == self) {
+            Some(i) => i,
+            None => unreachable!("all variants listed"),
+        }
     }
 
     /// The market's display name as used in the paper's tables.

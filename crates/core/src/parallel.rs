@@ -62,7 +62,7 @@ where
             })
             .collect();
         for h in handles {
-            parts.push(h.join().expect("parallel map worker panicked"));
+            parts.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     });
     parts.into_iter().flatten().collect()
@@ -102,11 +102,14 @@ where
             })
             .collect();
         for h in handles {
-            parts.push(h.join().expect("parallel fold worker panicked"));
+            parts.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     });
     let mut parts = parts.into_iter();
-    let first = parts.next().expect("at least one chunk");
+    let first = match parts.next() {
+        Some(p) => p,
+        None => unreachable!("chunk count is always >= 1"),
+    };
     parts.fold(first, merge)
 }
 

@@ -150,10 +150,7 @@ impl ZipfSampler {
     /// Draw a rank in `1..=n` (rank 1 is the most likely).
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.unit();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
-        {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }
@@ -215,10 +212,7 @@ impl WeightedIndex {
     /// Draw an index with probability proportional to its weight.
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.unit();
-        match self
-            .cumulative
-            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
-        {
+        match self.cumulative.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }

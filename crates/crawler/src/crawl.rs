@@ -339,7 +339,7 @@ impl Crawler {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("market thread"))
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         });
 
@@ -389,7 +389,7 @@ impl Crawler {
                 })
                 .collect();
             for h in handles {
-                h.join().expect("search thread");
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
             }
         });
 
@@ -405,7 +405,7 @@ impl Crawler {
                     })
                     .collect();
                 for h in handles {
-                    h.join().expect("harvest thread");
+                    h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
                 }
             });
         }

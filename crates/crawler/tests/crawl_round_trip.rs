@@ -26,6 +26,7 @@ fn full_crawl_reconstructs_catalogs() {
     let world = Arc::new(generate(WorldConfig {
         seed: 77,
         scale: Scale { divisor: 40_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(Arc::clone(&world)).unwrap();
     let targets = CrawlTargets {
@@ -91,6 +92,7 @@ fn second_crawl_sees_removals() {
     let world = Arc::new(generate(WorldConfig {
         seed: 9,
         scale: Scale { divisor: 40_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(Arc::clone(&world)).unwrap();
     let targets = CrawlTargets {
@@ -130,6 +132,7 @@ fn per_market_cap_limits_work() {
     let world = Arc::new(generate(WorldConfig {
         seed: 5,
         scale: Scale { divisor: 40_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(Arc::clone(&world)).unwrap();
     let targets = CrawlTargets {
@@ -154,6 +157,7 @@ fn politeness_throttles_the_crawl() {
     let world = Arc::new(generate(WorldConfig {
         seed: 4,
         scale: Scale { divisor: 200_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(Arc::clone(&world)).unwrap();
     let targets = CrawlTargets {

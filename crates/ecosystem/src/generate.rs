@@ -19,9 +19,10 @@ use crate::names::NameForge;
 use crate::profiles::{all_profiles, profile, MarketProfile, Scale};
 use crate::threat::{FamilyRegion, Infection, ThreatDb, ThreatTier, FAMILIES};
 use crate::world::{
-    own_classes, App, AppId, DevId, Developer, GroundTruth, Listing, ListingId, Provenance, World,
+    own_classes, App, AppId, DevId, Developer, GroundTruth, Listing, ListingId, PlantedLeak,
+    Provenance, World,
 };
-use marketscope_apk::permmap::{PermissionMap, PERMISSIONS};
+use marketscope_apk::permmap::{PermissionMap, SinkClass, SourceClass, PERMISSIONS};
 use marketscope_core::rng::{DetRng, WeightedIndex};
 use marketscope_core::{Category, DeveloperKey, MarketId, MarketKind, PackageName, SimDate};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -33,6 +34,10 @@ pub struct WorldConfig {
     pub seed: u64,
     /// Catalog scale.
     pub scale: Scale,
+    /// Share of planted privacy leaks whose sink lives in a bundled
+    /// third-party ad library; the rest sink in host code (Section 6
+    /// extension — the host-vs-TPL attribution split).
+    pub leak_tpl_share: f64,
 }
 
 impl Default for WorldConfig {
@@ -40,6 +45,7 @@ impl Default for WorldConfig {
         WorldConfig {
             seed: 0x5eed_cafe,
             scale: Scale::SMALL,
+            leak_tpl_share: 0.4,
         }
     }
 }
@@ -360,8 +366,10 @@ impl Generator {
             .seed();
         let own_class_count = 16 + self.rng.index(32) as u32;
         let developer = self.pick_developer(&markets);
+        let leak = self.sample_leak(home, &libs, self.apps.len() as u64);
         let mut app = App {
-            package: PackageName::new(&package).expect("forge emits valid packages"),
+            package: PackageName::new(&package)
+                .unwrap_or_else(|_| unreachable!("forge emits valid packages")),
             label,
             developer,
             category,
@@ -375,6 +383,7 @@ impl Generator {
             own_class_count,
             code_mutation: None,
             declared_permissions: Vec::new(),
+            leak,
             infection: None,
             provenance: Provenance::Original,
         };
@@ -409,13 +418,15 @@ impl Generator {
             // 2010 .. end of 2016.
             let lo = SimDate::from_ymd_const(2010, 1, 1).days();
             let hi = SimDate::from_ymd_const(2016, 12, 31).days();
-            SimDate::from_days(self.rng.range_u64(0, (hi - lo) as u64 + 1) as i64 + lo).unwrap()
+            SimDate::from_days(self.rng.range_u64(0, (hi - lo) as u64 + 1) as i64 + lo)
+                .unwrap_or_else(|_| unreachable!("2010..2016 days are in range"))
         } else if u < p.old_release_share + p.fresh_release_share {
             crawl.plus_days(-(self.rng.index(180) as i64))
         } else {
             let lo = SimDate::from_ymd_const(2017, 1, 1).days();
             let hi = crawl.plus_days(-180).days();
-            SimDate::from_days(self.rng.range_u64(0, (hi - lo).max(1) as u64) as i64 + lo).unwrap()
+            SimDate::from_days(self.rng.range_u64(0, (hi - lo).max(1) as u64) as i64 + lo)
+                .unwrap_or_else(|_| unreachable!("2017..crawl days are in range"))
         };
         let is_old = date.year() < 2017;
         // Condition low-API on age so the Figure 3 share lands at the
@@ -574,6 +585,51 @@ impl Generator {
         id
     }
 
+    /// Decide whether this original leaks private data, and how.
+    ///
+    /// The decision runs on an independent per-app stream
+    /// (`derive_indexed`) so adding the leak layer never perturbs the
+    /// main generation stream. Device identifiers dominate the source
+    /// mix (the paper's IMEI-centric leak reports) and most flows
+    /// exfiltrate over the network; the rest land in logs. The sink
+    /// sits in third-party-library code with probability
+    /// `leak_tpl_share` — only possible when the app bundles one.
+    fn sample_leak(
+        &mut self,
+        home: MarketId,
+        libs: &[LibUse],
+        app_index: u64,
+    ) -> Option<PlantedLeak> {
+        let mut r = self.rng.derive_indexed("leak", app_index);
+        if !r.chance(profile(home).leak_rate) {
+            return None;
+        }
+        let source_class = if r.chance(0.55) {
+            SourceClass::DeviceId
+        } else {
+            *r.pick(&[
+                SourceClass::Location,
+                SourceClass::Contacts,
+                SourceClass::Account,
+            ])
+        };
+        let sink_class = if r.chance(0.8) {
+            SinkClass::NetworkSend
+        } else {
+            SinkClass::LogExfil
+        };
+        let sources = self.permmap.source_apis(source_class);
+        let sinks = self.permmap.sink_apis(sink_class);
+        let source = sources[r.index(sources.len())];
+        let sink = sinks[r.index(sinks.len())];
+        let via_tpl = !libs.is_empty() && r.chance(self.config.leak_tpl_share);
+        Some(PlantedLeak {
+            source,
+            sink,
+            via_tpl,
+        })
+    }
+
     fn compute_permissions(&mut self, app: &App, home: MarketId) -> Vec<String> {
         // Used permissions: own code + every embedded library.
         let own = own_classes(
@@ -614,6 +670,16 @@ impl Generator {
                 }
             };
             used.extend(cached);
+        }
+        // The planted leak's calls are real uses: declare their
+        // permissions so leaky apps don't read as under-declared.
+        if let Some(leak) = app.leak {
+            used.extend(
+                self.permmap
+                    .used_permissions([leak.source, leak.sink].into_iter())
+                    .into_iter()
+                    .map(|p| p.0),
+            );
         }
         // Over-privilege extras (Figure 11).
         let p = profile(home);
@@ -813,7 +879,8 @@ impl Generator {
             .derive_indexed("fake-code", self.apps.len() as u64)
             .seed();
         let mut app = App {
-            package: PackageName::new(&package).expect("valid"),
+            package: PackageName::new(&package)
+                .unwrap_or_else(|_| unreachable!("forge emits valid packages")),
             label,
             developer,
             category,
@@ -827,6 +894,7 @@ impl Generator {
             own_class_count: 4 + self.rng.index(8) as u32,
             code_mutation: None,
             declared_permissions: Vec::new(),
+            leak: None,
             infection: None,
             provenance: Provenance::Fake { of: victim },
         };
@@ -927,6 +995,7 @@ impl Generator {
                         .seed(),
                 ),
                 declared_permissions: Vec::new(),
+                leak: None,
                 infection: None,
                 provenance: Provenance::SigClone { of: victim },
             };
@@ -963,7 +1032,8 @@ impl Generator {
             format!("{} Free", v.label)
         };
         let mut app = App {
-            package: PackageName::new(&package).expect("valid"),
+            package: PackageName::new(&package)
+                .unwrap_or_else(|_| unreachable!("forge emits valid packages")),
             label,
             developer,
             category: v.category,
@@ -983,6 +1053,7 @@ impl Generator {
                     .seed(),
             ),
             declared_permissions: Vec::new(),
+            leak: None,
             infection: None,
             provenance: Provenance::CodeClone { of: victim },
         };
@@ -1007,7 +1078,7 @@ impl Generator {
             profile(*a)
                 .av10_rate
                 .partial_cmp(&profile(*b).av10_rate)
-                .unwrap()
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for tier_pass in [ThreatTier::Malware, ThreatTier::Grayware] {
             for &m in &order {
@@ -1099,7 +1170,7 @@ impl Generator {
                 )
             })
             .collect();
-        scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
         // A second ordering for *spread* infections: widely published in
         // the lax markets, never touching the strictly-vetted ones.
         // Section 7 finds 11,623 Google Play malware samples also hosted
@@ -1188,7 +1259,7 @@ impl Generator {
             let family = self
                 .threat_db
                 .family_by_name(family_name)
-                .expect("family known");
+                .unwrap_or_else(|| unreachable!("SPECIALS families exist in the threat db"));
             let tier = self.threat_db.family(family).tier;
             let developer = self.new_developer();
             let own_code_seed = self
@@ -1197,7 +1268,8 @@ impl Generator {
                 .seed();
             let (base_date, min_sdk) = self.sample_date_and_sdk(markets[0]);
             let mut app = App {
-                package: PackageName::new(pkg).expect("table 5 packages are valid"),
+                package: PackageName::new(pkg)
+                    .unwrap_or_else(|_| unreachable!("table 5 packages are valid")),
                 label: pkg.rsplit('.').next().unwrap_or("app").to_owned(),
                 developer,
                 category: Category::Tools,
@@ -1211,6 +1283,7 @@ impl Generator {
                 own_class_count: 6,
                 code_mutation: None,
                 declared_permissions: Vec::new(),
+                leak: None,
                 infection: Some(Infection {
                     family,
                     tier,
@@ -1254,6 +1327,13 @@ impl Generator {
                     }
                 }
             }
+            if let Some(leak) = self.apps[self.listings[i].app.0 as usize].leak {
+                if leak.via_tpl {
+                    self.ground_truth.leaks_tpl[market.index()] += 1;
+                } else {
+                    self.ground_truth.leaks_host[market.index()] += 1;
+                }
+            }
         }
     }
 }
@@ -1282,7 +1362,63 @@ mod tests {
         generate(WorldConfig {
             seed: 7,
             scale: Scale { divisor: 20_000 },
+            ..WorldConfig::default()
         })
+    }
+
+    #[test]
+    fn planted_leaks_materialize_in_digests() {
+        let w = tiny_world();
+        let mut checked_tpl = false;
+        let mut checked_host = false;
+        for (i, app) in w.apps.iter().enumerate() {
+            let Some(leak) = app.leak else { continue };
+            if checked_tpl && checked_host {
+                break;
+            }
+            let bytes = w.build_apk(AppId(i as u32), app.version_count, false);
+            let d = marketscope_apk::digest::ApkDigest::from_bytes(&bytes).unwrap();
+            assert!(!d.flows.is_empty(), "planted leak produced no taint flow");
+            if leak.via_tpl {
+                let root = crate::world::leak_host_package(app, &w.libraries).unwrap();
+                assert!(
+                    d.flows.iter().any(|f| f
+                        .sink_package
+                        .as_deref()
+                        .is_some_and(|p| p.starts_with(&root))),
+                    "TPL leak must sink under {root}"
+                );
+                checked_tpl = true;
+            } else {
+                assert!(
+                    d.flows
+                        .iter()
+                        .any(|f| f.sink_package.as_deref() == Some(app.own_package.as_str())),
+                    "host leak must sink in own code"
+                );
+                checked_host = true;
+            }
+        }
+        assert!(checked_tpl, "no TPL leak planted at this scale");
+        assert!(checked_host, "no host leak planted at this scale");
+    }
+
+    #[test]
+    fn ground_truth_counts_leaks_per_market() {
+        let w = tiny_world();
+        let host: u32 = w.ground_truth.leaks_host.iter().sum();
+        let tpl: u32 = w.ground_truth.leaks_tpl.iter().sum();
+        assert!(host > 0, "no host leaks tallied");
+        assert!(tpl > 0, "no TPL leaks tallied");
+        // The realized TPL share sits near the configured 0.4 coin;
+        // library-less apps can only leak from host code, pulling it
+        // below the raw rate.
+        let share = f64::from(tpl) / f64::from(host + tpl);
+        assert!((0.15..0.55).contains(&share), "tpl share {share}");
+        // Only originals leak, so every tally row is bounded by the
+        // market's listing count.
+        let planted: u32 = host + tpl;
+        assert!((planted as usize) < w.listing_count());
     }
 
     #[test]
@@ -1399,6 +1535,7 @@ mod tests {
         let w = generate(WorldConfig {
             seed: 11,
             scale: Scale { divisor: 5_000 },
+            ..WorldConfig::default()
         });
         // PC Online must be dirtier than Google Play, Huawei cleaner than
         // OPPO — the orderings Section 6.4 highlights.
@@ -1442,6 +1579,7 @@ mod tests {
         let w = generate(WorldConfig {
             seed: 3,
             scale: Scale { divisor: 2_000 },
+            ..WorldConfig::default()
         });
         let removal_rate = |m: MarketId| {
             let (mut mal, mut removed) = (0usize, 0usize);
@@ -1534,6 +1672,7 @@ mod tests {
         let w = generate(WorldConfig {
             seed: 5,
             scale: Scale { divisor: 2_000 },
+            ..WorldConfig::default()
         });
         // OPPO's modal bucket is 100-1K (84.31%); Tencent's is 0-10.
         let modal = |m: MarketId| {

@@ -34,4 +34,6 @@ pub use generate::{generate, WorldConfig};
 pub use libs::{LibCatalog, LibCategory, LibId, LibUse};
 pub use profiles::{all_profiles, profile, MarketProfile, Scale};
 pub use threat::{Family, FamilyId, Infection, ThreatDb, ThreatTier, FAMILIES};
-pub use world::{App, AppId, DevId, Developer, GroundTruth, Listing, ListingId, Provenance, World};
+pub use world::{
+    App, AppId, DevId, Developer, GroundTruth, Listing, ListingId, PlantedLeak, Provenance, World,
+};

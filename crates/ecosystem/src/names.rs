@@ -91,7 +91,7 @@ fn base36(mut n: u64) -> String {
         }
     }
     out.reverse();
-    String::from_utf8(out).expect("ascii")
+    String::from_utf8(out).unwrap_or_else(|_| unreachable!("DIGITS are ascii"))
 }
 
 /// Chinese-flavoured label fragments for ecosystem colour (the crawler and

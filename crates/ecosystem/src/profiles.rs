@@ -100,6 +100,11 @@ pub struct MarketProfile {
     pub av10_rate: f64,
     /// Table 4 "≥20".
     pub av20_rate: f64,
+    /// Section 6 extension: share of listings planted with a privacy
+    /// leak (a taint flow from a private source to an exfiltration
+    /// sink). Tracks the market's general hygiene — clean stores vet
+    /// SDK behaviour, grey markets do not.
+    pub leak_rate: f64,
     /// Table 6: share of identified malware removed by the second crawl
     /// (`None` for markets excluded from the post-analysis).
     pub malware_removal_rate: Option<f64>,
@@ -167,6 +172,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(17.03),
         av10_rate: pct!(2.09),
         av20_rate: pct!(0.32),
+        leak_rate: pct!(8.0),
         malware_removal_rate: Some(pct!(84.0)),
         up_to_date_share: pct!(95.4),
         single_store_share: pct!(77.0),
@@ -204,6 +210,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(34.15),
         av10_rate: pct!(11.16),
         av20_rate: pct!(3.45),
+        leak_rate: pct!(18.0),
         malware_removal_rate: Some(pct!(8.75)),
         up_to_date_share: pct!(89.4),
         single_store_share: pct!(15.0),
@@ -241,6 +248,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(42.77),
         av10_rate: pct!(12.24),
         av20_rate: pct!(3.30),
+        leak_rate: pct!(22.0),
         malware_removal_rate: Some(pct!(23.99)),
         up_to_date_share: pct!(52.9),
         single_store_share: pct!(8.0),
@@ -278,6 +286,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(41.40),
         av10_rate: pct!(12.35),
         av20_rate: pct!(3.10),
+        leak_rate: pct!(21.0),
         malware_removal_rate: Some(pct!(43.0)),
         up_to_date_share: pct!(82.5),
         single_store_share: pct!(10.0),
@@ -315,6 +324,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(42.97),
         av10_rate: pct!(16.43),
         av20_rate: pct!(6.00),
+        leak_rate: pct!(22.0),
         malware_removal_rate: None, // OPPO became app-only before the 2nd crawl
         up_to_date_share: pct!(90.2),
         single_store_share: pct!(22.0),
@@ -352,6 +362,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(55.11),
         av10_rate: pct!(9.12),
         av20_rate: pct!(1.82),
+        leak_rate: pct!(27.0),
         malware_removal_rate: Some(pct!(32.50)),
         up_to_date_share: pct!(63.9),
         single_store_share: pct!(5.0),
@@ -389,6 +400,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(51.40),
         av10_rate: pct!(10.70),
         av20_rate: pct!(3.14),
+        leak_rate: pct!(25.0),
         malware_removal_rate: Some(pct!(29.18)),
         up_to_date_share: pct!(69.1),
         single_store_share: pct!(0.9),
@@ -426,6 +438,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(57.48),
         av10_rate: pct!(4.71),
         av20_rate: pct!(0.57),
+        leak_rate: pct!(24.0),
         malware_removal_rate: Some(pct!(26.92)),
         up_to_date_share: pct!(72.7),
         single_store_share: pct!(4.0),
@@ -463,6 +476,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(54.20),
         av10_rate: pct!(7.53),
         av20_rate: pct!(1.52),
+        leak_rate: pct!(26.0),
         malware_removal_rate: Some(pct!(22.75)),
         up_to_date_share: pct!(60.4),
         single_store_share: pct!(2.0),
@@ -500,6 +514,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(32.36),
         av10_rate: pct!(8.26),
         av20_rate: pct!(2.06),
+        leak_rate: pct!(19.0),
         malware_removal_rate: Some(pct!(19.63)),
         up_to_date_share: pct!(91.8),
         single_store_share: pct!(21.0),
@@ -537,6 +552,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(31.99),
         av10_rate: pct!(7.98),
         av20_rate: pct!(2.19),
+        leak_rate: pct!(18.0),
         malware_removal_rate: Some(pct!(34.51)),
         up_to_date_share: pct!(90.0),
         single_store_share: pct!(0.8),
@@ -574,6 +590,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(41.89),
         av10_rate: pct!(11.12),
         av20_rate: pct!(2.72),
+        leak_rate: pct!(22.0),
         malware_removal_rate: None, // HiApk discontinued service by end of 2017
         up_to_date_share: pct!(66.6),
         single_store_share: pct!(6.0),
@@ -611,6 +628,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(55.32),
         av10_rate: pct!(11.37),
         av20_rate: pct!(2.41),
+        leak_rate: pct!(26.0),
         malware_removal_rate: Some(pct!(27.61)),
         up_to_date_share: pct!(75.9),
         single_store_share: pct!(23.0),
@@ -648,6 +666,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(45.91),
         av10_rate: pct!(13.00),
         av20_rate: pct!(4.27),
+        leak_rate: pct!(23.0),
         malware_removal_rate: Some(pct!(14.08)),
         up_to_date_share: pct!(79.7),
         single_store_share: pct!(7.0),
@@ -685,6 +704,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(55.93),
         av10_rate: pct!(24.01),
         av20_rate: pct!(8.37),
+        leak_rate: pct!(28.0),
         malware_removal_rate: Some(pct!(0.01)),
         up_to_date_share: pct!(84.1),
         single_store_share: pct!(9.0),
@@ -722,6 +742,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(52.41),
         av10_rate: pct!(16.53),
         av20_rate: pct!(4.59),
+        leak_rate: pct!(27.0),
         malware_removal_rate: Some(pct!(24.24)),
         up_to_date_share: pct!(69.3),
         single_store_share: pct!(5.0),
@@ -759,6 +780,7 @@ static PROFILES: [MarketProfile; 17] = [
         av1_rate: pct!(48.55),
         av10_rate: pct!(14.13),
         av20_rate: pct!(4.27),
+        leak_rate: pct!(24.0),
         malware_removal_rate: Some(pct!(20.51)),
         up_to_date_share: pct!(77.2),
         single_store_share: pct!(4.0),
@@ -807,6 +829,7 @@ mod tests {
                 ("av1", p.av1_rate),
                 ("av10", p.av10_rate),
                 ("av20", p.av20_rate),
+                ("leak", p.leak_rate),
                 ("unrated", p.unrated_share),
                 ("old", p.old_release_share),
                 ("fresh", p.fresh_release_share),
@@ -837,6 +860,14 @@ mod tests {
         assert!(!profile(MarketId::XiaomiMarket).reports_installs);
         assert!(!profile(MarketId::AppChina).reports_installs);
         assert_eq!(profile(MarketId::PcOnline).default_rating, 3.0);
+        // Google Play is the cleanest leak-wise; every Chinese market
+        // plants at least twice its rate.
+        let gp_leak = profile(MarketId::GooglePlay).leak_rate;
+        for m in MarketId::ALL {
+            if m != MarketId::GooglePlay {
+                assert!(profile(m).leak_rate >= 2.0 * gp_leak, "{m:?}");
+            }
+        }
         assert_eq!(profile(MarketId::HiApk).malware_removal_rate, None);
         assert_eq!(profile(MarketId::OppoMarket).malware_removal_rate, None);
         assert!(!profile(MarketId::HiApk).copyright_check);

@@ -1,7 +1,7 @@
 //! The synthetic world: developers, apps, per-market listings, and the
 //! deterministic APK assembly that turns them into bytes.
 
-use crate::libs::{LibCatalog, LibUse};
+use crate::libs::{LibCatalog, LibCategory, LibUse};
 use crate::profiles::Scale;
 use crate::threat::{Infection, ThreatDb};
 use marketscope_apk::apicalls::ApiCallId;
@@ -44,6 +44,23 @@ pub enum Provenance {
         /// The plagiarized app.
         of: AppId,
     },
+}
+
+/// A planted privacy leak (ground truth for the taint analysis).
+///
+/// The own root method reads the private source; where the sink call
+/// lands depends on `via_tpl`: host code (the far end of the own-code
+/// chain, so the flow is genuinely interprocedural) or an appended
+/// class under a bundled third-party library's namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedLeak {
+    /// The private-data read (e.g. a device-id API).
+    pub source: ApiCallId,
+    /// The exfiltration call (network send or log write).
+    pub sink: ApiCallId,
+    /// Whether the sink site lives in third-party-library namespace
+    /// (a supply-chain leak) rather than host code.
+    pub via_tpl: bool,
 }
 
 /// A developer identity.
@@ -92,6 +109,8 @@ pub struct App {
     pub code_mutation: Option<u64>,
     /// Declared manifest permissions (used ∪ over-privileged extras).
     pub declared_permissions: Vec<String>,
+    /// Planted privacy leak, if any (originals only).
+    pub leak: Option<PlantedLeak>,
     /// Planted infection, if any.
     pub infection: Option<Infection>,
     /// Ground-truth provenance.
@@ -134,6 +153,10 @@ pub struct GroundTruth {
     pub malware: [u32; 17],
     /// Planted grayware-tier listings per market (AV-rank 1–9).
     pub grayware: [u32; 17],
+    /// Planted host-code privacy-leak listings per market.
+    pub leaks_host: [u32; 17],
+    /// Planted third-party-library privacy-leak listings per market.
+    pub leaks_tpl: [u32; 17],
 }
 
 /// The generated world.
@@ -236,6 +259,9 @@ impl World {
             payload_range,
             wire_libs,
         );
+        if let Some(leak) = app.leak {
+            inject_leak(&mut classes, shift, own_len, leak, app, &self.libraries);
+        }
         let mut components = Vec::new();
         if !classes.is_empty() {
             // The launcher activity: the stub loader when packed (which
@@ -265,7 +291,7 @@ impl World {
         let dev = self.developer(app.developer);
         ApkBuilder::new(manifest, DexFile { classes })
             .build(dev.key)
-            .expect("generated apk is structurally valid")
+            .unwrap_or_else(|e| unreachable!("generated apk is structurally valid: {e:?}"))
     }
 }
 
@@ -338,6 +364,69 @@ fn wire_call_graph(
     }
     if shift == 1 && own_len > 0 {
         classes[0].methods[0].invokes.push(edge(shift, 0));
+    }
+}
+
+/// The bundled library whose namespace hosts a TPL leak sink: ad
+/// networks first (the paper's dominant leak vector), any library
+/// otherwise.
+pub(crate) fn leak_host_package(app: &App, libraries: &LibCatalog) -> Option<String> {
+    let ad = app
+        .libs
+        .iter()
+        .find(|lu| libraries.spec(lu.lib).category == LibCategory::Ad);
+    let lu = ad.or_else(|| app.libs.first())?;
+    Some(libraries.spec(lu.lib).package.clone())
+}
+
+/// Materialize a planted leak in the assembled DEX.
+///
+/// The source call lands in the own root method (reachable from the
+/// launcher component, so entry-point-rooted taint passes see it). A
+/// host leak sinks in the last own class. A TPL leak appends a fresh
+/// class under a bundled library's namespace — in a unique subpackage,
+/// so the class never clusters into the library itself — and wires it
+/// from the own root.
+fn inject_leak(
+    classes: &mut Vec<ClassDef>,
+    shift: usize,
+    own_len: usize,
+    leak: PlantedLeak,
+    app: &App,
+    libraries: &LibCatalog,
+) {
+    if own_len == 0 {
+        return;
+    }
+    classes[shift].methods[0].api_calls.push(leak.source);
+    let tpl_root = if leak.via_tpl {
+        leak_host_package(app, libraries)
+    } else {
+        None
+    };
+    match tpl_root {
+        Some(root) => {
+            let ns = mix64(app.own_code_seed, 0x1eaf) & 0xFFFF;
+            let path = root.replace('.', "/");
+            let target = classes.len();
+            classes.push(ClassDef {
+                name: format!("L{path}/x{ns:x}/Leak;"),
+                methods: vec![MethodDef {
+                    api_calls: vec![leak.sink],
+                    code_hash: mix64(app.own_code_seed, 0x5117),
+                    invokes: vec![],
+                }],
+            });
+            classes[shift].methods[0].invokes.push(MethodRef {
+                class: target as u16,
+                method: 0,
+            });
+        }
+        None => {
+            classes[shift + own_len - 1].methods[0]
+                .api_calls
+                .push(leak.sink);
+        }
     }
 }
 

@@ -112,6 +112,60 @@ impl LibraryReport {
     pub fn total_versions(&self) -> usize {
         self.libraries.iter().map(|l| l.versions).sum()
     }
+
+    /// The ownership join over this report's detected roots.
+    pub fn ownership(&self) -> PackageOwnership {
+        PackageOwnership::new(self.libraries.iter().map(|l| l.package.clone()))
+    }
+}
+
+/// Prefix-aware package → library-owner join: resolves a Java package to
+/// the detected library root that owns it, the same subtree semantics as
+/// detection itself (`com.ads.net.v2` belongs to root `com.ads.net`;
+/// `com.ads.network` does not). This is the attribution side of the taint
+/// pass — a leak sinking in an owned package is a *library* leak, any
+/// other package is *host* code.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackageOwnership {
+    /// Detected roots, sorted for binary search.
+    roots: Vec<String>,
+}
+
+impl PackageOwnership {
+    /// Build the join from a set of detected library root packages.
+    pub fn new<I: IntoIterator<Item = String>>(roots: I) -> PackageOwnership {
+        let mut roots: Vec<String> = roots.into_iter().collect();
+        roots.sort_unstable();
+        roots.dedup();
+        PackageOwnership { roots }
+    }
+
+    /// Number of distinct roots in the join.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether the join is empty (no detected libraries).
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// The library root owning `package`, if any: an exact root match or
+    /// the *longest* root of which `package` is a dotted subpackage.
+    pub fn owner_of(&self, package: &str) -> Option<&str> {
+        // Try the package itself, then strip trailing segments — the
+        // first hit is the longest owning root.
+        let mut prefix = package;
+        loop {
+            if let Ok(i) = self.roots.binary_search_by(|r| r.as_str().cmp(prefix)) {
+                return Some(&self.roots[i]);
+            }
+            match prefix.rsplit_once('.') {
+                Some((head, _)) => prefix = head,
+                None => return None,
+            }
+        }
+    }
 }
 
 /// The clustering detector.
@@ -392,11 +446,62 @@ mod tests {
     }
 
     #[test]
+    fn ownership_join_is_prefix_aware() {
+        let own = PackageOwnership::new(
+            ["com.google.ads", "com.google.ads.mediation", "com.qq.e"].map(String::from),
+        );
+        assert_eq!(own.len(), 3);
+        // Exact root.
+        assert_eq!(own.owner_of("com.qq.e"), Some("com.qq.e"));
+        // Dotted subpackage.
+        assert_eq!(own.owner_of("com.qq.e.ads.v2"), Some("com.qq.e"));
+        // Longest root wins over its own prefix.
+        assert_eq!(
+            own.owner_of("com.google.ads.mediation.admob"),
+            Some("com.google.ads.mediation")
+        );
+        assert_eq!(
+            own.owner_of("com.google.ads.loader"),
+            Some("com.google.ads")
+        );
+        // String prefix without a dot boundary is NOT ownership.
+        assert_eq!(own.owner_of("com.qq.ex"), None);
+        assert_eq!(own.owner_of("com.google.adsx.v1"), None);
+        // Host code resolves to nothing.
+        assert_eq!(own.owner_of("com.myapp.main"), None);
+        assert!(PackageOwnership::default().is_empty());
+        assert_eq!(PackageOwnership::default().owner_of("com.qq.e"), None);
+    }
+
+    #[test]
+    fn report_exports_its_ownership() {
+        let apps: Vec<ApkDigest> = (0..4)
+            .map(|i| {
+                app(
+                    &format!("com.app{i}.x"),
+                    &format!("dev{i}"),
+                    &[("com.umeng.analytics", 3)],
+                    i,
+                )
+            })
+            .collect();
+        let refs: Vec<&ApkDigest> = apps.iter().collect();
+        let report = LibraryDetector::new().detect(&refs);
+        let own = report.ownership();
+        assert_eq!(
+            own.owner_of("com.umeng.analytics.v7"),
+            Some("com.umeng.analytics")
+        );
+        assert_eq!(own.owner_of("com.app0.x"), None);
+    }
+
+    #[test]
     fn end_to_end_against_generated_world() {
         use marketscope_ecosystem::{generate, Scale, WorldConfig};
         let w = generate(WorldConfig {
             seed: 31,
             scale: Scale { divisor: 20_000 },
+            ..WorldConfig::default()
         });
         // Digest every Google Play APK.
         let digests: Vec<ApkDigest> = w

@@ -103,7 +103,7 @@ fn schema_version(doc: &Json) -> Option<u64> {
     doc.get("schema_version")?.as_u64()
 }
 
-fn field_f64<'a>(doc: &Json, path: &[&str], full: &str) -> Result<f64, DiffError> {
+fn field_f64(doc: &Json, path: &[&str], full: &str) -> Result<f64, DiffError> {
     let mut cur = doc;
     for key in path {
         cur = cur
@@ -248,13 +248,7 @@ mod tests {
         doc_with_version(BENCH_SCHEMA_VERSION, rps, p99_ns, rss, alloc_bytes)
     }
 
-    fn doc_with_version(
-        version: u64,
-        rps: f64,
-        p99_ns: u64,
-        rss: u64,
-        alloc_bytes: u64,
-    ) -> Json {
+    fn doc_with_version(version: u64, rps: f64, p99_ns: u64, rss: u64, alloc_bytes: u64) -> Json {
         Json::parse(&format!(
             r#"{{"schema_version":{version},"label":"t","load":{{
                 "achieved_rps":{rps},

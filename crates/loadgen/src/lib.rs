@@ -265,8 +265,10 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
         })
         .collect();
     let corpus = Corpus::from_world(fleet.world());
-    let counters: Vec<EndpointCounters> =
-        ENDPOINTS.iter().map(|_| EndpointCounters::default()).collect();
+    let counters: Vec<EndpointCounters> = ENDPOINTS
+        .iter()
+        .map(|_| EndpointCounters::default())
+        .collect();
 
     let alloc_phase = AllocPhase::start();
     let sampler = ResourceSampler::spawn(Arc::clone(&registry), config.sample_every);
@@ -286,9 +288,9 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
         );
         // Pacing: each worker fires at a fixed slot interval so the
         // whole step offers `target_rps` requests per second.
-        let slot = step.target_rps.map(|rps| {
-            Duration::from_secs_f64((step.workers.max(1)) as f64 / rps.max(0.001))
-        });
+        let slot = step
+            .target_rps
+            .map(|rps| Duration::from_secs_f64((step.workers.max(1)) as f64 / rps.max(0.001)));
         let step_start = Instant::now();
         std::thread::scope(|scope| {
             for worker_plans in &schedule.workers {
@@ -310,7 +312,7 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
                         let ei = ENDPOINTS
                             .iter()
                             .position(|&e| e == plan.endpoint)
-                            .expect("endpoint in table");
+                            .unwrap_or_else(|| unreachable!("plan endpoints come from ENDPOINTS"));
                         counters[ei].attempted.fetch_add(1, Ordering::Relaxed);
                         match clients[ei].get(fleet.addr(plan.market), &plan.path) {
                             Ok(_) => {
@@ -337,10 +339,7 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
                 .iter()
                 .map(|c| c.errors.load(Ordering::Relaxed))
                 .sum();
-            let prev_done: u64 = steps
-                .iter()
-                .map(|s: &StepReport| s.completed)
-                .sum();
+            let prev_done: u64 = steps.iter().map(|s: &StepReport| s.completed).sum();
             let prev_errs: u64 = steps.iter().map(|s: &StepReport| s.errors).sum();
             (done - prev_done, errs - prev_errs)
         };
@@ -386,8 +385,7 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
         attempted: endpoints.iter().map(|e| e.attempted).sum(),
         completed: endpoints.iter().map(|e| e.completed).sum(),
         errors: endpoints.iter().map(|e| e.errors).sum(),
-        transparent_retries: snapshot
-            .counter_sum("marketscope_net_client_retries_total", &[]),
+        transparent_retries: snapshot.counter_sum("marketscope_net_client_retries_total", &[]),
         resilient_retries: snapshot
             .counter_sum("marketscope_net_client_resilient_retries_total", &[]),
         backoff_nanos: snapshot.counter_sum("marketscope_net_client_backoff_nanos_total", &[]),
@@ -424,6 +422,7 @@ mod tests {
         let world = Arc::new(generate(WorldConfig {
             seed: 31,
             scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
         }));
         let fleet = MarketFleet::spawn(world).unwrap();
         let mut config = LoadConfig::smoke(7);
@@ -474,6 +473,7 @@ mod tests {
         let world = Arc::new(generate(WorldConfig {
             seed: 32,
             scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
         }));
         let fleet = MarketFleet::spawn(world).unwrap();
         let config = LoadConfig {

@@ -253,8 +253,7 @@ mod tests {
         let eps = load.get("endpoints").unwrap().as_arr().unwrap();
         assert_eq!(eps[0].get("p99_ns").unwrap().as_u64(), Some(900_000));
         assert_eq!(
-            load.get("steps").unwrap().as_arr().unwrap()[0]
-                .get("offered_rps"),
+            load.get("steps").unwrap().as_arr().unwrap()[0].get("offered_rps"),
             Some(&Json::Null)
         );
         let stages = doc.get("stages").unwrap().as_arr().unwrap();

@@ -130,10 +130,21 @@ impl Corpus {
                 listings
                     .iter()
                     .take(Self::SAMPLE_CAP)
-                    .map(|id| world.app(world.listing(*id).app).package.as_str().to_owned())
+                    .map(|id| {
+                        world
+                            .app(world.listing(*id).app)
+                            .package
+                            .as_str()
+                            .to_owned()
+                    })
                     .collect(),
             );
-            pages.push(listings.len().div_ceil(marketscope_market::PAGE_SIZE).max(1));
+            pages.push(
+                listings
+                    .len()
+                    .div_ceil(marketscope_market::PAGE_SIZE)
+                    .max(1),
+            );
         }
         Corpus { packages, pages }
     }
@@ -209,7 +220,10 @@ impl Schedule {
         let mut counts = [0u64; ENDPOINTS.len()];
         for w in &self.workers {
             for plan in w {
-                let i = ENDPOINTS.iter().position(|&e| e == plan.endpoint).unwrap();
+                let i = ENDPOINTS
+                    .iter()
+                    .position(|&e| e == plan.endpoint)
+                    .unwrap_or_else(|| unreachable!("plan endpoints come from ENDPOINTS"));
                 counts[i] += 1;
             }
         }
@@ -238,7 +252,7 @@ fn plan_one(
                 false
             }
         })
-        .expect("draw under total weight");
+        .unwrap_or_else(|| unreachable!("draw is always under the total weight"));
     let packages = &corpus.packages[market.index()];
     let path = match endpoint {
         Endpoint::Index => format!("/index?page={}", rng.index(corpus.pages[market.index()])),
@@ -263,6 +277,7 @@ mod tests {
         Corpus::from_world(&generate(WorldConfig {
             seed: 11,
             scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
         }))
     }
 

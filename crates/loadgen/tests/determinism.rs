@@ -26,6 +26,7 @@ fn fixed_seed_runs_are_counter_identical() {
     let world = Arc::new(generate(WorldConfig {
         seed: 77,
         scale: Scale { divisor: 60_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(world).unwrap();
     let config = single_step_config(1234);
@@ -61,6 +62,7 @@ fn reported_counts_match_the_schedule() {
     let world = Arc::new(generate(WorldConfig {
         seed: 78,
         scale: Scale { divisor: 60_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(world).unwrap();
     let config = single_step_config(555);
@@ -88,6 +90,7 @@ fn different_seeds_change_the_workload() {
     let world = Arc::new(generate(WorldConfig {
         seed: 79,
         scale: Scale { divisor: 60_000 },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(world).unwrap();
     let a = run_against(&fleet, &single_step_config(1));
@@ -96,14 +99,8 @@ fn different_seeds_change_the_workload() {
     // the seed genuinely reaches the draw stream.
     assert_eq!(a.totals.attempted, b.totals.attempted);
     assert_ne!(
-        a.endpoints
-            .iter()
-            .map(|e| e.attempted)
-            .collect::<Vec<_>>(),
-        b.endpoints
-            .iter()
-            .map(|e| e.attempted)
-            .collect::<Vec<_>>()
+        a.endpoints.iter().map(|e| e.attempted).collect::<Vec<_>>(),
+        b.endpoints.iter().map(|e| e.attempted).collect::<Vec<_>>()
     );
     fleet.stop();
 }

@@ -20,10 +20,8 @@ use std::time::Instant;
 
 #[test]
 fn harness_bookkeeping_overhead_is_under_5_percent() {
-    let server = HttpServer::spawn(|_req: &Request| {
-        Response::ok("text/plain", b"ok".to_vec())
-    })
-    .unwrap();
+    let server =
+        HttpServer::spawn(|_req: &Request| Response::ok("text/plain", b"ok".to_vec())).unwrap();
     let client = HttpClient::builder().build();
 
     // Median of real loopback round trips (warmed).

@@ -70,7 +70,9 @@ impl MarketFleet {
                     Arc::clone(&tracer),
                 )?
             } else {
-                let chaos = chaos.expect("non-noop plan implies a profile");
+                let Some(chaos) = chaos else {
+                    unreachable!("non-noop plan implies a profile")
+                };
                 let faults = FaultInjector::instrumented(
                     chaos.seed_for(m),
                     plan,
@@ -175,6 +177,7 @@ mod tests {
         let w = Arc::new(generate(WorldConfig {
             seed: 1,
             scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
         }));
         let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
         let client = HttpClient::new();
@@ -194,6 +197,7 @@ mod tests {
         let w = Arc::new(generate(WorldConfig {
             seed: 5,
             scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
         }));
         let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
         let client = HttpClient::new();
@@ -234,6 +238,7 @@ mod tests {
         let w = Arc::new(generate(WorldConfig {
             seed: 3,
             scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
         }));
         let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
         let snap = fleet.registry().snapshot();
@@ -254,6 +259,7 @@ mod tests {
         let w = Arc::new(generate(WorldConfig {
             seed: 2,
             scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
         }));
         let fleet = MarketFleet::spawn(Arc::clone(&w)).unwrap();
         let mut addrs: Vec<SocketAddr> = MarketId::ALL.iter().map(|m| fleet.addr(*m)).collect();

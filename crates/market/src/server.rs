@@ -225,7 +225,10 @@ impl MarketServer {
                         ("status", Json::from("ok")),
                         ("market", Json::from(st.market.slug())),
                         ("phase", Json::from(phase)),
-                        ("uptime_ms", Json::from(started.elapsed().as_millis() as u64)),
+                        (
+                            "uptime_ms",
+                            Json::from(started.elapsed().as_millis() as u64),
+                        ),
                         ("requests_total", Json::from(requests.get())),
                         ("live_connections", Json::from(live.get().max(0) as u64)),
                         ("catalog_size", Json::from(st.catalog.len())),
@@ -515,6 +518,7 @@ mod tests {
         Arc::new(generate(WorldConfig {
             seed: 21,
             scale: Scale { divisor: 40_000 },
+            ..WorldConfig::default()
         }))
     }
 
@@ -631,7 +635,10 @@ mod tests {
         assert!(health.get("uptime_ms").unwrap().as_u64().is_some());
         // Google Play rate-limits APK downloads, so the limiter reports.
         let limiter = health.get("rate_limiter").unwrap();
-        assert_eq!(limiter.get("limiter").unwrap().as_str(), Some("apk_download"));
+        assert_eq!(
+            limiter.get("limiter").unwrap().as_str(),
+            Some("apk_download")
+        );
         assert!(limiter.get("wait_hint_ms").unwrap().as_u64().is_some());
         // No chaos on a plain spawn.
         assert_eq!(health.get("chaos"), Some(&Json::Null));

@@ -27,13 +27,13 @@ impl BoxPlot {
         if xs.is_empty() {
             return None;
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         Some(BoxPlot {
             min: xs[0],
             q1: quantile(&xs, 0.25),
             median: quantile(&xs, 0.5),
             q3: quantile(&xs, 0.75),
-            max: *xs.last().expect("non-empty"),
+            max: xs[xs.len() - 1],
         })
     }
 

@@ -10,7 +10,7 @@ impl Cdf {
     /// Build from samples (NaNs are dropped).
     pub fn new(mut samples: Vec<f64>) -> Cdf {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs left"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         Cdf { sorted: samples }
     }
 
@@ -62,7 +62,7 @@ impl Cdf {
             return Vec::new();
         }
         let lo = self.sorted[0];
-        let hi = *self.sorted.last().unwrap();
+        let hi = self.sorted[self.sorted.len() - 1];
         if lo == hi {
             return vec![(lo, 1.0)];
         }

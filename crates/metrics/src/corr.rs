@@ -7,7 +7,7 @@
 /// Average ranks (1-based), ties sharing their mean rank.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|a, b| xs[*a].partial_cmp(&xs[*b]).expect("no NaNs"));
+    idx.sort_by(|a, b| xs[*a].total_cmp(&xs[*b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {

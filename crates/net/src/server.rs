@@ -215,8 +215,7 @@ impl HttpServer {
                             metrics.live.dec();
                         });
                 }
-            })
-            .expect("spawn accept thread");
+            })?;
 
         Ok(ServerHandle {
             addr: local,

@@ -24,6 +24,9 @@
 //! Build with `--features alloc-profile` to install the counting global
 //! allocator; `run`'s BENCH files then carry real allocation deltas.
 
+// A CLI binary reports fatal setup/IO errors by panicking with context.
+#![allow(clippy::disallowed_methods)]
+
 use marketscope_core::json::Json;
 use marketscope_ecosystem::{generate, Scale, WorldConfig};
 use marketscope_loadgen::{diff, BenchReport, DiffThresholds, LoadConfig};
@@ -105,6 +108,7 @@ fn run(mut args: impl Iterator<Item = String>) {
     let world = Arc::new(generate(WorldConfig {
         seed,
         scale: Scale { divisor },
+        ..WorldConfig::default()
     }));
     let fleet = MarketFleet::spawn(Arc::clone(&world)).expect("spawn fleet");
     eprintln!(

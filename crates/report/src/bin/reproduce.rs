@@ -23,6 +23,9 @@
 //! the campaign's per-stage analysis timings. Compare two of them with
 //! `loadgen bench-diff`.
 
+// A CLI binary reports fatal setup/IO errors by panicking with context.
+#![allow(clippy::disallowed_methods)]
+
 use marketscope_ecosystem::Scale;
 use marketscope_loadgen::{BenchReport, LoadConfig, StageTiming};
 use marketscope_market::{ChaosIntensity, ChaosProfile, MarketFleet};
@@ -88,7 +91,10 @@ fn main() {
                 config.chaos = Some(ChaosProfile { seed, intensity });
             }
             "--bench" => {
-                bench_label = Some(args.next().unwrap_or_else(|| usage("--bench needs a label")));
+                bench_label = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--bench needs a label")),
+                );
             }
             "--progress" => config.progress = true,
             "--help" | "-h" => usage(""),
@@ -162,7 +168,9 @@ fn main() {
                 })
                 .collect(),
         };
-        let dir = out_dir.clone().unwrap_or_else(|| std::path::PathBuf::from("."));
+        let dir = out_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
         let path = report.write(&dir).expect("write bench report");
         eprintln!(
             "bench report written to {} ({:.0} rps achieved)",
@@ -192,6 +200,7 @@ fn artifacts(c: &Campaign) -> Vec<(&'static str, String)> {
         ("table3", ex::table3::run(&c.analyzed).render()),
         ("fig10", ex::fig10::run(&c.analyzed).render()),
         ("fig11", ex::fig11::run(&c.analyzed).render()),
+        ("leaks", ex::sec6_leaks::run(&c.analyzed).render()),
         ("table4", ex::table4::run(&c.analyzed).render()),
         ("table5", ex::table5::run(&c.analyzed, 10).render()),
         ("fig12", ex::fig12::run(&c.analyzed, 15).render()),
@@ -210,6 +219,6 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy] [--bench LABEL]"
     );
-    eprintln!("artifacts: table1..table6, fig1..fig13, sec53, sec64, ops");
+    eprintln!("artifacts: table1..table6, fig1..fig13, leaks, sec53, sec64, ops");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

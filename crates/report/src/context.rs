@@ -8,6 +8,7 @@
 use marketscope_analysis::av::AvReport;
 use marketscope_analysis::fake::{FakeInput, FakeReport};
 use marketscope_analysis::overpriv::OverprivilegeResult;
+use marketscope_analysis::taint::LeakResult;
 use marketscope_apk::digest::ApkDigest;
 use marketscope_clonedetect::{ClonePair, SigCloneReport};
 use marketscope_core::{DeveloperKey, MarketId};
@@ -94,6 +95,9 @@ pub struct Analyzed {
     pub lib_report: LibraryReport,
     /// Detected library root packages.
     pub lib_packages: HashSet<String>,
+    /// Privacy-leak results (taint flows attributed host vs library),
+    /// index-aligned with `apps`.
+    pub leaks: Vec<LeakResult>,
     /// Clone-detection inputs (library code excluded).
     pub clone_inputs: Vec<marketscope_clonedetect::UniqueApp>,
     /// Signature-clone report.

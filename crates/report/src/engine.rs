@@ -11,8 +11,9 @@
 //! Stage graph (edges are data dependencies):
 //!
 //! ```text
-//! dedup ──┬── libdetect ── clone_inputs ── sig_clones
-//!         │                        └────── code_clones
+//! dedup ──┬── libdetect ──┬── taint
+//!         │               └── clone_inputs ── sig_clones
+//!         │                           └────── code_clones
 //!         ├── fake
 //!         ├── av
 //!         └── overpriv
@@ -46,6 +47,7 @@ use std::time::Instant;
 use marketscope_analysis::av::AvSimulator;
 use marketscope_analysis::fake::{FakeDetector, FakeInput};
 use marketscope_analysis::overpriv::OverprivilegeAnalyzer;
+use marketscope_analysis::taint::LeakAnalyzer;
 use marketscope_apk::digest::ApkDigest;
 use marketscope_clonedetect::CloneDetector;
 use marketscope_core::parallel;
@@ -86,6 +88,11 @@ pub const STAGE_GRAPH: &[StageSpec] = &[
         name: "libdetect",
         inputs: &["apps"],
         outputs: &["lib_report", "lib_packages"],
+    },
+    StageSpec {
+        name: "taint",
+        inputs: &["apps", "lib_packages"],
+        outputs: &["leaks"],
     },
     StageSpec {
         name: "clone_inputs",
@@ -276,6 +283,18 @@ impl AnalysisEngine {
                 .iter()
                 .map(|l| l.package.clone())
                 .collect();
+            // Privacy-leak attribution joins each digest's taint flows
+            // against the ownership index of the packages detected just
+            // above — it must run behind libdetect, but nothing after
+            // reads it.
+            let leaks = self.stage(root_ctx, "taint", apps.len(), || {
+                let ownership = lib_report.ownership();
+                let analyzer = match &self.registry {
+                    Some(r) => LeakAnalyzer::with_registry(r),
+                    None => LeakAnalyzer::new(),
+                };
+                analyzer.analyze_batch(&digest_refs, &ownership, workers)
+            });
             // Download counters feeding the clone-origin heuristic are
             // binned to Google Play's range lower bounds: GP reports
             // ranges, so raw counters from Chinese stores would otherwise
@@ -310,6 +329,7 @@ impl AnalysisEngine {
             (
                 lib_report,
                 lib_packages,
+                leaks,
                 clone_inputs,
                 sig_report,
                 code_pairs,
@@ -317,7 +337,7 @@ impl AnalysisEngine {
         };
 
         let (
-            (lib_report, lib_packages, clone_inputs, sig_report, code_pairs),
+            (lib_report, lib_packages, leaks, clone_inputs, sig_report, code_pairs),
             (fake_inputs, fake_report),
             av_reports,
             overpriv,
@@ -341,9 +361,11 @@ impl AnalysisEngine {
                 let chain = run_clone_chain();
                 (
                     chain,
-                    fake_h.join().expect("fake stage panicked"),
-                    av_h.join().expect("av stage panicked"),
-                    op_h.join().expect("overpriv stage panicked"),
+                    fake_h
+                        .join()
+                        .unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                    av_h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                    op_h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)),
                 )
             })
         };
@@ -354,6 +376,7 @@ impl AnalysisEngine {
             market_index,
             lib_report,
             lib_packages,
+            leaks,
             clone_inputs,
             sig_report,
             code_pairs,

@@ -144,7 +144,7 @@ pub fn run(analyzed: &Analyzed) -> Fig11 {
             (short, n as f64 / over_apps.max(1) as f64)
         })
         .collect();
-    top_unused.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    top_unused.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     top_unused.truncate(6);
     Fig11 {
         flat,
@@ -177,7 +177,8 @@ impl Fig11 {
             let cn: Vec<f64> = MarketId::chinese()
                 .map(|m| view.per_market[m.index()][i])
                 .collect();
-            let bp = marketscope_metrics::BoxPlot::new(&cn).expect("16 markets");
+            let bp = marketscope_metrics::BoxPlot::new(&cn)
+                .unwrap_or_else(|| unreachable!("16 Chinese markets are non-empty"));
             t.row([
                 (*b).to_owned(),
                 pct(view.google_play[i]),

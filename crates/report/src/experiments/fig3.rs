@@ -90,7 +90,8 @@ impl Fig3 {
             let cn: Vec<f64> = MarketId::chinese()
                 .map(|m| self.shares[m.index()][b])
                 .collect();
-            let bp = marketscope_metrics::BoxPlot::new(&cn).expect("16 markets");
+            let bp = marketscope_metrics::BoxPlot::new(&cn)
+                .unwrap_or_else(|| unreachable!("16 Chinese markets are non-empty"));
             t.row([
                 (*label).to_owned(),
                 pct(self.shares[MarketId::GooglePlay.index()][b]),

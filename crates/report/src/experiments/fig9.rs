@@ -64,7 +64,7 @@ impl Fig9 {
             .iter()
             .map(|m| (*m, self.market(*m)))
             .collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut t = Table::new(["Market", "%Up-to-date"]);
         for (m, s) in rows {
             t.row([m.name().to_owned(), pct(s)]);

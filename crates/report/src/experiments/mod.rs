@@ -22,6 +22,7 @@
 //! | `table6` | Table 6 — malware removal after 8 months         |
 //! | `fig13`  | Figure 13 — multi-dimensional radar comparison   |
 //! | `sec53_identity` | Section 5.3 — byte identity & store-introduced bias |
+//! | `sec6_leaks` | Section 6 extension — privacy leaks, host vs TPL |
 //! | `sec64_repackaged` | Section 6.4 — repackaged-malware share   |
 
 pub mod fig1;
@@ -39,6 +40,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod sec53_identity;
 pub mod sec64_repackaged;
+pub mod sec6_leaks;
 pub mod table1;
 pub mod table2;
 pub mod table3;

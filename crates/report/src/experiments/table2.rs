@@ -47,8 +47,7 @@ pub fn run(analyzed: &Analyzed, labels: &LabelSource, top: usize) -> Table2 {
             .collect();
         ranked.sort_by(|a, b| {
             b.usage
-                .partial_cmp(&a.usage)
-                .unwrap()
+                .total_cmp(&a.usage)
                 .then_with(|| a.package.cmp(&b.package))
         });
         ranked.truncate(top);

@@ -78,12 +78,13 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
     let world = Arc::new(generate(WorldConfig {
         seed: config.seed,
         scale: config.scale,
+        ..WorldConfig::default()
     }));
     let fleet = match config.chaos {
         Some(profile) => MarketFleet::spawn_with_chaos(Arc::clone(&world), profile),
         None => MarketFleet::spawn(Arc::clone(&world)),
     }
-    .expect("spawn fleet");
+    .unwrap_or_else(|e| panic!("spawn fleet: {e}"));
     let targets = CrawlTargets {
         markets: MarketId::ALL.iter().map(|m| fleet.addr(*m)).collect(),
         repository: Some(fleet.repository_addr()),

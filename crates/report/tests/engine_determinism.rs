@@ -8,11 +8,12 @@ use std::sync::{Arc, OnceLock};
 use marketscope_analysis::av::{AvReport, AvSimulator};
 use marketscope_analysis::fake::{FakeDetector, FakeInput};
 use marketscope_analysis::overpriv::{OverprivilegeAnalyzer, OverprivilegeResult};
+use marketscope_analysis::taint::{LeakAnalyzer, LeakResult};
 use marketscope_apk::digest::ApkDigest;
 use marketscope_clonedetect::CloneDetector;
 use marketscope_core::{DeveloperKey, MarketId};
 use marketscope_crawler::Snapshot;
-use marketscope_libdetect::LibraryDetector;
+use marketscope_libdetect::{LibraryDetector, PackageOwnership};
 use marketscope_report::{
     run_campaign, AnalysisEngine, Analyzed, Campaign, CampaignConfig, EngineConfig,
 };
@@ -73,6 +74,7 @@ fn assert_analyzed_eq(a: &Analyzed, b: &Analyzed, what: &str) {
     );
     assert_eq!(a.av_reports, b.av_reports, "{what}: av reports");
     assert_eq!(a.overpriv, b.overpriv, "{what}: overpriv results");
+    assert_eq!(a.leaks, b.leaks, "{what}: leak results");
 }
 
 /// A faithful replica of the pre-refactor `Analyzed::compute` monolith:
@@ -141,6 +143,12 @@ fn legacy_compute(snapshot: &Snapshot) -> Analyzed {
             marketscope_clonedetect::UniqueApp::from_digest(&a.digest, &lib_packages, binned)
         })
         .collect();
+    let leak_analyzer = LeakAnalyzer::new();
+    let ownership = PackageOwnership::new(lib_packages.iter().cloned());
+    let leaks: Vec<LeakResult> = digest_refs
+        .iter()
+        .map(|d| leak_analyzer.analyze(d, &ownership))
+        .collect();
     let detector = CloneDetector::new();
     let sig_report = detector.sig_clones(&clone_inputs);
     let code_pairs = detector.code_clones(&clone_inputs);
@@ -184,6 +192,7 @@ fn legacy_compute(snapshot: &Snapshot) -> Analyzed {
         market_index,
         lib_report,
         lib_packages,
+        leaks,
         clone_inputs,
         sig_report,
         code_pairs,

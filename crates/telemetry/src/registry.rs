@@ -105,20 +105,38 @@ impl Registry {
     /// Get or create the counter `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let id = InstrumentId::new(name, labels);
-        if let Some(c) = self.inner.read().expect("registry lock").counters.get(&id) {
+        if let Some(c) = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .counters
+            .get(&id)
+        {
             return Arc::clone(c);
         }
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(inner.counters.entry(id).or_default())
     }
 
     /// Get or create the gauge `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let id = InstrumentId::new(name, labels);
-        if let Some(g) = self.inner.read().expect("registry lock").gauges.get(&id) {
+        if let Some(g) = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .gauges
+            .get(&id)
+        {
             return Arc::clone(g);
         }
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(inner.gauges.entry(id).or_default())
     }
 
@@ -128,19 +146,25 @@ impl Registry {
         if let Some(h) = self
             .inner
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .histograms
             .get(&id)
         {
             return Arc::clone(h);
         }
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(inner.histograms.entry(id).or_default())
     }
 
     /// A point-in-time copy of every instrument's value.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         RegistrySnapshot {
             counters: inner
                 .counters
@@ -168,7 +192,10 @@ impl Registry {
 
 impl fmt::Debug for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         f.debug_struct("Registry")
             .field("counters", &inner.counters.len())
             .field("gauges", &inner.gauges.len())

@@ -181,7 +181,9 @@ impl Journal {
         }
         let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = (seq % self.slots.len() as u64) as usize;
-        *self.slots[slot].lock().expect("journal slot") = Some(record);
+        *self.slots[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(record);
     }
 
     /// Total spans ever pushed (including overwritten ones).
@@ -194,7 +196,11 @@ impl Journal {
         let mut records: Vec<SpanRecord> = self
             .slots
             .iter()
-            .filter_map(|s| s.lock().expect("journal slot").clone())
+            .filter_map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone()
+            })
             .collect();
         records.sort_by_key(|r| (r.start_nanos, r.span_id));
         let recorded = self.recorded();
@@ -312,10 +318,13 @@ pub fn current() -> Option<SpanContext> {
 pub fn current_event(label: &str) {
     ACTIVE.with(|a| {
         if let Some((_, events)) = a.borrow().last() {
-            events.lock().expect("span events").push(SpanEvent {
-                at_nanos: epoch_nanos(),
-                label: label.to_owned(),
-            });
+            events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(SpanEvent {
+                    at_nanos: epoch_nanos(),
+                    label: label.to_owned(),
+                });
         }
     });
 }
@@ -489,10 +498,13 @@ impl TraceSpan {
     /// Append a timestamped event to this span.
     pub fn event(&self, label: &str) {
         if let Some(s) = &self.inner {
-            s.events.lock().expect("span events").push(SpanEvent {
-                at_nanos: epoch_nanos(),
-                label: label.to_owned(),
-            });
+            s.events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(SpanEvent {
+                    at_nanos: epoch_nanos(),
+                    label: label.to_owned(),
+                });
         }
     }
 
@@ -514,7 +526,12 @@ impl TraceSpan {
                 stack.retain(|(c, _)| c.span_id != s.ctx.span_id);
             }
         });
-        let events = std::mem::take(&mut *s.events.lock().expect("span events"));
+        let events = std::mem::take(
+            &mut *s
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         s.tracer.journal.push(SpanRecord {
             trace_id: s.ctx.trace_id,
             span_id: s.ctx.span_id,

@@ -77,6 +77,55 @@ fn fig1_games_dominate_every_market() {
 }
 
 #[test]
+fn leaks_google_play_cleanest_and_tpl_share_recovered() {
+    let c = campaign();
+    let r = ex::sec6_leaks::run(&c.analyzed);
+    // Google Play's leak prevalence sits well under the Chinese mean —
+    // the profile table plants every Chinese market at ≥ 2× GP's rate.
+    // (Multi-store listing mixes apps homed in different markets, so the
+    // realized contrast is damped below the raw profile ratio.)
+    let gp = r.market(MarketId::GooglePlay).leak_share();
+    let cn = r.chinese_mean_leak_share();
+    assert!(gp > 0.0, "GP leak share must be nonzero");
+    assert!(cn > 1.5 * gp, "CN mean {cn} vs GP {gp}");
+    // Per-market prevalence tracks what the generator actually planted
+    // (ground truth consulted for validation only).
+    let planted: Vec<f64> = MarketId::ALL
+        .iter()
+        .map(|&m| {
+            let i = m.index();
+            let planted = c.world.ground_truth.leaks_host[i] + c.world.ground_truth.leaks_tpl[i];
+            f64::from(planted) / c.world.market_listings(m).len().max(1) as f64
+        })
+        .collect();
+    let found: Vec<f64> = MarketId::ALL
+        .iter()
+        .map(|&m| r.market(m).leak_share())
+        .collect();
+    let rho = spearman(&planted, &found);
+    assert!(
+        rho > 0.6,
+        "planted-vs-found leak-rate rank correlation {rho}"
+    );
+    // The generator's planted TPL share tracks the configured 0.4 coin,
+    // damped by library-less apps that can only leak from host code.
+    let planted_host: u32 = c.world.ground_truth.leaks_host.iter().sum();
+    let planted_tpl: u32 = c.world.ground_truth.leaks_tpl.iter().sum();
+    let planted_share = f64::from(planted_tpl) / f64::from(planted_host + planted_tpl);
+    assert!(
+        (0.25..0.45).contains(&planted_share),
+        "planted TPL share {planted_share}"
+    );
+    // The recovered flow-level share sits above the planted app-level
+    // coin: one tainted root reaches every bundled library, so
+    // coincidental sink APIs inside library code contribute extra
+    // TPL-attributed flows. It must stay in the same regime, not drift
+    // to either all-host or all-library.
+    let tpl = r.corpus_tpl_share();
+    assert!((0.25..0.75).contains(&tpl), "corpus TPL share {tpl}");
+}
+
+#[test]
 fn fig2_bucket_modes_match_profiles() {
     let f2 = ex::fig2::run(&campaign().snapshot);
     // OPPO's mode is 100-1K (84%), Tencent's is 0-10 (56%), PC Online's

@@ -1,15 +1,18 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! input, not just the golden path.
 
+use marketscope::analysis::taint::LeakAnalyzer;
 use marketscope::apk::apicalls::{ApiCallId, API_DIMENSIONS};
 use marketscope::apk::builder::ApkBuilder;
-use marketscope::apk::dex::{ClassDef, DexFile, MethodDef};
+use marketscope::apk::dex::{ClassDef, DexFile, MethodDef, MethodRef};
 use marketscope::apk::digest::ApkDigest;
 use marketscope::apk::manifest::{Component, ComponentKind, Manifest};
+use marketscope::apk::permmap::{PermissionMap, SinkClass, SourceClass};
 use marketscope::apk::zip::ZipArchive;
 use marketscope::clonedetect::{normalized_manhattan, segment_overlap};
 use marketscope::core::json::Json;
 use marketscope::core::{DeveloperKey, PackageName, SimDate, VersionCode};
+use marketscope::libdetect::PackageOwnership;
 use proptest::prelude::*;
 
 // ---------- generators ----------
@@ -45,6 +48,37 @@ fn arb_class() -> impl Strategy<Value = ClassDef> {
         .prop_map(|(p1, p2, cls, methods)| ClassDef {
             name: format!("L{p1}/{p2}/{cls};"),
             methods,
+        })
+}
+
+/// A dex file whose invocation edges are all valid (wired modulo the
+/// generated class/method counts), exercising the v2 tagged layout.
+fn arb_wired_dex() -> impl Strategy<Value = DexFile> {
+    (
+        proptest::collection::vec(arb_class(), 1..8),
+        proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()),
+            0..24,
+        ),
+    )
+        .prop_map(|(mut classes, edges)| {
+            let n = classes.len() as u16;
+            for (sc, sm, tc, tm) in edges {
+                let (sc, tc) = (sc % n, tc % n);
+                let src_methods = classes[sc as usize].methods.len() as u16;
+                let tgt_methods = classes[tc as usize].methods.len() as u16;
+                if src_methods == 0 || tgt_methods == 0 {
+                    continue;
+                }
+                let target = MethodRef {
+                    class: tc,
+                    method: tm % tgt_methods,
+                };
+                classes[sc as usize].methods[(sm % src_methods) as usize]
+                    .invokes
+                    .push(target);
+            }
+            DexFile { classes }
         })
 }
 
@@ -129,6 +163,104 @@ proptest! {
         // Must never panic; any Result is acceptable.
         let _ = marketscope::apk::ParsedApk::parse(&corrupted);
         let _ = ZipArchive::parse(&corrupted);
+    }
+
+    // ---------- tagged dex surface ----------
+
+    #[test]
+    fn dex_v2_round_trips_and_v1_strips_edges(dex in arb_wired_dex()) {
+        // The v2 (edge-tagged) layout is lossless.
+        let decoded = DexFile::decode(&dex.encode()).unwrap();
+        prop_assert_eq!(&decoded, &dex);
+        // The v1 layout drops edges on the wire and nothing else.
+        let v1 = DexFile::decode(&dex.encode_v1()).unwrap();
+        prop_assert_eq!(v1.classes.len(), dex.classes.len());
+        for (a, b) in v1.classes.iter().zip(&dex.classes) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.methods.len(), b.methods.len());
+            for (ma, mb) in a.methods.iter().zip(&b.methods) {
+                prop_assert_eq!(ma.code_hash, mb.code_hash);
+                prop_assert_eq!(&ma.api_calls, &mb.api_calls);
+                prop_assert!(ma.invokes.is_empty(), "v1 must strip edges");
+            }
+        }
+    }
+
+    #[test]
+    fn dex_decoder_rejects_every_truncation(dex in arb_wired_dex(), cut in any::<u16>()) {
+        // A valid encoding consumes every byte, so *any* strict prefix
+        // must be rejected — never panic, never half-parse.
+        let bytes = dex.encode();
+        let k = cut as usize % bytes.len();
+        prop_assert!(DexFile::decode(&bytes[..k]).is_err());
+    }
+
+    #[test]
+    fn dex_decoder_is_total_under_bit_flips(
+        dex in arb_wired_dex(),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = dex.encode();
+        for (pos, val) in flips {
+            let i = pos as usize % bytes.len();
+            bytes[i] ^= val;
+        }
+        // Must never panic; any Result is acceptable.
+        let _ = DexFile::decode(&bytes);
+    }
+
+    // ---------- taint / leak attribution ----------
+
+    #[test]
+    fn leak_analysis_is_worker_invariant(
+        manifest in arb_manifest(),
+        classes in proptest::collection::vec(arb_class(), 1..8),
+        injections in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u16>()),
+            0..6,
+        ),
+    ) {
+        // Inject real source/sink API ids so a share of generated apps
+        // genuinely leak (pure-random call ids rarely hit the sparse
+        // sink space).
+        let map = PermissionMap::standard();
+        let mut classes = classes;
+        for (s, k, at) in injections {
+            let src = map.source_apis(SourceClass::ALL[s as usize % SourceClass::ALL.len()])[0];
+            let snk = map.sink_apis(SinkClass::ALL[k as usize % SinkClass::ALL.len()])[0];
+            let ci = at as usize % classes.len();
+            if let Some(m) = classes[ci].methods.first_mut() {
+                m.api_calls.push(src);
+                m.api_calls.push(snk);
+            }
+        }
+        let bytes = ApkBuilder::new(manifest, DexFile { classes: classes.clone() })
+            .build(DeveloperKey::from_label("prop"))
+            .unwrap();
+        let digest = ApkDigest::from_bytes(&bytes).unwrap();
+        // Ownership roots drawn from the generated packages themselves,
+        // so both Host and Library attributions occur.
+        let roots: Vec<String> = classes
+            .iter()
+            .step_by(2)
+            .filter_map(|c| c.java_package())
+            .collect();
+        let ownership = PackageOwnership::new(roots);
+        let analyzer = LeakAnalyzer::new();
+        let digests: Vec<&ApkDigest> = vec![&digest; 5];
+        let sequential: Vec<_> = digests
+            .iter()
+            .map(|d| analyzer.analyze(d, &ownership))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let batch = analyzer.analyze_batch(&digests, &ownership, workers);
+            prop_assert_eq!(&batch, &sequential, "workers = {}", workers);
+        }
+        // Attribution is a partition of the digest's flows.
+        let r = &sequential[0];
+        prop_assert_eq!(r.flows.len(), digest.flows.len());
+        prop_assert_eq!(r.host_flows() + r.library_flows(), r.flows.len());
+        prop_assert_eq!(r.leaks(), !digest.flows.is_empty());
     }
 
     // ---------- JSON ----------
@@ -216,10 +348,12 @@ fn world_generation_is_reproducible_across_processes_shape() {
     let a = generate(WorldConfig {
         seed: 1234,
         scale: Scale { divisor: 30_000 },
+        ..WorldConfig::default()
     });
     let b = generate(WorldConfig {
         seed: 1234,
         scale: Scale { divisor: 30_000 },
+        ..WorldConfig::default()
     });
     assert_eq!(a.listing_count(), b.listing_count());
     for (x, y) in a.apps.iter().zip(&b.apps) {
@@ -237,10 +371,12 @@ fn different_seeds_produce_different_worlds() {
     let a = generate(WorldConfig {
         seed: 1,
         scale: Scale { divisor: 30_000 },
+        ..WorldConfig::default()
     });
     let b = generate(WorldConfig {
         seed: 2,
         scale: Scale { divisor: 30_000 },
+        ..WorldConfig::default()
     });
     let pa: Vec<&str> = a.apps.iter().take(20).map(|x| x.package.as_str()).collect();
     let pb: Vec<&str> = b.apps.iter().take(20).map(|x| x.package.as_str()).collect();
