@@ -36,6 +36,7 @@ pub use diff::{diff, DiffError, DiffThresholds, Regression};
 pub use report::{BenchReport, StageTiming, BENCH_SCHEMA_VERSION};
 pub use schedule::{Corpus, Endpoint, EndpointMix, RequestPlan, Schedule, ENDPOINTS};
 
+use marketscope_core::MarketId;
 use marketscope_market::MarketFleet;
 use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
 use marketscope_net::resilience::{BreakerConfig, ResilienceMetrics, RetryPolicy};
@@ -77,6 +78,12 @@ pub struct LoadConfig {
     /// load clients, so a chaos-profiled fleet exercises (and counts)
     /// the whole resilience stack under load.
     pub resilience: bool,
+    /// Keep-alive connections to park against one market server for the
+    /// whole run (each sends a single `/__health` request, then idles).
+    /// Exercises the event-loop transport's C10k claim: the held
+    /// connections occupy reactor slots — not threads — while the load
+    /// steps run through the same server fleet. `0` = none.
+    pub hold_connections: usize,
     /// Interval between RSS/thread samples.
     pub sample_every: Duration,
 }
@@ -103,6 +110,7 @@ impl LoadConfig {
             mix: EndpointMix::metadata(),
             max_inflight: None,
             resilience: false,
+            hold_connections: 0,
             sample_every: Duration::from_millis(25),
         }
     }
@@ -125,10 +133,29 @@ impl LoadConfig {
             mix: EndpointMix::crawl(),
             max_inflight: None,
             resilience: true,
+            hold_connections: 0,
             sample_every: Duration::from_millis(25),
         }
     }
+
+    /// The C10k profile: park [`C10K_HELD_CONNECTIONS`] keep-alive
+    /// connections against one market server, then run the smoke steps
+    /// through the same fleet. The held sockets prove the event-loop
+    /// transport holds thousands of connections at a constant thread
+    /// count (`resources.threads_peak` in the BENCH file stays flat)
+    /// while live traffic still flows.
+    pub fn c10k(seed: u64) -> LoadConfig {
+        LoadConfig {
+            hold_connections: C10K_HELD_CONNECTIONS,
+            ..LoadConfig::smoke(seed)
+        }
+    }
 }
+
+/// Connections the [`LoadConfig::c10k`] profile parks (comfortably past
+/// the acceptance bar of 2,000, well under the default 8,192-connection
+/// reactor ceiling and the container's fd limit).
+pub const C10K_HELD_CONNECTIONS: usize = 2_500;
 
 /// One step's measured outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,6 +234,9 @@ pub struct LoadReport {
     pub endpoints: Vec<EndpointReport>,
     /// Whole-run totals.
     pub totals: LoadTotals,
+    /// Keep-alive connections actually parked for the run's duration
+    /// (`0` unless the config asked to hold some).
+    pub held_connections: u64,
     /// RSS/thread peaks sampled during the run.
     pub resources: ResourcePeaks,
     /// Allocation delta across the run (zeros unless the binary installs
@@ -225,6 +255,60 @@ struct EndpointCounters {
     attempted: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
+}
+
+/// Open `n` keep-alive connections to `addr` and prove each is live with
+/// one raw `/__health` round trip. All requests are written before any
+/// response is drained, so the round trips overlap inside the server's
+/// reactor instead of serializing client-side. Returns the sockets that
+/// completed the round trip — holding them keeps the connections parked
+/// in the server's event loop.
+fn park_connections(addr: std::net::SocketAddr, n: usize) -> Vec<std::net::TcpStream> {
+    use std::io::{Read as _, Write as _};
+    const REQ: &[u8] = b"GET /__health HTTP/1.1\r\nconnection: keep-alive\r\n\r\n";
+    let mut socks = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Connection refused / fd exhaustion degrades to fewer held
+        // sockets; the report records how many actually parked.
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => socks.push(s),
+            Err(_) => break,
+        }
+    }
+    socks.retain_mut(|s| s.write_all(REQ).is_ok() && s.flush().is_ok());
+    socks.retain_mut(|s| {
+        // Drain exactly one response: headers, then a content-length
+        // body. Anything malformed drops the socket from the held set.
+        if s.set_read_timeout(Some(Duration::from_secs(30))).is_err() {
+            return false;
+        }
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+            if let Some(pos) = head_end {
+                let head = String::from_utf8_lossy(&buf[..pos]);
+                let body_len: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (name, value) = l.split_once(':')?;
+                        name.trim()
+                            .eq_ignore_ascii_case("content-length")
+                            .then(|| value.trim().parse().ok())?
+                    })
+                    .unwrap_or(0);
+                let want = pos + 4 + body_len;
+                if buf.len() >= want {
+                    return true;
+                }
+            }
+            match s.read(&mut chunk) {
+                Ok(0) | Err(_) => return false,
+                Ok(k) => buf.extend_from_slice(&chunk[..k]),
+            }
+        }
+    });
+    socks
 }
 
 /// Drive `fleet` with `config` and collect the report.
@@ -272,6 +356,15 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
 
     let alloc_phase = AllocPhase::start();
     let sampler = ResourceSampler::spawn(Arc::clone(&registry), config.sample_every);
+    // Park the held keep-alive connections against one market (Tencent
+    // Myapp — the paper's largest) before the step clock starts: they
+    // stay open in that server's reactor for the whole run, and the
+    // sampler's thread gauge proves they cost no threads.
+    let held = if config.hold_connections > 0 {
+        park_connections(fleet.addr(MarketId::TencentMyapp), config.hold_connections)
+    } else {
+        Vec::new()
+    };
     let run_start = Instant::now();
     let fleet_requests_before = fleet.total_requests();
 
@@ -355,6 +448,8 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
     }
 
     let duration = run_start.elapsed();
+    let held_connections = held.len() as u64;
+    drop(held);
     let resources = sampler.stop();
     let alloc = alloc_phase.delta();
     let snapshot = registry.snapshot();
@@ -398,6 +493,7 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
         steps,
         endpoints,
         totals,
+        held_connections,
         resources,
         alloc,
         duration_us: duration.as_micros().min(u64::MAX as u128) as u64,
@@ -469,6 +565,36 @@ mod tests {
     }
 
     #[test]
+    fn held_connections_park_against_the_fleet_and_release() {
+        let world = Arc::new(generate(WorldConfig {
+            seed: 33,
+            scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
+        }));
+        let fleet = MarketFleet::spawn(world).unwrap();
+        let config = LoadConfig {
+            // A scaled-down C10k shape so the unit suite stays fast; the
+            // full 2,500-connection profile runs via `loadgen run c10k`
+            // (and the net crate's reactor_c10k integration test).
+            hold_connections: 64,
+            steps: vec![LoadStep {
+                workers: 2,
+                requests_per_worker: 10,
+                target_rps: None,
+            }],
+            ..LoadConfig::c10k(9)
+        };
+        let report = run_against(&fleet, &config);
+        assert_eq!(report.held_connections, 64);
+        // Every parked connection completed its /__health round trip,
+        // and the load steps still ran through the same fleet.
+        assert!(report.totals.fleet_requests >= 20);
+        assert_eq!(report.totals.attempted, 20);
+        assert_eq!(report.totals.errors, 0);
+        fleet.stop();
+    }
+
+    #[test]
     fn paced_step_reports_offered_rate() {
         let world = Arc::new(generate(WorldConfig {
             seed: 32,
@@ -486,6 +612,7 @@ mod tests {
             mix: EndpointMix::metadata(),
             max_inflight: Some(2),
             resilience: false,
+            hold_connections: 0,
             sample_every: Duration::from_millis(25),
         };
         let report = run_against(&fleet, &config);

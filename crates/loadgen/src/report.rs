@@ -151,6 +151,10 @@ fn load_json(load: &LoadReport) -> Json {
             ),
         ),
         ("totals", totals_json(&load.totals)),
+        // Additive since the C10k transport work; older readers (and
+        // `bench-diff`, which only reads the fields it thresholds)
+        // ignore it, so schema_version stays 1.
+        ("held_connections", Json::from(load.held_connections)),
         (
             "resources",
             Json::obj([
@@ -207,6 +211,7 @@ mod tests {
                 fleet_requests: 80,
                 ..LoadTotals::default()
             },
+            held_connections: 0,
             resources: ResourcePeaks {
                 rss_peak_bytes: 64 << 20,
                 threads_peak: 20,

@@ -128,6 +128,11 @@ impl MarketServer {
     ) -> Result<MarketServer, marketscope_net::NetError> {
         let faults = faults.map(Arc::new);
         let started = std::time::Instant::now();
+        // One explicit transport config per market server so /__health can
+        // report the ceiling the acceptor sheds against. Defaults are the
+        // reactor's (2 shards, 4 handler workers, 8192-connection ceiling):
+        // a whole fleet stays at a constant handful of threads per market.
+        let transport = marketscope_net::ReactorConfig::default();
         let catalog: Vec<ListingId> = world.market_listings(market).to_vec();
         let by_package = catalog
             .iter()
@@ -190,6 +195,15 @@ impl MarketServer {
                     "marketscope_net_live_connections",
                     &[("market", market.slug())],
                 );
+                let shed = registry.counter(
+                    "marketscope_net_connections_shed_total",
+                    &[("market", market.slug())],
+                );
+                let accept_errors = registry.counter(
+                    "marketscope_net_accept_errors_total",
+                    &[("market", market.slug())],
+                );
+                let transport = transport.clone();
                 let faults = faults.clone();
                 move |_req: &Request, _: &marketscope_net::router::Params| {
                     let phase = match *st.phase.read() {
@@ -232,6 +246,17 @@ impl MarketServer {
                         ("requests_total", Json::from(requests.get())),
                         ("live_connections", Json::from(live.get().max(0) as u64)),
                         ("catalog_size", Json::from(st.catalog.len())),
+                        (
+                            "transport",
+                            Json::obj([
+                                ("shards", Json::from(transport.shards)),
+                                ("handler_threads", Json::from(transport.handler_threads)),
+                                ("max_connections", Json::from(transport.max_connections)),
+                                ("open_connections", Json::from(live.get().max(0) as u64)),
+                                ("connections_shed", Json::from(shed.get())),
+                                ("accept_errors", Json::from(accept_errors.get())),
+                            ]),
+                        ),
                         ("rate_limiter", rate_limiter),
                         ("chaos", chaos),
                     ]))
@@ -239,12 +264,8 @@ impl MarketServer {
             });
         let metrics = ServerMetrics::register(&registry, &[("market", market.slug())])
             .traced(Arc::clone(&tracer));
-        let handle = match faults {
-            Some(faults) => {
-                HttpServer::spawn_with_shared_faults("127.0.0.1:0", router, metrics, faults)?
-            }
-            None => HttpServer::spawn_instrumented("127.0.0.1:0", router, metrics)?,
-        };
+        let handle =
+            HttpServer::spawn_configured("127.0.0.1:0", router, metrics, faults, transport)?;
         Ok(MarketServer {
             market,
             handle,
@@ -640,6 +661,16 @@ mod tests {
             Some("apk_download")
         );
         assert!(limiter.get("wait_hint_ms").unwrap().as_u64().is_some());
+        // The transport section mirrors the reactor config plus live
+        // counters. One pooled keep-alive client connection is open (it
+        // just carried this very health request).
+        let transport = health.get("transport").unwrap();
+        assert!(transport.get("shards").unwrap().as_u64().unwrap() >= 1);
+        assert!(transport.get("handler_threads").unwrap().as_u64().unwrap() >= 1);
+        assert!(transport.get("max_connections").unwrap().as_u64().unwrap() >= 1);
+        assert!(transport.get("open_connections").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(transport.get("connections_shed").unwrap().as_u64(), Some(0));
+        assert_eq!(transport.get("accept_errors").unwrap().as_u64(), Some(0));
         // No chaos on a plain spawn.
         assert_eq!(health.get("chaos"), Some(&Json::Null));
 

@@ -92,6 +92,29 @@ struct PooledConn {
     writer: BufWriter<TcpStream>,
 }
 
+impl PooledConn {
+    /// Whether this idle connection is still usable. An idle pooled
+    /// socket must be silent; if a zero-timeout poll reports it readable
+    /// the server closed it while it sat in the pool (the reactor's
+    /// keep-alive reaper, a restart) or sent stray bytes — either way
+    /// the next request would hit the keep-alive race and burn a
+    /// transparent retry. Discarding it up front costs one syscall.
+    fn is_fresh(&self) -> bool {
+        use std::os::fd::AsRawFd;
+        if !self.reader.buffer().is_empty() {
+            return false; // leftover unparsed bytes: poisoned
+        }
+        match crate::reactor::sys::poll_one(
+            self.reader.get_ref().as_raw_fd(),
+            crate::reactor::sys::POLLIN,
+            Some(Duration::ZERO),
+        ) {
+            Ok(revents) => revents == 0,
+            Err(_) => false,
+        }
+    }
+}
+
 /// Error kinds the client counts separately (see [`NetError::kind`]).
 const ERROR_KINDS: [&str; 6] = [
     "io",
@@ -474,7 +497,16 @@ impl HttpClient {
     }
 
     fn take_pooled(&self, addr: SocketAddr) -> Option<PooledConn> {
-        self.pool.lock().get_mut(&addr)?.pop()
+        let mut pool = self.pool.lock();
+        let conns = pool.get_mut(&addr)?;
+        // Skip over connections that went stale while pooled; the caller
+        // falls back to a fresh connect when none survive.
+        while let Some(conn) = conns.pop() {
+            if conn.is_fresh() {
+                return Some(conn);
+            }
+        }
+        None
     }
 
     fn return_pooled(&self, addr: SocketAddr, conn: PooledConn) {
@@ -616,6 +648,41 @@ mod tests {
         }
         assert_eq!(hits.load(Ordering::SeqCst), 40);
         assert!(client.idle_connections() <= 4);
+    }
+
+    #[test]
+    fn stale_pooled_connections_are_discarded_without_a_retry() {
+        use crate::reactor::ReactorConfig;
+        use crate::server::ServerMetrics;
+        // A server whose keep-alive reaper closes idle connections fast.
+        let server = HttpServer::spawn_configured(
+            "127.0.0.1:0",
+            |_req: &Request| Response::ok("text/plain", b"ok".to_vec()),
+            ServerMetrics::standalone(),
+            None,
+            ReactorConfig {
+                keep_alive: Duration::from_millis(80),
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        let registry = Registry::new();
+        let client = HttpClient::builder()
+            .metrics(ClientMetrics::register(&registry, &[]))
+            .build();
+        client.get(server.addr(), "/x").unwrap();
+        assert_eq!(client.idle_connections(), 1);
+        // Let the server reap the pooled connection while it sits idle.
+        std::thread::sleep(Duration::from_millis(300));
+        // The freshness probe discards it up front: no keep-alive race,
+        // no transparent retry — a clean reconnect.
+        client.get(server.addr(), "/x").unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("marketscope_net_client_retries_total", &[]),
+            Some(0),
+            "stale pooled connection must not cost a retry"
+        );
     }
 
     #[test]

@@ -181,33 +181,60 @@ impl Request {
         let Some(head) = read_head(r)? else {
             return Ok(None);
         };
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().ok_or(NetError::Protocol("empty head"))?;
-        let mut parts = request_line.split(' ');
-        let method = Method::parse(parts.next().unwrap_or(""))?;
-        let target = parts.next().ok_or(NetError::Protocol("missing target"))?;
-        match parts.next() {
-            Some("HTTP/1.1" | "HTTP/1.0") => {}
-            _ => return Err(NetError::Protocol("bad http version")),
-        }
-        if parts.next().is_some() {
-            return Err(NetError::Protocol("malformed request line"));
-        }
-        let mut headers = parse_headers(lines)?;
+        let (method, target, mut headers) = parse_request_head(&head)?;
+        let target = target.to_owned();
         let body = read_body(r, &headers)?;
         // content-length is transport framing, not message metadata.
         headers.remove("content-length");
-        let (path, query) = split_query(target);
-        if !path.starts_with('/') {
-            return Err(NetError::Protocol("target must be absolute path"));
+        Ok(Some(assemble_request(method, &target, headers, body)?))
+    }
+
+    /// Incrementally parse one request out of an in-memory byte buffer —
+    /// the nonblocking transport's entry point (see [`crate::reactor`]),
+    /// where bytes arrive in readiness-sized chunks instead of through a
+    /// blocking reader.
+    ///
+    /// Returns `Ok(None)` while the buffer holds only a prefix of a
+    /// request (read more and call again), or `Ok(Some((request, n)))`
+    /// once a full message is present, where `n` is the number of bytes
+    /// consumed — the caller drains them and may call again on the
+    /// residue (pipelined keep-alive requests). Errors mean the
+    /// connection is unrecoverable: protocol violations and size-cap
+    /// breaches, with the same limits as [`Request::read_from`].
+    pub fn parse_partial(buf: &[u8]) -> Result<Option<(Request, usize)>, NetError> {
+        let window = &buf[..buf.len().min(MAX_HEAD + 4)];
+        let Some(pos) = find_terminator(window) else {
+            if buf.len() >= MAX_HEAD {
+                return Err(NetError::TooLarge {
+                    what: "header",
+                    limit: MAX_HEAD,
+                });
+            }
+            return Ok(None);
+        };
+        let head =
+            std::str::from_utf8(&buf[..pos]).map_err(|_| NetError::Protocol("head not utf-8"))?;
+        let (method, target, mut headers) = parse_request_head(head)?;
+        let body_len: usize = match headers.get("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| NetError::Protocol("bad content-length"))?,
+        };
+        if body_len > MAX_BODY {
+            return Err(NetError::TooLarge {
+                what: "body",
+                limit: MAX_BODY,
+            });
         }
-        Ok(Some(Request {
-            method,
-            path,
-            query,
-            headers,
-            body,
-        }))
+        let body_start = pos + 4;
+        let Some(body_end) = body_start.checked_add(body_len).filter(|&e| e <= buf.len()) else {
+            return Ok(None); // head complete, body still in flight
+        };
+        let body = buf[body_start..body_end].to_vec();
+        headers.remove("content-length");
+        let req = assemble_request(method, target, headers, body)?;
+        Ok(Some((req, body_end)))
     }
 
     /// Whether the peer asked to close the connection after this message.
@@ -376,6 +403,47 @@ fn read_head(r: &mut impl BufRead) -> Result<Option<String>, NetError> {
 /// Position of the `\r\n\r\n` terminator, if present.
 fn find_terminator(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse the request line plus header block (everything before the blank
+/// line) into method, raw target, and lower-cased headers. Shared by the
+/// blocking and incremental request parsers.
+fn parse_request_head(head: &str) -> Result<(Method, &str, BTreeMap<String, String>), NetError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(NetError::Protocol("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = Method::parse(parts.next().unwrap_or(""))?;
+    let target = parts.next().ok_or(NetError::Protocol("missing target"))?;
+    match parts.next() {
+        Some("HTTP/1.1" | "HTTP/1.0") => {}
+        _ => return Err(NetError::Protocol("bad http version")),
+    }
+    if parts.next().is_some() {
+        return Err(NetError::Protocol("malformed request line"));
+    }
+    let headers = parse_headers(lines)?;
+    Ok((method, target, headers))
+}
+
+/// Final request assembly shared by both parsers: split the target into
+/// path and query, validate the path shape.
+fn assemble_request(
+    method: Method,
+    target: &str,
+    headers: BTreeMap<String, String>,
+    body: Vec<u8>,
+) -> Result<Request, NetError> {
+    let (path, query) = split_query(target);
+    if !path.starts_with('/') {
+        return Err(NetError::Protocol("target must be absolute path"));
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
 }
 
 fn parse_headers<'a>(
@@ -682,6 +750,71 @@ mod tests {
         assert_eq!(url_decode("%zz"), "%zz");
         assert_eq!(url_decode("%"), "%");
         assert_eq!(url_decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn parse_partial_needs_more_then_parses() {
+        let wire = b"POST /upload HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        // Every strict prefix is "need more bytes", never an error.
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(Request::parse_partial(&wire[..cut]), Ok(None)),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, used) = Request::parse_partial(wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path, "/upload");
+        assert_eq!(req.body, b"hello");
+        assert!(!req.headers.contains_key("content-length"));
+    }
+
+    #[test]
+    fn parse_partial_pipelined_requests_consume_in_order() {
+        let mut wire = Vec::new();
+        Request::get("/a").write_to(&mut wire).unwrap();
+        Request::get("/b?x=1").write_to(&mut wire).unwrap();
+        let (first, used) = Request::parse_partial(&wire).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        let (second, used2) = Request::parse_partial(&wire[used..]).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.query_param("x"), Some("1"));
+        assert_eq!(used + used2, wire.len());
+        assert!(matches!(Request::parse_partial(&[]), Ok(None)));
+    }
+
+    #[test]
+    fn parse_partial_matches_read_from_on_violations() {
+        for bad in [
+            "BREW /x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            "GET /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+        ] {
+            assert!(Request::parse_partial(bad.as_bytes()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_partial_enforces_size_caps() {
+        // A head that never terminates within MAX_HEAD is rejected, not
+        // buffered forever.
+        let endless = vec![b'x'; MAX_HEAD + 8];
+        assert!(matches!(
+            Request::parse_partial(&endless),
+            Err(NetError::TooLarge { what: "header", .. })
+        ));
+        let huge_body = format!(
+            "GET /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            Request::parse_partial(huge_body.as_bytes()),
+            Err(NetError::TooLarge { what: "body", .. })
+        ));
     }
 
     #[test]

@@ -5,11 +5,15 @@
 //! rate limiter.
 //!
 //! The paper's crawl is loopback-scale for us (simulated market servers on
-//! `127.0.0.1`), so per the networking guides' advice ("when not to use
-//! Tokio": mostly-CPU-bound or low-fan-out workloads gain nothing from an
-//! async runtime) we use blocking sockets with explicit threads: the server
-//! runs one accept loop and one thread per connection; the client keeps a
-//! keep-alive connection pool.
+//! `127.0.0.1`), but fleet monitoring at market scale is bounded by how
+//! many connections the infrastructure can hold open. The server side is
+//! therefore an event loop ([`reactor`]): nonblocking sockets multiplexed
+//! by `poll(2)` across a fixed set of shard threads, with the blocking
+//! [`Handler`](server::Handler) trait running on a bounded worker pool —
+//! C10k-scale concurrency at a constant thread count, with no async
+//! runtime (per the networking guides' advice, a readiness loop over
+//! `std::net` is all a loopback fleet needs). The client stays blocking
+//! with a keep-alive connection pool.
 //!
 //! Protocol subset: `GET`/`POST`, `Content-Length` bodies (no chunked
 //! encoding), `Connection: keep-alive`/`close`, status codes the market
@@ -31,7 +35,9 @@
 //! instruments to a shared [`Registry`](marketscope_telemetry::Registry)
 //! makes them scrapeable.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the one scoped `poll(2)` syscall
+// shim in `reactor::sys`, which opts back in explicitly.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
@@ -39,6 +45,7 @@ pub mod error;
 pub mod fault;
 pub mod http;
 pub mod ratelimit;
+pub mod reactor;
 pub mod resilience;
 pub mod router;
 pub mod server;
@@ -48,6 +55,7 @@ pub use error::NetError;
 pub use fault::{FaultAction, FaultInjector, FaultMetrics, FaultPlan};
 pub use http::{Method, Request, Response, Status};
 pub use ratelimit::{RateLimitMetrics, TokenBucket};
+pub use reactor::ReactorConfig;
 pub use resilience::{
     BreakerConfig, BreakerSet, BreakerState, CircuitBreaker, ResilienceMetrics, RetryPolicy,
 };

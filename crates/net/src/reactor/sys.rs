@@ -1,0 +1,144 @@
+//! The one `unsafe`-scoped syscall shim in the workspace: a thin wrapper
+//! over `poll(2)`.
+//!
+//! The event loop needs exactly one primitive the standard library does
+//! not expose — "block until any of these descriptors is ready". Rather
+//! than grow an async runtime (or even a `libc` dependency) for one
+//! syscall, we declare the symbol ourselves: `poll` is part of the C
+//! library every `std` binary already links against. Everything else the
+//! reactor needs (nonblocking mode, socketpair wake pipes) comes from
+//! safe `std` APIs, so `unsafe` stays confined to this module.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Readable data (or a peer close, together with [`POLLHUP`]).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always polled, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor (always polled, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in a `poll(2)` set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events` (a mask of [`POLLIN`] /
+    /// [`POLLOUT`]).
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The returned readiness mask from the last poll.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Whether the descriptor has data to read — or an error / hangup,
+    /// which a reader must also consume to observe (EOF, ECONNRESET).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    // `nfds_t` is `unsigned long` and `int` is 32-bit on every Unix
+    // target this workspace builds for (linux/macos, 64-bit).
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Wait until at least one entry is ready, the timeout elapses (`Ok(0)`),
+/// or an error occurs. `None` blocks indefinitely; `Some(ZERO)` is a
+/// nonblocking readiness probe. `EINTR` is retried internally.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        // Round sub-millisecond timeouts *up* so a caller sweeping
+        // deadlines cannot spin on a zero-duration poll.
+        Some(d) => {
+            let ms = d.as_millis().min(i32::MAX as u128) as i32;
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms
+            }
+        }
+    };
+    loop {
+        // SAFETY: `fds` is an exclusively borrowed slice of `#[repr(C)]`
+        // structs matching the `pollfd` ABI; the kernel reads `fd` and
+        // `events` and writes only `revents`, all within `fds.len()`
+        // entries.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Poll a single descriptor and return its readiness mask (`0` if the
+/// timeout elapsed first).
+pub fn poll_one(fd: RawFd, events: i16, timeout: Option<Duration>) -> io::Result<i16> {
+    let mut fds = [PollFd::new(fd, events)];
+    let n = poll_fds(&mut fds, timeout)?;
+    Ok(if n == 0 { 0 } else { fds[0].revents })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn zero_timeout_probe_reports_idle_then_ready() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let ready = poll_one(a.as_raw_fd(), POLLIN, Some(Duration::ZERO)).unwrap();
+        assert_eq!(ready, 0, "idle socket must not report readiness");
+        (&b).write_all(&[1]).unwrap();
+        let ready = poll_one(a.as_raw_fd(), POLLIN, Some(Duration::from_secs(1))).unwrap();
+        assert!(ready & POLLIN != 0, "written socket must be readable");
+    }
+
+    #[test]
+    fn hangup_is_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "peer close must wake a reader");
+    }
+
+    #[test]
+    fn timeout_expires_without_events() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let start = std::time::Instant::now();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+}

@@ -1,17 +1,21 @@
-//! The blocking HTTP server: one accept loop, one thread per connection,
-//! keep-alive, graceful shutdown, built-in telemetry.
+//! The HTTP server: an event-loop transport (see [`crate::reactor`])
+//! behind the same blocking-`Handler` API — keep-alive, graceful
+//! shutdown, fault seams, built-in telemetry.
+//!
+//! One accept thread feeds nonblocking connections to a fixed set of
+//! `poll(2)` shards; handlers run on a bounded worker pool. Thread count
+//! is a constant of [`ReactorConfig`], not of the connection count.
 
 use crate::error::NetError;
-use crate::fault::{FaultAction, FaultInjector};
+use crate::fault::FaultInjector;
 use crate::http::{Request, Response, Status};
-use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, TraceSpan, Tracer};
+use crate::reactor::{ReactorConfig, Transport};
+use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, Tracer};
 use parking_lot::Mutex;
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A request handler. Handlers must be panic-free; a panicking handler
 /// poisons only its own connection thread (the server keeps serving), but
@@ -50,11 +54,14 @@ const TRACKED_STATUSES: [(u16, &str); 6] = [
 /// endpoint sees them. Either way the record path is lock-free.
 #[derive(Debug)]
 pub struct ServerMetrics {
-    requests: Arc<Counter>,
-    live: Arc<Gauge>,
-    handler_nanos: Arc<Histogram>,
-    responses: Vec<(u16, Arc<Counter>)>,
-    tracer: Option<Arc<Tracer>>,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) live: Arc<Gauge>,
+    pub(crate) handler_nanos: Arc<Histogram>,
+    pub(crate) responses: Vec<(u16, Arc<Counter>)>,
+    pub(crate) accept_errors: Arc<Counter>,
+    pub(crate) shed: Arc<Counter>,
+    pub(crate) wakeups: Arc<Counter>,
+    pub(crate) tracer: Option<Arc<Tracer>>,
 }
 
 impl ServerMetrics {
@@ -62,9 +69,12 @@ impl ServerMetrics {
     /// labels (e.g. `market="huawei"`). Metric names:
     ///
     /// * `marketscope_net_requests_total`
-    /// * `marketscope_net_live_connections`
+    /// * `marketscope_net_live_connections` (open-connections gauge)
     /// * `marketscope_net_handler_nanos`
     /// * `marketscope_net_responses_total{status="..."}`
+    /// * `marketscope_net_accept_errors_total` (transient accept failures)
+    /// * `marketscope_net_connections_shed_total` (503s above the ceiling)
+    /// * `marketscope_net_eventloop_wakeups_total` (shard poll returns)
     pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> ServerMetrics {
         let responses = TRACKED_STATUSES
             .iter()
@@ -82,6 +92,9 @@ impl ServerMetrics {
             live: registry.gauge("marketscope_net_live_connections", labels),
             handler_nanos: registry.histogram("marketscope_net_handler_nanos", labels),
             responses,
+            accept_errors: registry.counter("marketscope_net_accept_errors_total", labels),
+            shed: registry.counter("marketscope_net_connections_shed_total", labels),
+            wakeups: registry.counter("marketscope_net_eventloop_wakeups_total", labels),
             tracer: None,
         }
     }
@@ -108,11 +121,14 @@ impl ServerMetrics {
                 .iter()
                 .map(|&(code, _)| (code, Arc::new(Counter::new())))
                 .collect(),
+            accept_errors: Arc::new(Counter::new()),
+            shed: Arc::new(Counter::new()),
+            wakeups: Arc::new(Counter::new()),
             tracer: None,
         }
     }
 
-    fn note_response(&self, status: Status, handler_time: Duration) {
+    pub(crate) fn note_response(&self, status: Status, handler_time: Duration) {
         self.handler_nanos.record_duration(handler_time);
         self.requests.inc();
         let code = status.code();
@@ -174,164 +190,46 @@ impl HttpServer {
         Self::spawn_inner(addr, handler, metrics, Some(faults))
     }
 
+    /// The fully general entry point: explicit instruments, optional
+    /// fault injector, and an explicit [`ReactorConfig`] (shard count,
+    /// handler pool size, connection ceiling, keep-alive). Every other
+    /// `spawn_*` constructor delegates here with the default config.
+    pub fn spawn_configured(
+        addr: &str,
+        handler: impl Handler,
+        metrics: ServerMetrics,
+        faults: Option<Arc<FaultInjector>>,
+        config: ReactorConfig,
+    ) -> Result<ServerHandle, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(metrics);
+        let transport = Transport::spawn(
+            listener,
+            Arc::new(handler),
+            Arc::clone(&metrics),
+            faults.clone(),
+            config.clone(),
+            Arc::clone(&shutdown),
+        )?;
+        Ok(ServerHandle {
+            addr: local,
+            shutdown,
+            metrics,
+            faults,
+            config,
+            transport: Mutex::new(Some(transport)),
+        })
+    }
+
     fn spawn_inner(
         addr: &str,
         handler: impl Handler,
         metrics: ServerMetrics,
         faults: Option<Arc<FaultInjector>>,
     ) -> Result<ServerHandle, NetError> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::new(metrics);
-        let handler: Arc<dyn Handler> = Arc::new(handler);
-
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_metrics = Arc::clone(&metrics);
-        let accept_faults = faults.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("http-accept-{local}"))
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let handler = Arc::clone(&handler);
-                    let metrics = Arc::clone(&accept_metrics);
-                    let conn_shutdown = Arc::clone(&accept_shutdown);
-                    let conn_faults = accept_faults.clone();
-                    metrics.live.inc();
-                    let _ = std::thread::Builder::new()
-                        .name("http-conn".to_owned())
-                        .spawn(move || {
-                            let _ = serve_connection(
-                                stream,
-                                handler.as_ref(),
-                                &metrics,
-                                &conn_shutdown,
-                                conn_faults.as_deref(),
-                            );
-                            metrics.live.dec();
-                        });
-                }
-            })?;
-
-        Ok(ServerHandle {
-            addr: local,
-            shutdown,
-            metrics,
-            faults,
-            accept_thread: Mutex::new(Some(accept_thread)),
-        })
-    }
-}
-
-/// Serve requests on one connection until close, error, or shutdown.
-fn serve_connection(
-    stream: TcpStream,
-    handler: &dyn Handler,
-    metrics: &ServerMetrics,
-    shutdown: &AtomicBool,
-    faults: Option<&FaultInjector>,
-) -> Result<(), NetError> {
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let req = match Request::read_from(&mut reader) {
-            Ok(Some(req)) => req,
-            Ok(None) => return Ok(()), // peer closed cleanly
-            Err(NetError::Io(e)) => return Err(NetError::Io(e)),
-            Err(NetError::UnexpectedEof) => return Ok(()),
-            Err(_) => {
-                // Malformed request: answer 400 and close.
-                metrics.note_response(Status::BadRequest, Duration::ZERO);
-                let _ = Response::status(Status::BadRequest).write_to(&mut writer);
-                return Ok(());
-            }
-        };
-        let close = req.wants_close();
-        // The fault injector gets first refusal, before any span opens:
-        // a reset market never answers, so it must not trace either.
-        let fault = match faults {
-            Some(f) => f.decide(&req.path),
-            None => FaultAction::Serve,
-        };
-        match fault {
-            FaultAction::Serve | FaultAction::Truncate => {}
-            // Slam the door without a byte: the client sees a reset or
-            // a mid-message EOF.
-            FaultAction::Reset => return Ok(()),
-            // Added latency, then serve normally.
-            FaultAction::Stall(d) => std::thread::sleep(d),
-            // Answer for the handler: the market is erroring, not slow.
-            FaultAction::Error {
-                status,
-                retry_after,
-            } => {
-                let resp = match retry_after {
-                    Some(d) => Response::status_with_retry_after(status, d),
-                    None => Response::status(status),
-                };
-                metrics.note_response(status, Duration::ZERO);
-                resp.write_to(&mut writer)?;
-                if close {
-                    return Ok(());
-                }
-                continue;
-            }
-        }
-        // A propagated trace context makes this request a remote child
-        // of the client-side attempt span; without one (or without a
-        // tracer) every span below is a no-op.
-        let req_span = match &metrics.tracer {
-            Some(t) => t.child_of(
-                req.trace_context(),
-                "server",
-                &format!("{} {}", req.method.as_str(), req.path),
-            ),
-            None => TraceSpan::noop(),
-        };
-        let start = Instant::now();
-        let handler_span = match &metrics.tracer {
-            Some(t) => t.span("server", "handler"),
-            None => TraceSpan::noop(),
-        };
-        let resp = handler.handle(&req);
-        handler_span.finish();
-        // Count and time *after* the handler so a `/__metrics` scrape
-        // renders a self-consistent exposition: for every market,
-        // `requests_total == handler_nanos_count` and the in-flight
-        // scrape itself is excluded from both.
-        metrics.note_response(resp.status, start.elapsed());
-        req_span.event(&format!("status:{}", resp.status.code()));
-        let write_span = match &metrics.tracer {
-            Some(t) => t.span("server", "write"),
-            None => TraceSpan::noop(),
-        };
-        if fault == FaultAction::Truncate {
-            // Cut the body mid-stream and close so the client sees an
-            // unexpected EOF. An empty body can't be cut — drop the
-            // connection instead (same observable failure).
-            if !resp.body.is_empty() {
-                resp.write_truncated_to(&mut writer, resp.body.len() / 2)?;
-            }
-            write_span.finish();
-            req_span.finish();
-            return Ok(());
-        }
-        resp.write_to(&mut writer)?;
-        write_span.finish();
-        req_span.finish();
-        if close {
-            return Ok(());
-        }
+        Self::spawn_configured(addr, handler, metrics, faults, ReactorConfig::default())
     }
 }
 
@@ -341,7 +239,8 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
     faults: Option<Arc<FaultInjector>>,
-    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    config: ReactorConfig,
+    transport: Mutex<Option<Transport>>,
 }
 
 impl ServerHandle {
@@ -381,15 +280,31 @@ impl ServerHandle {
         self.faults.as_ref()
     }
 
-    /// Stop accepting, wake the accept loop, and join it. Connection
-    /// threads drain on their own (their next request check sees the
-    /// flag, and read timeouts bound their lifetime).
+    /// The transport configuration this server runs with (shards,
+    /// handler pool size, connection ceiling, keep-alive).
+    pub fn transport_config(&self) -> &ReactorConfig {
+        &self.config
+    }
+
+    /// Transient accept-loop errors absorbed with backoff so far
+    /// (`marketscope_net_accept_errors_total`).
+    pub fn accept_errors(&self) -> u64 {
+        self.metrics.accept_errors.get()
+    }
+
+    /// Connections shed with an immediate `503` because the server was
+    /// at its ceiling (`marketscope_net_connections_shed_total`).
+    pub fn shed_connections(&self) -> u64 {
+        self.metrics.shed.get()
+    }
+
+    /// Stop accepting, then wake and join every transport thread (the
+    /// acceptor, the event-loop shards, the handler pool). Open
+    /// connections are dropped; the live gauge returns to balance.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.lock().take() {
-            let _ = t.join();
+        if let Some(t) = self.transport.lock().take() {
+            t.stop(self.addr);
         }
     }
 }
@@ -404,6 +319,7 @@ impl Drop for ServerHandle {
 mod tests {
     use super::*;
     use std::io::Write;
+    use std::net::TcpStream;
 
     fn echo_server() -> ServerHandle {
         HttpServer::spawn(|req: &Request| {
@@ -489,6 +405,85 @@ mod tests {
             let _ = s.read_to_end(&mut out);
             assert!(out.is_empty(), "stopped server must not answer");
         }
+    }
+
+    /// Poll until `cond` holds or a 5s deadline passes (cross-thread
+    /// gauge updates land a wake-cycle after the wire event).
+    fn wait_until(cond: impl Fn() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    #[test]
+    fn sheds_connections_above_ceiling_with_503() {
+        let server = HttpServer::spawn_configured(
+            "127.0.0.1:0",
+            |_req: &Request| Response::ok("text/plain", b"ok".to_vec()),
+            ServerMetrics::standalone(),
+            None,
+            ReactorConfig {
+                max_connections: 2,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        // Park two keep-alive connections to fill the ceiling.
+        let _a = TcpStream::connect(server.addr()).unwrap();
+        let _b = TcpStream::connect(server.addr()).unwrap();
+        assert!(
+            wait_until(|| server.live_connections() == 2),
+            "parked connections must register: {}",
+            server.live_connections()
+        );
+        // The third is answered 503 + close instead of silently dropped.
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Read;
+        let mut out = Vec::new();
+        c.read_to_end(&mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+        assert_eq!(server.shed_connections(), 1);
+        assert_eq!(
+            server.request_count(),
+            0,
+            "shed connections never reach the handler"
+        );
+        assert_eq!(server.accept_errors(), 0);
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_are_reaped() {
+        let server = HttpServer::spawn_configured(
+            "127.0.0.1:0",
+            |_req: &Request| Response::ok("text/plain", b"ok".to_vec()),
+            ServerMetrics::standalone(),
+            None,
+            ReactorConfig {
+                keep_alive: Duration::from_millis(100),
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        assert!(wait_until(|| server.live_connections() == 1));
+        // The reaper closes the idle connection and balances the gauge.
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        use std::io::Read;
+        let mut out = Vec::new();
+        let n = s.read_to_end(&mut out).unwrap();
+        assert_eq!(n, 0, "reaped connection must close cleanly");
+        assert!(
+            wait_until(|| server.live_connections() == 0),
+            "gauge must drain after the reap: {}",
+            server.live_connections()
+        );
     }
 
     #[test]

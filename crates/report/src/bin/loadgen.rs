@@ -1,7 +1,7 @@
 //! Standalone perf-baseline CLI.
 //!
 //! ```text
-//! loadgen run [--seed N] [--divisor N] [--profile smoke|saturation]
+//! loadgen run [--seed N] [--divisor N] [--profile smoke|saturation|c10k]
 //!             [--label LABEL] [--out DIR] [--max-inflight N]
 //! loadgen bench-diff OLD.json NEW.json [--max-rps-drop F] [--max-p99-rise F]
 //!             [--p99-floor-ns N] [--max-rss-rise F] [--max-alloc-rise F]
@@ -76,7 +76,7 @@ fn run(mut args: impl Iterator<Item = String>) {
             "--profile" => {
                 profile = args
                     .next()
-                    .unwrap_or_else(|| usage("--profile needs smoke|saturation"));
+                    .unwrap_or_else(|| usage("--profile needs smoke|saturation|c10k"));
             }
             "--label" => {
                 label = args.next().unwrap_or_else(|| usage("--label needs a name"));
@@ -100,7 +100,11 @@ fn run(mut args: impl Iterator<Item = String>) {
     let mut config = match profile.as_str() {
         "smoke" => LoadConfig::smoke(seed),
         "saturation" => LoadConfig::saturation(seed),
-        _ => usage("--profile needs smoke|saturation"),
+        // The C10k profile parks thousands of keep-alive connections
+        // against one market while the smoke steps run; the BENCH file's
+        // `held_connections` and `threads_peak` record the result.
+        "c10k" => LoadConfig::c10k(seed),
+        _ => usage("--profile needs smoke|saturation|c10k"),
     };
     config.max_inflight = max_inflight;
 
@@ -118,6 +122,13 @@ fn run(mut args: impl Iterator<Item = String>) {
     );
     let load = marketscope_loadgen::run_against(&fleet, &config);
     fleet.stop();
+
+    if config.hold_connections > 0 {
+        eprintln!(
+            "loadgen: held {} keep-alive connections (threads peak {})",
+            load.held_connections, load.resources.threads_peak
+        );
+    }
 
     for step in &load.steps {
         eprintln!(
@@ -207,7 +218,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: loadgen run [--seed N] [--divisor N] [--profile smoke|saturation] [--label LABEL] [--out DIR] [--max-inflight N]"
+        "usage: loadgen run [--seed N] [--divisor N] [--profile smoke|saturation|c10k] [--label LABEL] [--out DIR] [--max-inflight N]"
     );
     eprintln!(
         "       loadgen bench-diff OLD.json NEW.json [--max-rps-drop F] [--max-p99-rise F] [--p99-floor-ns N] [--max-rss-rise F] [--max-alloc-rise F]"
