@@ -9,7 +9,7 @@ use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::resilience::{BreakerConfig, ResilienceMetrics, RetryPolicy};
 use marketscope_net::NetError;
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
-use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, TraceSpan};
+use marketscope_telemetry::{Counter, EventLog, Gauge, Histogram, LogLevel, Registry, TraceSpan};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::net::SocketAddr;
@@ -208,6 +208,9 @@ pub struct Crawler {
     metrics: Vec<MarketMetrics>,
     /// Tracer sampling per-fetch spans (per `config.trace_sample`).
     tracer: Arc<Tracer>,
+    /// Shared structured event log (the fleet's, in campaigns); `None`
+    /// keeps quarantine/breaker seams counter-only.
+    log: Option<Arc<EventLog>>,
 }
 
 impl Crawler {
@@ -237,6 +240,18 @@ impl Crawler {
         registry: Arc<Registry>,
         tracer: Arc<Tracer>,
     ) -> Crawler {
+        Crawler::with_ops(config, registry, tracer, None)
+    }
+
+    /// A crawler wired into a shared structured [`EventLog`]: circuit
+    /// breaker transitions and quarantine lifecycle emit events (with
+    /// the active trace context attached) alongside their counters.
+    pub fn with_ops(
+        config: CrawlConfig,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+        log: Option<Arc<EventLog>>,
+    ) -> Crawler {
         let buckets = config.politeness_rps.map(|rps| {
             MarketId::ALL
                 .iter()
@@ -264,7 +279,11 @@ impl Crawler {
             .metrics(ClientMetrics::register(&registry, &[]))
             .tracer(Arc::clone(&tracer));
         if config.retry.is_some() || config.breaker.is_some() {
-            builder = builder.resilience_metrics(ResilienceMetrics::register(&registry, &[]));
+            let mut resilience = ResilienceMetrics::register(&registry, &[]);
+            if let Some(log) = &log {
+                resilience = resilience.with_log(Arc::clone(log));
+            }
+            builder = builder.resilience_metrics(resilience);
         }
         if let Some(policy) = config.retry {
             builder = builder.retry(policy);
@@ -279,6 +298,7 @@ impl Crawler {
             registry,
             metrics,
             tracer,
+            log,
         }
     }
 
@@ -552,6 +572,17 @@ impl Crawler {
             } else if health.note_failure() {
                 metrics.quarantines.inc();
                 stats.lock().markets_quarantined += 1;
+                if let Some(log) = &self.log {
+                    log.record(
+                        LogLevel::Warn,
+                        "crawler.quarantine",
+                        "market quarantined",
+                        &[
+                            ("market", market.slug()),
+                            ("threshold", &self.config.quarantine_threshold.to_string()),
+                        ],
+                    );
+                }
             }
         }
         if deferred.is_empty() {
@@ -564,12 +595,36 @@ impl Crawler {
         // normal way (error kinds, `apks_missing`).
         metrics.deferred.add(deferred.len() as u64);
         stats.lock().fetches_deferred += deferred.len() as u64;
+        if let Some(log) = &self.log {
+            log.record(
+                LogLevel::Info,
+                "crawler.quarantine",
+                "deferred fetches queued for revisit",
+                &[
+                    ("market", market.slug()),
+                    ("count", &deferred.len().to_string()),
+                ],
+            );
+        }
         health.release();
+        let mut recovered = 0u64;
         for i in deferred {
             if self.harvest_one(market, targets, &mut snapshot.listings[i], client, stats) {
                 metrics.recovered.inc();
                 stats.lock().revisit_recovered += 1;
+                recovered += 1;
             }
+        }
+        if let Some(log) = &self.log {
+            log.record(
+                LogLevel::Info,
+                "crawler.quarantine",
+                "revisit pass finished",
+                &[
+                    ("market", market.slug()),
+                    ("recovered", &recovered.to_string()),
+                ],
+            );
         }
     }
 

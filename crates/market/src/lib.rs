@@ -29,6 +29,7 @@
 pub mod chaos;
 pub mod endpoints;
 pub mod fleet;
+pub mod opsjson;
 pub mod repository;
 pub mod server;
 pub mod submission;
@@ -36,5 +37,5 @@ pub mod submission;
 pub use chaos::{ChaosIntensity, ChaosProfile};
 pub use fleet::MarketFleet;
 pub use repository::AndroZooServer;
-pub use server::{CrawlPhase, MarketServer, PAGE_SIZE};
+pub use server::{CrawlPhase, MarketServer, OpsHandles, PAGE_SIZE};
 pub use submission::{evaluate, SubmissionOutcome};

@@ -11,8 +11,8 @@ use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::router::Router;
 use marketscope_net::server::{HttpServer, ServerHandle, ServerMetrics};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
-use marketscope_telemetry::Registry;
-use parking_lot::RwLock;
+use marketscope_telemetry::{EventLog, Registry, SloEvaluator};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -51,6 +51,18 @@ impl MarketState {
         let id = *self.by_package.get(package)?;
         self.visible(id).then_some(id)
     }
+}
+
+/// Handles into the fleet's ops plane, shared by every server in a
+/// fleet: the SLO evaluator the scraper updates each tick (served at
+/// `GET /__slo`) and the structured event log (served at `GET /__log`,
+/// and fed by the server's own fault/shed seams).
+#[derive(Clone)]
+pub struct OpsHandles {
+    /// Fleet-wide SLO evaluator; the scraper's tick hook refreshes it.
+    pub slo: Arc<Mutex<SloEvaluator>>,
+    /// Fleet-wide structured event log.
+    pub log: Arc<EventLog>,
 }
 
 /// A running market server.
@@ -101,7 +113,7 @@ impl MarketServer {
         registry: Arc<Registry>,
         tracer: Arc<Tracer>,
     ) -> Result<MarketServer, marketscope_net::NetError> {
-        MarketServer::spawn_inner(world, market, registry, tracer, None)
+        MarketServer::spawn_inner(world, market, registry, tracer, None, None)
     }
 
     /// Spawn a server behind a seeded [`FaultInjector`]: requests may be
@@ -116,7 +128,22 @@ impl MarketServer {
         tracer: Arc<Tracer>,
         faults: FaultInjector,
     ) -> Result<MarketServer, marketscope_net::NetError> {
-        MarketServer::spawn_inner(world, market, registry, tracer, Some(faults))
+        MarketServer::spawn_inner(world, market, registry, tracer, Some(faults), None)
+    }
+
+    /// Spawn a server wired into a fleet ops plane: `/__slo` serves the
+    /// evaluator's latest verdicts, `/__log` serves the shared event
+    /// log, `/__health` gains an `slo` summary, and the server's own
+    /// incident seams (fault injections, connection shed) record events.
+    pub fn spawn_with_ops(
+        world: Arc<World>,
+        market: MarketId,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+        faults: Option<FaultInjector>,
+        ops: OpsHandles,
+    ) -> Result<MarketServer, marketscope_net::NetError> {
+        MarketServer::spawn_inner(world, market, registry, tracer, faults, Some(ops))
     }
 
     fn spawn_inner(
@@ -125,6 +152,7 @@ impl MarketServer {
         registry: Arc<Registry>,
         tracer: Arc<Tracer>,
         faults: Option<FaultInjector>,
+        ops: Option<OpsHandles>,
     ) -> Result<MarketServer, marketscope_net::NetError> {
         let faults = faults.map(Arc::new);
         let started = std::time::Instant::now();
@@ -181,11 +209,29 @@ impl MarketServer {
                     Response::ok("application/json", json.into_bytes())
                 }
             })
+            .get("/__slo", {
+                let ops = ops.clone();
+                move |_req: &Request, _: &marketscope_net::router::Params| {
+                    let verdicts = ops
+                        .as_ref()
+                        .map(|o| o.slo.lock().verdicts())
+                        .unwrap_or_default();
+                    Response::json(&crate::opsjson::slo_json(&verdicts))
+                }
+            })
+            .get("/__log", {
+                let ops = ops.clone();
+                move |_req: &Request, _: &marketscope_net::router::Params| {
+                    let snap = ops.as_ref().map(|o| o.log.snapshot()).unwrap_or_default();
+                    Response::json(&crate::opsjson::log_json(&snap))
+                }
+            })
             .get("/__health", {
                 // The health closure reads the same registry instruments
                 // ServerMetrics registers (get-or-create by identical
                 // name+labels returns the same Arc), so totals here match
-                // `/__metrics` exactly.
+                // `/__metrics` exactly; section assembly is shared with
+                // the other ops surfaces via `opsjson`.
                 let st = Arc::clone(&state);
                 let requests = registry.counter(
                     "marketscope_net_requests_total",
@@ -205,34 +251,15 @@ impl MarketServer {
                 );
                 let transport = transport.clone();
                 let faults = faults.clone();
+                let ops = ops.clone();
                 move |_req: &Request, _: &marketscope_net::router::Params| {
                     let phase = match *st.phase.read() {
                         CrawlPhase::First => "first",
                         CrawlPhase::Second => "second",
                     };
-                    let rate_limiter = match &st.apk_bucket {
-                        Some(bucket) => {
-                            let hint = bucket.wait_hint();
-                            Json::obj([
-                                ("limiter", Json::from("apk_download")),
-                                ("ready", Json::from(hint.is_zero())),
-                                ("wait_hint_ms", Json::from(hint.as_millis() as u64)),
-                            ])
-                        }
-                        None => Json::Null,
-                    };
-                    let chaos = match &faults {
-                        Some(f) => {
-                            let plan = f.plan();
-                            Json::obj([
-                                ("faults_injected", Json::from(f.injected())),
-                                ("reset", Json::from(plan.reset)),
-                                ("stall", Json::from(plan.stall)),
-                                ("truncate", Json::from(plan.truncate)),
-                                ("error_5xx", Json::from(plan.error_5xx)),
-                                ("downtime_every", Json::from(plan.downtime_every)),
-                            ])
-                        }
+                    let open = live.get().max(0) as u64;
+                    let slo = match &ops {
+                        Some(o) => crate::opsjson::slo_summary_json(&o.slo.lock().verdicts()),
                         None => Json::Null,
                     };
                     Response::json(&Json::obj([
@@ -244,26 +271,31 @@ impl MarketServer {
                             Json::from(started.elapsed().as_millis() as u64),
                         ),
                         ("requests_total", Json::from(requests.get())),
-                        ("live_connections", Json::from(live.get().max(0) as u64)),
+                        ("live_connections", Json::from(open)),
                         ("catalog_size", Json::from(st.catalog.len())),
                         (
                             "transport",
-                            Json::obj([
-                                ("shards", Json::from(transport.shards)),
-                                ("handler_threads", Json::from(transport.handler_threads)),
-                                ("max_connections", Json::from(transport.max_connections)),
-                                ("open_connections", Json::from(live.get().max(0) as u64)),
-                                ("connections_shed", Json::from(shed.get())),
-                                ("accept_errors", Json::from(accept_errors.get())),
-                            ]),
+                            crate::opsjson::transport_json(
+                                &transport,
+                                open,
+                                shed.get(),
+                                accept_errors.get(),
+                            ),
                         ),
-                        ("rate_limiter", rate_limiter),
-                        ("chaos", chaos),
+                        (
+                            "rate_limiter",
+                            crate::opsjson::rate_limiter_json(st.apk_bucket.as_ref()),
+                        ),
+                        ("chaos", crate::opsjson::chaos_json(faults.as_deref())),
+                        ("slo", slo),
                     ]))
                 }
             });
-        let metrics = ServerMetrics::register(&registry, &[("market", market.slug())])
+        let mut metrics = ServerMetrics::register(&registry, &[("market", market.slug())])
             .traced(Arc::clone(&tracer));
+        if let Some(o) = &ops {
+            metrics = metrics.logged(Arc::clone(&o.log));
+        }
         let handle =
             HttpServer::spawn_configured("127.0.0.1:0", router, metrics, faults, transport)?;
         Ok(MarketServer {
@@ -671,8 +703,9 @@ mod tests {
         assert!(transport.get("open_connections").unwrap().as_u64().unwrap() >= 1);
         assert_eq!(transport.get("connections_shed").unwrap().as_u64(), Some(0));
         assert_eq!(transport.get("accept_errors").unwrap().as_u64(), Some(0));
-        // No chaos on a plain spawn.
+        // No chaos and no ops plane on a plain spawn.
         assert_eq!(health.get("chaos"), Some(&Json::Null));
+        assert_eq!(health.get("slo"), Some(&Json::Null));
 
         server.set_phase(CrawlPhase::Second);
         let health = client.get_json(server.addr(), "/__health").unwrap();
@@ -681,6 +714,54 @@ mod tests {
         let huawei = MarketServer::spawn(Arc::clone(&w), MarketId::HuaweiMarket).unwrap();
         let health = client.get_json(huawei.addr(), "/__health").unwrap();
         assert_eq!(health.get("rate_limiter"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn slo_and_log_endpoints_serve_ops_plane() {
+        use marketscope_telemetry::{LogLevel, SeriesStore, SloPolicy};
+        let w = world();
+        let log = Arc::new(EventLog::new(32));
+        let slo = Arc::new(Mutex::new(SloEvaluator::new(SloPolicy::fleet_default())));
+        let server = MarketServer::spawn_with_ops(
+            Arc::clone(&w),
+            MarketId::HuaweiMarket,
+            Arc::new(Registry::new()),
+            Arc::new(Tracer::new(TracerConfig::propagate_only(64))),
+            None,
+            OpsHandles {
+                slo: Arc::clone(&slo),
+                log: Arc::clone(&log),
+            },
+        )
+        .unwrap();
+        let client = HttpClient::new();
+        // Before any evaluation: no verdicts, nothing firing.
+        let doc = client.get_json(server.addr(), "/__slo").unwrap();
+        assert_eq!(doc.get("firing").unwrap().as_u64(), Some(0));
+        assert!(doc.get("rules").unwrap().as_arr().unwrap().is_empty());
+        // Events recorded into the shared log surface through /__log.
+        log.record(LogLevel::Info, "test", "hello", &[("k", "v")]);
+        let doc = client.get_json(server.addr(), "/__log").unwrap();
+        let events = doc.get("events").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("message").and_then(|m| m.as_str()) == Some("hello")));
+        // Once the evaluator has run, /__slo and the /__health summary
+        // report every fleet rule.
+        let mut store = SeriesStore::new(4);
+        store.observe(&Registry::new().snapshot());
+        slo.lock().evaluate(&store);
+        let doc = client.get_json(server.addr(), "/__slo").unwrap();
+        assert!(!doc.get("rules").unwrap().as_arr().unwrap().is_empty());
+        let health = client.get_json(server.addr(), "/__health").unwrap();
+        let summary = health.get("slo").unwrap();
+        assert_eq!(summary.get("firing").unwrap().as_u64(), Some(0));
+        assert!(summary
+            .get("rules")
+            .unwrap()
+            .get("error_rate_5xx")
+            .is_some());
+        server.stop();
     }
 
     #[test]

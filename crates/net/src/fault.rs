@@ -26,7 +26,7 @@
 
 use crate::http::Status;
 use marketscope_core::hash::fnv1a64;
-use marketscope_telemetry::{Counter, Registry};
+use marketscope_telemetry::{Counter, EventLog, LogLevel, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -199,6 +199,9 @@ pub struct FaultInjector {
     /// Total faults injected (all kinds).
     injected: AtomicU64,
     metrics: Option<FaultMetrics>,
+    /// Structured event log plus the scope tag (`market` label) stamped
+    /// on every injection event.
+    log: Option<(Arc<EventLog>, String)>,
 }
 
 impl FaultInjector {
@@ -211,7 +214,16 @@ impl FaultInjector {
             index: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             metrics: None,
+            log: None,
         }
+    }
+
+    /// Record every injected fault to `log`, tagged with `scope` as the
+    /// `market` field (events are exempt paths' only blind spot: `/__`
+    /// requests never fault, so they never log).
+    pub fn with_log(mut self, log: Arc<EventLog>, scope: &str) -> FaultInjector {
+        self.log = Some((log, scope.to_owned()));
+        self
     }
 
     /// An injector that counts what it injects into `registry`.
@@ -259,6 +271,22 @@ impl FaultInjector {
             self.injected.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.note(action, in_downtime);
+            }
+            if let Some((log, scope)) = &self.log {
+                let kind = match action {
+                    FaultAction::Serve => "serve",
+                    FaultAction::Reset if in_downtime => "downtime",
+                    FaultAction::Reset => "reset",
+                    FaultAction::Stall(_) => "stall",
+                    FaultAction::Truncate => "truncate",
+                    FaultAction::Error { .. } => "error",
+                };
+                log.record(
+                    LogLevel::Warn,
+                    "net.fault",
+                    "fault injected",
+                    &[("market", scope), ("fault", kind), ("path", path)],
+                );
             }
         }
         action

@@ -54,6 +54,7 @@ pub(crate) mod sys;
 use crate::fault::{FaultAction, FaultInjector};
 use crate::http::{Request, Response, Status};
 use crate::server::{Handler, ServerMetrics};
+use marketscope_telemetry::LogLevel;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -718,6 +719,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 // EMFILE, ENFILE, ECONNABORTED: transient. Count it and
                 // back off instead of spinning hot on the error.
                 shared.metrics.accept_errors.inc();
+                if let Some(log) = &shared.metrics.log {
+                    log.record(
+                        LogLevel::Warn,
+                        "net.reactor",
+                        "transient accept error, backing off",
+                        &[("backoff_ms", &backoff.as_millis().to_string())],
+                    );
+                }
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
                 continue;
@@ -725,6 +734,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         };
         if shared.metrics.live.get() >= shared.cfg.max_connections as i64 {
             shared.metrics.shed.inc();
+            if let Some(log) = &shared.metrics.log {
+                log.record(
+                    LogLevel::Warn,
+                    "net.reactor",
+                    "connection shed at ceiling",
+                    &[("max_connections", &shared.cfg.max_connections.to_string())],
+                );
+            }
             // Best-effort single write; the shed path must never block
             // the acceptor.
             let _ = stream.set_nonblocking(true);

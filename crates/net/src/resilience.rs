@@ -29,7 +29,7 @@
 
 use crate::error::NetError;
 use crate::fault::{splitmix64, unit};
-use marketscope_telemetry::{trace, Counter, Gauge, Registry};
+use marketscope_telemetry::{trace, Counter, EventLog, Gauge, LogLevel, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -160,6 +160,7 @@ pub struct ResilienceMetrics {
     to_half_open: Arc<Counter>,
     to_closed: Arc<Counter>,
     open_circuits: Arc<Gauge>,
+    log: Option<Arc<EventLog>>,
 }
 
 impl ResilienceMetrics {
@@ -178,7 +179,15 @@ impl ResilienceMetrics {
             to_half_open: transition("half_open"),
             to_closed: transition("closed"),
             open_circuits: registry.gauge("marketscope_net_client_open_circuits", labels),
+            log: None,
         }
+    }
+
+    /// Record breaker transitions to `log` as structured events (in
+    /// addition to the transition counters).
+    pub fn with_log(mut self, log: Arc<EventLog>) -> ResilienceMetrics {
+        self.log = Some(log);
+        self
     }
 
     /// Count one policy retry and the backoff it paid.
@@ -194,6 +203,9 @@ pub struct CircuitBreaker {
     config: BreakerConfig,
     state: Mutex<State>,
     metrics: Option<ResilienceMetrics>,
+    /// Host tag stamped on transition log events (set by
+    /// [`BreakerSet::for_host`]).
+    scope: Option<String>,
 }
 
 impl CircuitBreaker {
@@ -203,6 +215,7 @@ impl CircuitBreaker {
             config,
             state: Mutex::new(State::Closed { failures: 0 }),
             metrics: None,
+            scope: None,
         }
     }
 
@@ -312,6 +325,15 @@ impl CircuitBreaker {
                     m.open_circuits.dec();
                 }
             }
+            if let Some(log) = &m.log {
+                let (level, message) = match to {
+                    BreakerState::Open => (LogLevel::Warn, "circuit opened"),
+                    BreakerState::HalfOpen => (LogLevel::Info, "circuit half-open, probing"),
+                    BreakerState::Closed => (LogLevel::Info, "circuit closed"),
+                };
+                let host = self.scope.as_deref().unwrap_or("?");
+                log.record(level, "net.breaker", message, &[("host", host)]);
+            }
         }
     }
 }
@@ -340,6 +362,7 @@ impl BreakerSet {
         Arc::clone(self.by_host.lock().entry(addr).or_insert_with(|| {
             Arc::new(CircuitBreaker {
                 metrics: self.metrics.clone(),
+                scope: Some(addr.to_string()),
                 ..CircuitBreaker::new(self.config)
             })
         }))

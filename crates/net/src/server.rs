@@ -10,7 +10,7 @@ use crate::error::NetError;
 use crate::fault::FaultInjector;
 use crate::http::{Request, Response, Status};
 use crate::reactor::{ReactorConfig, Transport};
-use marketscope_telemetry::{Counter, Gauge, Histogram, Registry, Tracer};
+use marketscope_telemetry::{Counter, EventLog, Gauge, Histogram, Registry, Tracer};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -62,6 +62,7 @@ pub struct ServerMetrics {
     pub(crate) shed: Arc<Counter>,
     pub(crate) wakeups: Arc<Counter>,
     pub(crate) tracer: Option<Arc<Tracer>>,
+    pub(crate) log: Option<Arc<EventLog>>,
 }
 
 impl ServerMetrics {
@@ -96,6 +97,7 @@ impl ServerMetrics {
             shed: registry.counter("marketscope_net_connections_shed_total", labels),
             wakeups: registry.counter("marketscope_net_eventloop_wakeups_total", labels),
             tracer: None,
+            log: None,
         }
     }
 
@@ -106,6 +108,14 @@ impl ServerMetrics {
     /// without the header trace nothing.
     pub fn traced(mut self, tracer: Arc<Tracer>) -> ServerMetrics {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach a structured event log: operational incidents that today
+    /// only bump counters (connection shed at the ceiling, accept
+    /// errors) also record an event with context.
+    pub fn logged(mut self, log: Arc<EventLog>) -> ServerMetrics {
+        self.log = Some(log);
         self
     }
 
@@ -125,6 +135,7 @@ impl ServerMetrics {
             shed: Arc::new(Counter::new()),
             wakeups: Arc::new(Counter::new()),
             tracer: None,
+            log: None,
         }
     }
 

@@ -4,6 +4,7 @@
 //! ```text
 //! reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress]
 //!           [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy]
+//!           [--ops-bundle DIR] [--bench LABEL]
 //! ```
 //!
 //! `--trace-out FILE` samples every fetch (trace rate 1.0) and writes the
@@ -15,6 +16,11 @@
 //! `marketscope_market::chaos`); the same seed injects the same fault
 //! sequence every run. `--chaos-profile` picks the intensity (default
 //! `light`); the `ops` artifact gains a "Degraded markets" section.
+//!
+//! `--ops-bundle DIR` writes the campaign's whole operational record —
+//! `metrics.prom` (Prometheus exposition), `series.json` (scraped time
+//! series), `slo.json` (burn-rate verdicts), `trace.json` (Chrome trace
+//! events), `events.json` (structured log) — for archiving or diffing.
 //!
 //! `--bench LABEL` follows the campaign with a short load-generation
 //! pass (the `marketscope_loadgen` smoke profile) against a fresh fleet
@@ -38,6 +44,7 @@ fn main() {
     let mut only: Option<String> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut ops_bundle: Option<std::path::PathBuf> = None;
     let mut bench_label: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +97,12 @@ fn main() {
                 let seed = config.chaos.map_or(0, |c| c.seed);
                 config.chaos = Some(ChaosProfile { seed, intensity });
             }
+            "--ops-bundle" => {
+                ops_bundle = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--ops-bundle needs a directory")),
+                ));
+            }
             "--bench" => {
                 bench_label = Some(
                     args.next()
@@ -140,6 +153,21 @@ fn main() {
             "trace written to {} ({} spans; load at chrome://tracing or ui.perfetto.dev)",
             path.display(),
             campaign.traces.records.len()
+        );
+    }
+    if let Some(dir) = &ops_bundle {
+        let files = marketscope_report::write_ops_bundle(dir, &campaign).expect("write ops bundle");
+        let firing = campaign
+            .slo
+            .iter()
+            .filter(|v| v.state == marketscope_telemetry::AlertState::Firing)
+            .count();
+        eprintln!(
+            "ops bundle written to {} ({}; {} alerts fired, {} still firing)",
+            dir.display(),
+            files.join(", "),
+            campaign.slo.iter().map(|v| v.fired).sum::<u64>(),
+            firing
         );
     }
     if let Some(label) = bench_label {
@@ -217,7 +245,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy] [--bench LABEL]"
+        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy] [--ops-bundle DIR] [--bench LABEL]"
     );
     eprintln!("artifacts: table1..table6, fig1..fig13, leaks, sec53, sec64, ops");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

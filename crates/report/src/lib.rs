@@ -17,12 +17,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod context;
 pub mod engine;
 pub mod experiments;
 pub mod ops;
 pub mod pipeline;
 
+pub use bundle::write_ops_bundle;
 pub use context::{Analyzed, LabelSource, UniqueApp};
 pub use engine::{AnalysisEngine, EngineConfig, StageSpec, STAGE_GRAPH};
 pub use ops::{MarketOps, OpsSummary, PerfOps, StageOps};

@@ -6,7 +6,10 @@
 //! derived from the merged fleet + crawler registries, so the numbers are
 //! the same ones `GET /__metrics` exposes while a crawl runs.
 
-use marketscope_telemetry::{slowest_traces, JournalSnapshot, RegistrySnapshot, TraceSummary};
+use marketscope_telemetry::{
+    slowest_traces, JournalSnapshot, LogEvent, LogSnapshot, RegistrySnapshot, SloVerdict,
+    TraceSummary,
+};
 
 /// One market's serving-side and crawling-side totals.
 #[derive(Debug, Clone)]
@@ -119,6 +122,13 @@ pub struct OpsSummary {
     /// Slowest sampled traces (top-k by root-span duration), filled by
     /// [`OpsSummary::with_traces`]; empty when tracing was off.
     pub slowest: Vec<TraceSummary>,
+    /// SLO verdicts from the fleet's live evaluator, filled by
+    /// [`OpsSummary::with_slo`]; empty when the campaign ran without the
+    /// ops plane.
+    pub slo: Vec<SloVerdict>,
+    /// Newest structured log events (already time-ordered), filled by
+    /// [`OpsSummary::with_events`].
+    pub events: Vec<LogEvent>,
 }
 
 impl OpsSummary {
@@ -291,12 +301,26 @@ impl OpsSummary {
             analysis,
             perf,
             slowest: Vec::new(),
+            slo: Vec::new(),
+            events: Vec::new(),
         }
     }
 
     /// Attach the top-`k` slowest traces from a trace journal snapshot.
     pub fn with_traces(mut self, traces: &JournalSnapshot, k: usize) -> OpsSummary {
         self.slowest = slowest_traces(traces, k);
+        self
+    }
+
+    /// Attach the fleet's final SLO verdicts.
+    pub fn with_slo(mut self, verdicts: &[SloVerdict]) -> OpsSummary {
+        self.slo = verdicts.to_vec();
+        self
+    }
+
+    /// Attach the newest `k` structured log events.
+    pub fn with_events(mut self, events: &LogSnapshot, k: usize) -> OpsSummary {
+        self.events = events.tail(k).to_vec();
         self
     }
 
@@ -408,6 +432,44 @@ impl OpsSummary {
                     t.duration_nanos / 1_000,
                     t.span_count,
                     hotspots.join("; ")
+                ));
+            }
+        }
+        if !self.slo.is_empty() {
+            out.push_str("\nSLO / Alerts\n");
+            out.push_str(&format!(
+                "{:<20} {:<9} {:>10} {:>10} {:>10} {:>6} {:>9}\n",
+                "rule", "state", "fast", "slow", "threshold", "fired", "resolved"
+            ));
+            for v in &self.slo {
+                out.push_str(&format!(
+                    "{:<20} {:<9} {:>10.4} {:>10.4} {:>10.4} {:>6} {:>9}\n",
+                    v.rule,
+                    v.state.as_str(),
+                    v.fast_burn,
+                    v.slow_burn,
+                    v.threshold,
+                    v.fired,
+                    v.resolved
+                ));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("\nRecent events\n");
+            for e in &self.events {
+                let fields: Vec<String> =
+                    e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let trace = match (e.trace_id, e.span_id) {
+                    (Some(t), Some(s)) => format!("  [{t:016x}:{s:016x}]"),
+                    _ => String::new(),
+                };
+                out.push_str(&format!(
+                    "{:<5} {:<20} {} {}{}\n",
+                    e.level.as_str(),
+                    e.target,
+                    e.message,
+                    fields.join(" "),
+                    trace
                 ));
             }
         }
@@ -609,6 +671,40 @@ mod tests {
         assert!(OpsSummary::from_snapshot(&Registry::new().snapshot())
             .perf
             .is_none());
+    }
+
+    #[test]
+    fn slo_and_events_sections_render() {
+        use marketscope_telemetry::{AlertState, EventLog, LogLevel};
+        let log = EventLog::new(8);
+        log.record(
+            LogLevel::Warn,
+            "telemetry.slo",
+            "slo alert fired",
+            &[("rule", "error_rate_5xx")],
+        );
+        let verdicts = vec![SloVerdict {
+            rule: "error_rate_5xx".into(),
+            state: AlertState::Resolved,
+            fast_burn: 0.0,
+            slow_burn: 0.01,
+            threshold: 0.02,
+            fired: 1,
+            resolved: 1,
+        }];
+        let ops = OpsSummary::from_snapshot(&Registry::new().snapshot())
+            .with_slo(&verdicts)
+            .with_events(&log.snapshot(), 10);
+        let rendered = ops.render();
+        assert!(rendered.contains("SLO / Alerts"), "{rendered}");
+        assert!(rendered.contains("error_rate_5xx"), "{rendered}");
+        assert!(rendered.contains("resolved"), "{rendered}");
+        assert!(rendered.contains("Recent events"), "{rendered}");
+        assert!(rendered.contains("slo alert fired"), "{rendered}");
+        // Without the ops plane neither section renders.
+        let clean = OpsSummary::from_snapshot(&Registry::new().snapshot()).render();
+        assert!(!clean.contains("SLO / Alerts"));
+        assert!(!clean.contains("Recent events"));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use marketscope_crawler::{CrawlConfig, CrawlProgress, CrawlTargets, Crawler, Sna
 use marketscope_ecosystem::{generate, Scale, World, WorldConfig};
 use marketscope_market::{ChaosProfile, CrawlPhase, MarketFleet};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
-use marketscope_telemetry::{JournalSnapshot, Registry};
+use marketscope_telemetry::{
+    JournalSnapshot, LogSnapshot, Registry, RegistrySnapshot, SeriesSnapshot, SloVerdict,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -66,11 +68,24 @@ pub struct Campaign {
     /// telemetry: per-market request counts, error rates, handler-latency
     /// percentiles, harvest totals, and per-stage analysis latencies.
     pub ops: OpsSummary,
-    /// Merged trace journal (crawler-side + fleet-side spans); empty
-    /// unless `trace_sample` was above zero. Export with
-    /// [`marketscope_telemetry::chrome_trace`] or
+    /// Merged trace journal (crawler-side + fleet-side + ops-scraper
+    /// spans); sampled fetch traces appear only when `trace_sample` was
+    /// above zero. Export with [`marketscope_telemetry::chrome_trace`] or
     /// [`marketscope_telemetry::flamegraph`].
     pub traces: JournalSnapshot,
+    /// Final SLO verdicts from the fleet's live evaluator (after the
+    /// post-traffic settle ticks).
+    pub slo: Vec<SloVerdict>,
+    /// The scraper's windowed time series over the merged fleet +
+    /// crawler registries.
+    pub series: SeriesSnapshot,
+    /// The structured event log: alerts, fault injections, breaker
+    /// transitions, quarantines, shed, fleet lifecycle.
+    pub events: LogSnapshot,
+    /// The merged end-of-campaign registry snapshot (fleet + crawler +
+    /// analysis) — the same numbers the ops summary and the `--ops-bundle`
+    /// exposition render.
+    pub telemetry: RegistrySnapshot,
 }
 
 /// Run the whole measurement campaign.
@@ -130,7 +145,13 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         )
     });
 
-    let crawler = Crawler::with_telemetry(
+    // The fleet's scraper also samples the crawler's registry, so
+    // client-side SLOs (breaker opens) are judged on the fleet's tick
+    // schedule, and crawler events land in the fleet's shared log.
+    fleet.add_scrape_source(Arc::clone(&crawl_registry));
+    let event_log = Arc::clone(fleet.event_log());
+
+    let crawler = Crawler::with_ops(
         CrawlConfig {
             seeds,
             trace_sample: config.trace_sample,
@@ -138,11 +159,16 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         },
         Arc::clone(&crawl_registry),
         Arc::clone(&tracer),
+        Some(Arc::clone(&event_log)),
     );
     let snapshot = crawler.crawl(&targets);
+    // A synchronous tick after each crawl phase: whatever burned during
+    // the crawl is judged now, deterministically, even if the campaign
+    // outran the background scrape cadence.
+    fleet.tick_now();
 
     fleet.set_phase(CrawlPhase::Second);
-    let second_crawler = Crawler::with_telemetry(
+    let second_crawler = Crawler::with_ops(
         CrawlConfig {
             seeds: snapshot
                 .market(MarketId::GooglePlay)
@@ -156,16 +182,26 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         },
         Arc::clone(&crawl_registry),
         Arc::clone(&tracer),
+        Some(Arc::clone(&event_log)),
     );
     let second = second_crawler.crawl(&targets);
     if let Some(reporter) = reporter {
         reporter.stop();
     }
+    // Two settle ticks with traffic stopped: the fast window sees zero
+    // deltas, so any still-firing burn-rate alert resolves before the
+    // final verdicts are read.
+    fleet.tick_now();
+    fleet.tick_now();
+    let slo = fleet.slo_verdicts();
+    let series = fleet.series();
     let serving = fleet.registry().snapshot();
     fleet.stop();
+    let events = fleet.events();
     // Snapshot after stop: server-side spans record when the response
     // write returns, so stopping first guarantees the journal is settled.
     let serving_traces = fleet.tracer().snapshot();
+    let ops_traces = fleet.ops_traces();
 
     let labels = LabelSource::from_world(&world);
     // Staged analysis, instrumented into its own registry so the ops
@@ -177,15 +213,21 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         Arc::clone(&tracer),
     )
     .run(&snapshot);
-    let traces = tracer.snapshot().merge(&serving_traces);
+    // Request-side journal (crawler + analysis + fleet servers) feeds
+    // the slowest-traces view; the ops scraper's tick spans merge in
+    // afterwards so alert events' trace ids resolve without scrape
+    // ticks crowding the operator's slow list.
+    let request_traces = tracer.snapshot().merge(&serving_traces);
     // Settle the peak gauges before the registry is snapshotted below.
     sampler.stop();
-    let ops = OpsSummary::from_snapshot(
-        &serving
-            .merge(&crawl_registry.snapshot())
-            .merge(&analysis_registry.snapshot()),
-    )
-    .with_traces(&traces, 5);
+    let telemetry = serving
+        .merge(&crawl_registry.snapshot())
+        .merge(&analysis_registry.snapshot());
+    let ops = OpsSummary::from_snapshot(&telemetry)
+        .with_traces(&request_traces, 5)
+        .with_slo(&slo)
+        .with_events(&events, 12);
+    let traces = request_traces.merge(&ops_traces);
     Campaign {
         world,
         snapshot,
@@ -194,5 +236,9 @@ pub fn run_campaign(config: CampaignConfig) -> Campaign {
         analyzed,
         ops,
         traces,
+        slo,
+        series,
+        events,
+        telemetry,
     }
 }

@@ -1,0 +1,175 @@
+//! Acceptance for the live ops plane (ISSUE PR-9): a chaos-heavy
+//! campaign produces at least one burn-rate alert that fires and then
+//! resolves, the alert's log events carry trace ids that resolve in the
+//! campaign's trace journal, and a clean campaign over the same seed
+//! produces zero alerts.
+
+use marketscope_ecosystem::Scale;
+use marketscope_market::ChaosProfile;
+use marketscope_report::{run_campaign, CampaignConfig};
+use marketscope_telemetry::AlertState;
+
+fn base_config() -> CampaignConfig {
+    CampaignConfig {
+        scale: Scale { divisor: 60_000 },
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn chaos_campaign_fires_and_resolves_alerts_with_resolvable_traces() {
+    let campaign = run_campaign(CampaignConfig {
+        chaos: Some(ChaosProfile::heavy(0xC4A05)),
+        ..base_config()
+    });
+
+    // At least one rule fired during the chaos...
+    let fired: Vec<_> = campaign.slo.iter().filter(|v| v.fired > 0).collect();
+    assert!(
+        !fired.is_empty(),
+        "heavy chaos must burn at least one SLO: {:?}",
+        campaign.slo
+    );
+    // ...and every fired alert resolved once traffic stopped (the
+    // pipeline's settle ticks guarantee the fast window saw zero).
+    for v in &campaign.slo {
+        assert_ne!(
+            v.state,
+            AlertState::Firing,
+            "alert {} still firing after the campaign settled",
+            v.rule
+        );
+        if v.fired > 0 {
+            assert_eq!(
+                v.resolved, v.fired,
+                "alert {} fired {} times but resolved only {}",
+                v.rule, v.fired, v.resolved
+            );
+        }
+    }
+
+    // The alert state machine's transitions are in the event log, fire
+    // and resolve both.
+    let alert_events: Vec<_> = campaign
+        .events
+        .events
+        .iter()
+        .filter(|e| e.target == "telemetry.slo")
+        .collect();
+    assert!(
+        alert_events.iter().any(|e| e.message == "slo alert fired"),
+        "fired alerts must emit events"
+    );
+    assert!(
+        alert_events
+            .iter()
+            .any(|e| e.message == "slo alert resolved"),
+        "resolved alerts must emit events"
+    );
+    // Alert events are recorded inside the scraper's tick span, so their
+    // trace ids resolve in the merged campaign journal.
+    for e in &alert_events {
+        let trace_id = e.trace_id.expect("alert event carries a trace id");
+        let spans = campaign.traces.trace(trace_id);
+        assert!(
+            !spans.is_empty(),
+            "alert event trace {trace_id:016x} not found in the campaign journal"
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| Some(s.span_id) == e.span_id && s.name == "scrape-tick"),
+            "alert event span must be a scrape tick"
+        );
+    }
+
+    // Chaos incidents from the other seams share the same log: fault
+    // injections at minimum (quarantines/breaker flips depend on the
+    // fault sequence).
+    assert!(
+        campaign
+            .events
+            .events
+            .iter()
+            .any(|e| e.target == "net.fault" && e.message == "fault injected"),
+        "fault injections must emit events"
+    );
+
+    // The scraped series saw the 5xx chaos the alerts burned on.
+    assert!(
+        campaign.series.counter_window_sum(
+            "marketscope_net_responses_total",
+            &[("status", "503")],
+            u64::MAX,
+        ) > 0
+            || campaign.series.counter_window_sum(
+                "marketscope_net_responses_total",
+                &[("status", "500")],
+                u64::MAX,
+            ) > 0,
+        "chaos 5xx responses must appear in the scraped series"
+    );
+
+    // The rendered ops summary carries both new sections.
+    let rendered = campaign.ops.render();
+    assert!(rendered.contains("SLO / Alerts"), "{rendered}");
+    assert!(rendered.contains("Recent events"), "{rendered}");
+}
+
+#[test]
+fn clean_campaign_of_same_seed_never_alerts() {
+    let campaign = run_campaign(base_config());
+    assert!(!campaign.slo.is_empty(), "the ops plane always judges");
+    for v in &campaign.slo {
+        assert_eq!(
+            (v.state, v.fired, v.resolved),
+            (AlertState::Ok, 0, 0),
+            "clean campaign must not alert: {v:?}"
+        );
+    }
+    assert!(
+        !campaign
+            .events
+            .events
+            .iter()
+            .any(|e| e.target == "telemetry.slo"),
+        "clean campaign must emit no alert events"
+    );
+    // The plane itself still ran: series were scraped and lifecycle
+    // events recorded.
+    assert!(campaign.series.ticks >= 1);
+    assert!(campaign
+        .events
+        .events
+        .iter()
+        .any(|e| e.message == "fleet started"));
+}
+
+#[test]
+fn ops_bundle_writes_the_full_record() {
+    let campaign = run_campaign(CampaignConfig {
+        chaos: Some(ChaosProfile::heavy(0xC4A05)),
+        ..base_config()
+    });
+    let dir = std::env::temp_dir().join(format!("marketscope-ops-bundle-{}", std::process::id()));
+    let files = marketscope_report::write_ops_bundle(&dir, &campaign).expect("write bundle");
+    assert_eq!(files.len(), 5);
+    for name in &files {
+        let path = dir.join(name);
+        let meta = std::fs::metadata(&path).expect("bundle file exists");
+        assert!(meta.len() > 0, "{name} is empty");
+    }
+    // The JSON artifacts parse, and the SLO verdict file records the
+    // fired alerts.
+    let slo_text = std::fs::read_to_string(dir.join("slo.json")).expect("read slo.json");
+    let slo = marketscope_core::json::Json::parse(&slo_text).expect("slo.json parses");
+    assert_eq!(slo.get("firing").unwrap().as_u64(), Some(0));
+    let rules = slo.get("rules").unwrap().as_arr().unwrap();
+    assert!(rules
+        .iter()
+        .any(|r| r.get("fired").unwrap().as_u64().unwrap_or(0) > 0));
+    let events_text = std::fs::read_to_string(dir.join("events.json")).expect("read events.json");
+    let events = marketscope_core::json::Json::parse(&events_text).expect("events.json parses");
+    assert!(events.get("recorded").unwrap().as_u64().unwrap_or(0) > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

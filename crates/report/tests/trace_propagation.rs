@@ -98,8 +98,16 @@ fn unsampled_campaign_records_no_spans() {
         scale: Scale { divisor: 60_000 },
         ..CampaignConfig::default() // trace_sample stays 0.0
     });
-    assert!(campaign.traces.is_empty(), "rate-0 campaign recorded spans");
-    assert_eq!(campaign.traces.recorded, 0);
+    // The ops scraper always traces its own ticks; no *request* span
+    // may be recorded at rate 0.
+    assert!(
+        campaign
+            .traces
+            .records
+            .iter()
+            .all(|s| s.component == "ops" && s.name == "scrape-tick"),
+        "rate-0 campaign recorded request spans"
+    );
     assert!(campaign.ops.slowest.is_empty());
     assert!(!campaign.ops.render().contains("Slowest traces"));
 }

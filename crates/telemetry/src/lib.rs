@@ -23,7 +23,15 @@
 //! * [`trace`] — a sampling distributed tracer: 64-bit trace/span ids,
 //!   parent links and timestamped events in a bounded ring-buffer
 //!   journal, with wire propagation via [`TRACE_HEADER`] and exporters
-//!   in [`trace_export`] (Chrome trace-event JSON, folded flamegraph).
+//!   in [`trace_export`] (Chrome trace-event JSON, folded flamegraph);
+//! * [`series`] — a [`Scraper`] thread that diffs registry snapshots on
+//!   a fixed tick into ring-buffer time series, turning lifetime
+//!   aggregates into windowed rates and windowed p50/p99;
+//! * [`slo`] — declarative SLO rules with multi-window burn-rate
+//!   alerting over those series (ok → firing → resolved state machine);
+//! * [`log`] — a bounded structured [`EventLog`] whose events carry the
+//!   recording thread's trace context, so alerts and fault injections
+//!   correlate back to traces.
 //!
 //! The record path never takes a lock or allocates: callers resolve an
 //! instrument from the registry once (a short `RwLock` critical section,
@@ -44,8 +52,11 @@
 pub mod counter;
 pub mod exposition;
 pub mod histogram;
+pub mod log;
 pub mod perf;
 pub mod registry;
+pub mod series;
+pub mod slo;
 pub mod span;
 pub mod trace;
 pub mod trace_export;
@@ -53,11 +64,19 @@ pub mod trace_export;
 pub use counter::{Counter, Gauge};
 pub use exposition::{parse, Sample};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use log::{EventLog, LogEvent, LogLevel, LogSnapshot};
 pub use perf::{
     alloc_stats, build_profile, register_build_info, rss_bytes, thread_count, AllocDelta,
     AllocPhase, AllocStats, ResourcePeaks, ResourceSampler,
 };
 pub use registry::{InstrumentId, Registry, RegistrySnapshot};
+pub use series::{
+    CounterPoint, GaugePoint, HistogramPoint, Scraper, SeriesConfig, SeriesSnapshot, SeriesStore,
+    TickHook,
+};
+pub use slo::{
+    AlertState, MetricSelector, SloEvaluator, SloObjective, SloPolicy, SloRule, SloVerdict,
+};
 pub use span::Span;
 pub use trace::{
     JournalSnapshot, SpanContext, SpanEvent, SpanRecord, TraceSpan, Tracer, TracerConfig,

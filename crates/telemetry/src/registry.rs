@@ -166,6 +166,8 @@ impl Registry {
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         RegistrySnapshot {
+            captured_unix_nanos: crate::log::unix_nanos_now(),
+            captured_mono_nanos: crate::trace::epoch_nanos(),
             counters: inner
                 .counters
                 .iter()
@@ -205,8 +207,20 @@ impl fmt::Debug for Registry {
 }
 
 /// A point-in-time copy of a whole [`Registry`]: mergeable and renderable.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Snapshots are stamped with both clocks at capture time so delta/rate
+/// math over successive snapshots has a principled time base: the
+/// monotonic stamp (nanos since this process's trace epoch) orders
+/// snapshots within one process, while the wall-clock stamp aligns
+/// snapshots captured by different processes. Equality compares
+/// instrument contents only, never capture times — two captures of the
+/// same values taken an instant apart are equal.
+#[derive(Debug, Clone, Default)]
 pub struct RegistrySnapshot {
+    /// Wall-clock capture time, nanoseconds since the unix epoch.
+    pub captured_unix_nanos: u64,
+    /// Monotonic capture time, nanoseconds since the process trace epoch.
+    pub captured_mono_nanos: u64,
     /// Counter values by id.
     pub counters: BTreeMap<InstrumentId, u64>,
     /// Gauge values by id.
@@ -215,11 +229,24 @@ pub struct RegistrySnapshot {
     pub histograms: BTreeMap<InstrumentId, HistogramSnapshot>,
 }
 
+impl PartialEq for RegistrySnapshot {
+    /// Contents-only equality: capture stamps are metadata, not state.
+    fn eq(&self, other: &RegistrySnapshot) -> bool {
+        self.counters == other.counters
+            && self.gauges == other.gauges
+            && self.histograms == other.histograms
+    }
+}
+
 impl RegistrySnapshot {
     /// Merge another snapshot into this one: counters and gauges add,
-    /// histograms merge bucket-wise. Used to combine per-component
-    /// registries (fleet + crawler) into one ops view.
+    /// histograms merge bucket-wise, and the later capture stamp wins
+    /// (the merged view is only as fresh as its newest constituent).
+    /// Used to combine per-component registries (fleet + crawler) into
+    /// one ops view.
     pub fn merge(mut self, other: &RegistrySnapshot) -> RegistrySnapshot {
+        self.captured_unix_nanos = self.captured_unix_nanos.max(other.captured_unix_nanos);
+        self.captured_mono_nanos = self.captured_mono_nanos.max(other.captured_mono_nanos);
         for (id, v) in &other.counters {
             *self.counters.entry(id.clone()).or_insert(0) += v;
         }
@@ -230,6 +257,14 @@ impl RegistrySnapshot {
             let entry = self.histograms.entry(id.clone()).or_default();
             *entry = entry.merge(h);
         }
+        self
+    }
+
+    /// Override the capture stamps (multi-process tests pin these to
+    /// align per-shard snapshots on a shared tick schedule).
+    pub fn stamped(mut self, unix_nanos: u64, mono_nanos: u64) -> RegistrySnapshot {
+        self.captured_unix_nanos = unix_nanos;
+        self.captured_mono_nanos = mono_nanos;
         self
     }
 
