@@ -3,11 +3,12 @@
 use crate::health::MarketHealth;
 use crate::snapshot::{CrawlStats, CrawledListing, MarketSnapshot, Snapshot};
 use marketscope_apk::digest::ApkDigest;
+use marketscope_core::json::Json;
 use marketscope_core::MarketId;
-use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
+use marketscope_net::client::{ClientConfig, ClientMetrics, FetchSpec, HttpClient};
 use marketscope_net::ratelimit::{RateLimitMetrics, TokenBucket};
 use marketscope_net::resilience::{BreakerConfig, ResilienceMetrics, RetryPolicy};
-use marketscope_net::NetError;
+use marketscope_net::{NetError, Ticket};
 use marketscope_telemetry::trace::{Tracer, TracerConfig};
 use marketscope_telemetry::{Counter, EventLog, Gauge, Histogram, LogLevel, Registry, TraceSpan};
 use parking_lot::Mutex;
@@ -196,6 +197,24 @@ fn note_fetch_failure(metrics: &MarketMetrics, stats: &Mutex<CrawlStats>, err: &
     marketscope_telemetry::trace::current_event(&format!("fetch_error:{}", err.kind()));
 }
 
+/// [`note_fetch_failure`] for the batched fetch path: identical
+/// accounting, but the `fetch_error:<kind>` event lands on the probe's
+/// own span handle — by drain time the thread's *current* span is
+/// whichever probe was submitted last, not this one.
+fn note_fetch_failure_on(
+    span: &TraceSpan,
+    metrics: &MarketMetrics,
+    stats: &Mutex<CrawlStats>,
+    err: &NetError,
+) {
+    if matches!(err, NetError::Status { code: 404, .. }) {
+        return;
+    }
+    metrics.note_fetch_error(err.kind());
+    stats.lock().fetch_errors += 1;
+    span.event(&format!("fetch_error:{}", err.kind()));
+}
+
 /// The crawler: a shared HTTP client plus configuration.
 pub struct Crawler {
     config: CrawlConfig,
@@ -272,10 +291,7 @@ impl Crawler {
             .map(|m| MarketMetrics::register(&registry, *m))
             .collect();
         let mut builder = HttpClient::builder()
-            .config(ClientConfig {
-                pool_per_host: 4,
-                ..ClientConfig::default()
-            })
+            .config(ClientConfig::builder().pool_per_host(4).build())
             .metrics(ClientMetrics::register(&registry, &[]))
             .tracer(Arc::clone(&tracer));
         if config.retry.is_some() || config.breaker.is_some() {
@@ -336,6 +352,56 @@ impl Crawler {
         marketscope_telemetry::trace::current_event("politeness_wait");
     }
 
+    /// Open one (sampled) root span for a metadata probe and enqueue
+    /// the fetch on the market's ordering lane. The span's context
+    /// flows through the driver into the market server exactly as it
+    /// does on the blocking path; the lane serializes this market's
+    /// probes so its server sees the same request sequence a blocking
+    /// loop would produce (seeded fault windows stay bit-identical).
+    fn submit_metadata_probe(
+        &self,
+        market: MarketId,
+        addr: SocketAddr,
+        kind: &str,
+        pkg: &str,
+    ) -> (TraceSpan, Ticket) {
+        let span = self
+            .tracer
+            .root_span("crawler", &format!("{kind} {}/{pkg}", market.slug()));
+        let spec = FetchSpec::new(addr, format!("/app/{pkg}"))
+            .parent(span.context())
+            .lane(market.index() as u64);
+        (span, self.client.submit_get_json(&spec))
+    }
+
+    /// The batched metadata fan-out: submit one `/app/{pkg}` probe per
+    /// package through the mux driver — all in flight at once, the
+    /// whole batch riding the one driver thread — then drain in
+    /// submission order, settling each outcome exactly as the blocking
+    /// [`fetch_metadata`] would.
+    fn fetch_many(
+        &self,
+        market: MarketId,
+        addr: SocketAddr,
+        kind: &str,
+        packages: &[String],
+        stats: &Mutex<CrawlStats>,
+    ) -> Vec<Option<CrawledListing>> {
+        let probes: Vec<(TraceSpan, Ticket)> = packages
+            .iter()
+            .map(|pkg| self.submit_metadata_probe(market, addr, kind, pkg))
+            .collect();
+        let metrics = &self.metrics[market.index()];
+        probes
+            .into_iter()
+            .map(|(span, ticket)| {
+                let listing = settle_metadata(self.client.wait_json(ticket), &span, stats, metrics);
+                span.finish();
+                listing
+            })
+            .collect()
+    }
+
     /// Run a full crawl campaign against `targets`.
     ///
     /// Three phases, mirroring Section 3:
@@ -374,44 +440,40 @@ impl Crawler {
             .into_iter()
             .collect();
         global.sort_unstable();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = markets
-                .iter_mut()
-                .map(|snapshot| {
-                    let stats = Arc::clone(&stats);
-                    let client = Arc::clone(&self.client);
-                    let global = &global;
-                    let metrics = &self.metrics[snapshot.market.index()];
-                    s.spawn(move || {
-                        let have: HashSet<String> = snapshot
-                            .listings
-                            .iter()
-                            .map(|l| l.package.clone())
-                            .collect();
-                        let addr = targets.addr(snapshot.market);
-                        for pkg in global {
-                            if have.contains(pkg) {
-                                continue;
-                            }
-                            let span = self.tracer.root_span(
-                                "crawler",
-                                &format!("search {}/{pkg}", snapshot.market.slug()),
-                            );
-                            if let Some(listing) =
-                                fetch_metadata(&client, addr, pkg, &stats, metrics)
-                            {
-                                snapshot.listings.push(listing);
-                                stats.lock().parallel_search_hits += 1;
-                            }
-                            span.finish();
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        // The batched fetch path: every market's probes are submitted
+        // up front and ride the mux driver's one readiness loop — no
+        // per-market thread pile. Each market's ordering lane keeps its
+        // server's request sequence identical to the old blocking loop,
+        // so seeded fault windows (and with them campaign datasets)
+        // stay bit-identical; across markets the probes overlap freely.
+        let search_batches: Vec<Vec<(TraceSpan, Ticket)>> = markets
+            .iter()
+            .map(|snapshot| {
+                let have: HashSet<&str> = snapshot
+                    .listings
+                    .iter()
+                    .map(|l| l.package.as_str())
+                    .collect();
+                let addr = targets.addr(snapshot.market);
+                global
+                    .iter()
+                    .filter(|pkg| !have.contains(pkg.as_str()))
+                    .map(|pkg| self.submit_metadata_probe(snapshot.market, addr, "search", pkg))
+                    .collect()
+            })
+            .collect();
+        for (snapshot, probes) in markets.iter_mut().zip(search_batches) {
+            let metrics = &self.metrics[snapshot.market.index()];
+            for (span, ticket) in probes {
+                if let Some(listing) =
+                    settle_metadata(self.client.wait_json(ticket), &span, &stats, metrics)
+                {
+                    snapshot.listings.push(listing);
+                    stats.lock().parallel_search_hits += 1;
+                }
+                span.finish();
             }
-        });
+        }
 
         // Phase 3: harvest APKs.
         if self.config.fetch_apks {
@@ -447,6 +509,20 @@ impl Crawler {
         } else {
             self.index_enumerate(market, addr, client, stats)
         };
+        // Unthrottled, uncapped enumeration takes the batched fetch
+        // path: the whole listing sweep is submitted at once and rides
+        // the mux driver. Politeness needs per-request pacing, and a
+        // cap counts *successful* listings (a failed fetch means one
+        // more package gets tried) — both are inherently sequential, so
+        // those configurations keep the blocking loop.
+        if self.buckets.is_none() && self.config.per_market_cap == 0 {
+            let listings = self
+                .fetch_many(market, addr, "listing", &packages, stats)
+                .into_iter()
+                .flatten()
+                .collect();
+            return MarketSnapshot { market, listings };
+        }
         let mut listings = Vec::with_capacity(packages.len());
         for pkg in packages {
             if self.config.per_market_cap > 0 && listings.len() >= self.config.per_market_cap {
@@ -746,6 +822,27 @@ fn fetch_metadata(
         Ok(doc) => doc,
         Err(e) => {
             note_fetch_failure(metrics, stats, &e);
+            return None;
+        }
+    };
+    stats.lock().metadata_fetched += 1;
+    metrics.listings.inc();
+    CrawledListing::from_metadata(&doc)
+}
+
+/// Settle one batched metadata probe with [`fetch_metadata`]'s exact
+/// bookkeeping: failures accounted per kind (on the probe's own span),
+/// successes counted and decoded into a listing.
+fn settle_metadata(
+    result: Result<Json, NetError>,
+    span: &TraceSpan,
+    stats: &Mutex<CrawlStats>,
+    metrics: &MarketMetrics,
+) -> Option<CrawledListing> {
+    let doc = match result {
+        Ok(doc) => doc,
+        Err(e) => {
+            note_fetch_failure_on(span, metrics, stats, &e);
             return None;
         }
     };

@@ -38,8 +38,9 @@ pub use schedule::{Corpus, Endpoint, EndpointMix, RequestPlan, Schedule, ENDPOIN
 
 use marketscope_core::MarketId;
 use marketscope_market::MarketFleet;
-use marketscope_net::client::{ClientConfig, ClientMetrics, HttpClient};
+use marketscope_net::client::{ClientConfig, ClientMetrics, FetchSpec, HttpClient};
 use marketscope_net::resilience::{BreakerConfig, ResilienceMetrics, RetryPolicy};
+use marketscope_net::Ticket;
 use marketscope_telemetry::perf::{AllocDelta, AllocPhase, ResourcePeaks, ResourceSampler};
 use marketscope_telemetry::{Registry, RegistrySnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +85,13 @@ pub struct LoadConfig {
     /// connections occupy reactor slots — not threads — while the load
     /// steps run through the same server fleet. `0` = none.
     pub hold_connections: usize,
+    /// Open-loop mode: workers *submit* every request in their plan to
+    /// the mux driver (via [`HttpClient::submit_get`]) and only then
+    /// drain the tickets, so offered concurrency is the whole plan —
+    /// hundreds of requests in flight per worker thread — instead of one
+    /// request per worker. Closed-loop (`false`) is the classic
+    /// request-then-wait worker.
+    pub open_loop: bool,
     /// Interval between RSS/thread samples.
     pub sample_every: Duration,
 }
@@ -111,6 +119,7 @@ impl LoadConfig {
             max_inflight: None,
             resilience: false,
             hold_connections: 0,
+            open_loop: false,
             sample_every: Duration::from_millis(25),
         }
     }
@@ -134,6 +143,33 @@ impl LoadConfig {
             max_inflight: None,
             resilience: true,
             hold_connections: 0,
+            open_loop: false,
+            sample_every: Duration::from_millis(25),
+        }
+    }
+
+    /// The fan-out profile: one submitting thread per step puts its whole
+    /// plan in flight through the mux driver at once (open loop), so the
+    /// BENCH file measures multiplexed client fan-out — hundreds of
+    /// outstanding requests on a `1 submitter + 1 driver` thread budget —
+    /// rather than thread-pile concurrency. Metadata-only mix keeps the
+    /// counters fully deterministic.
+    pub fn fanout(seed: u64) -> LoadConfig {
+        LoadConfig {
+            seed,
+            steps: [256usize, 512]
+                .into_iter()
+                .map(|requests| LoadStep {
+                    workers: 1,
+                    requests_per_worker: requests,
+                    target_rps: None,
+                })
+                .collect(),
+            mix: EndpointMix::metadata(),
+            max_inflight: None,
+            resilience: false,
+            hold_connections: 0,
+            open_loop: true,
             sample_every: Duration::from_millis(25),
         }
     }
@@ -327,11 +363,12 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
     let clients: Vec<Arc<HttpClient>> = ENDPOINTS
         .iter()
         .map(|&e| {
+            let cc = match config.max_inflight {
+                Some(n) => ClientConfig::builder().max_inflight(n),
+                None => ClientConfig::builder(),
+            };
             let mut b = HttpClient::builder()
-                .config(ClientConfig {
-                    max_inflight: config.max_inflight,
-                    ..ClientConfig::default()
-                })
+                .config(cc.build())
                 .metrics(ClientMetrics::register(
                     &registry,
                     &[("endpoint", e.name())],
@@ -385,12 +422,17 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
             .target_rps
             .map(|rps| Duration::from_secs_f64((step.workers.max(1)) as f64 / rps.max(0.001)));
         let step_start = Instant::now();
+        let open_loop = config.open_loop;
         std::thread::scope(|scope| {
             for worker_plans in &schedule.workers {
                 let clients = &clients;
                 let counters = &counters;
                 scope.spawn(move || {
                     let worker_start = Instant::now();
+                    // Open loop: every ticket this worker submitted, to
+                    // drain once the whole plan is in flight.
+                    let mut inflight: Vec<(usize, Ticket)> =
+                        Vec::with_capacity(if open_loop { worker_plans.len() } else { 0 });
                     for (i, plan) in worker_plans.iter().enumerate() {
                         if let Some(slot) = slot {
                             // Sleep until this request's slot opens; a
@@ -407,7 +449,22 @@ pub fn run_against(fleet: &MarketFleet, config: &LoadConfig) -> LoadReport {
                             .position(|&e| e == plan.endpoint)
                             .unwrap_or_else(|| unreachable!("plan endpoints come from ENDPOINTS"));
                         counters[ei].attempted.fetch_add(1, Ordering::Relaxed);
-                        match clients[ei].get(fleet.addr(plan.market), &plan.path) {
+                        if open_loop {
+                            let spec = FetchSpec::new(fleet.addr(plan.market), plan.path.clone());
+                            inflight.push((ei, clients[ei].submit_get(&spec)));
+                        } else {
+                            match clients[ei].get(fleet.addr(plan.market), &plan.path) {
+                                Ok(_) => {
+                                    counters[ei].completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    counters[ei].errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    for (ei, ticket) in inflight {
+                        match clients[ei].wait(ticket) {
                             Ok(_) => {
                                 counters[ei].completed.fetch_add(1, Ordering::Relaxed);
                             }
@@ -595,6 +652,48 @@ mod tests {
     }
 
     #[test]
+    fn open_loop_fanout_submits_the_whole_plan() {
+        let world = Arc::new(generate(WorldConfig {
+            seed: 34,
+            scale: Scale { divisor: 60_000 },
+            ..WorldConfig::default()
+        }));
+        let fleet = MarketFleet::spawn(world).unwrap();
+        let config = LoadConfig {
+            // A scaled-down fan-out shape so the unit suite stays fast;
+            // the full 256/512-request profile runs via
+            // `loadgen run --profile fanout`.
+            steps: vec![LoadStep {
+                workers: 1,
+                requests_per_worker: 96,
+                target_rps: None,
+            }],
+            ..LoadConfig::fanout(11)
+        };
+        let report = run_against(&fleet, &config);
+        assert_eq!(report.totals.attempted, 96);
+        assert_eq!(report.totals.errors, 0);
+        assert_eq!(report.totals.completed, 96);
+        // Every submission still rode the instrumented wire path.
+        let measured: u64 = report
+            .endpoints
+            .iter()
+            .map(|e| {
+                report
+                    .snapshot
+                    .histogram(
+                        "marketscope_net_client_request_nanos",
+                        &[("endpoint", e.endpoint)],
+                    )
+                    .map(|h| h.count())
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(measured, 96);
+        fleet.stop();
+    }
+
+    #[test]
     fn paced_step_reports_offered_rate() {
         let world = Arc::new(generate(WorldConfig {
             seed: 32,
@@ -613,6 +712,7 @@ mod tests {
             max_inflight: Some(2),
             resilience: false,
             hold_connections: 0,
+            open_loop: false,
             sample_every: Duration::from_millis(25),
         };
         let report = run_against(&fleet, &config);

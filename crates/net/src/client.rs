@@ -1,19 +1,28 @@
 //! The HTTP client: keep-alive connection pooling, timeouts, classified
-//! retries, and optional circuit breaking.
+//! retries, and optional circuit breaking — all served by the
+//! multiplexed [`mux`](crate::mux) engine.
+//!
+//! [`HttpClient`] keeps its original blocking surface
+//! (`request`/`get`/`get_json`), but each call is now a thin
+//! submit-then-wait wrapper over one shared [`MuxClient`] driver
+//! thread, so a caller thread blocked in `get` costs a parked ticket,
+//! not a socket-bound thread. Batch callers use [`HttpClient::get_many`]
+//! / [`HttpClient::get_json_many`] (or the ticket-level
+//! [`HttpClient::submit_get`]) to put hundreds of requests in flight
+//! from a single thread.
 
 use crate::error::NetError;
 use crate::http::{Request, Response, Status};
+use crate::mux::{decode_response, DecodeMode, MuxClient, Payload, Ticket};
 use crate::resilience::{BreakerConfig, BreakerSet, ResilienceMetrics, RetryPolicy};
 use marketscope_core::hash::fnv1a64;
-use marketscope_telemetry::{trace, Counter, Histogram, Registry, TraceSpan, Tracer};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpStream};
+use marketscope_telemetry::{trace, Counter, Histogram, Registry, SpanContext, Tracer};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Client configuration.
+/// Client configuration. Prefer [`ClientConfig::builder`]; the fields
+/// stay public for `..Default::default()`-style construction.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// Per-socket read/write timeout.
@@ -26,11 +35,13 @@ pub struct ClientConfig {
     /// failures (the keep-alive race, a reset socket). HTTP error
     /// statuses never retry here — that is [`RetryPolicy`]'s job.
     pub retries: u32,
-    /// Cap on concurrently in-flight requests through this client.
-    /// `None` (the default) means unbounded; the load generator sets it
-    /// to hold *offered* concurrency constant while it sweeps worker
-    /// counts, so achieved-vs-offered RPS is attributable to the server
-    /// side rather than to client-side queueing.
+    /// Cap on concurrently in-flight requests through this client,
+    /// enforced as the mux driver's wire-active limit: excess
+    /// submissions queue inside the driver instead of blocking caller
+    /// threads on a gate. `None` (the default) means unbounded; the
+    /// load generator sets it to hold *offered* concurrency constant
+    /// while it sweeps worker counts, so achieved-vs-offered RPS is
+    /// attributable to the server side rather than client-side queueing.
     pub max_inflight: Option<usize>,
 }
 
@@ -46,72 +57,81 @@ impl Default for ClientConfig {
     }
 }
 
-/// A counting semaphore bounding in-flight requests (parking_lot
-/// `Mutex` + `Condvar`; uncontended acquire is one lock round trip).
-struct InflightGate {
-    limit: usize,
-    inflight: Mutex<usize>,
-    cond: parking_lot::Condvar,
-}
-
-impl InflightGate {
-    fn new(limit: usize) -> InflightGate {
-        InflightGate {
-            limit: limit.max(1),
-            inflight: Mutex::new(0),
-            cond: parking_lot::Condvar::new(),
+impl ClientConfig {
+    /// Start from defaults and override individual knobs:
+    ///
+    /// ```
+    /// # use marketscope_net::client::ClientConfig;
+    /// let cfg = ClientConfig::builder().retries(0).pool_per_host(4).build();
+    /// assert_eq!(cfg.retries, 0);
+    /// ```
+    pub fn builder() -> ClientConfigBuilder {
+        ClientConfigBuilder {
+            inner: ClientConfig::default(),
         }
     }
 
-    /// Block until a slot frees, then hold it until the guard drops.
-    fn acquire(&self) -> InflightPermit<'_> {
-        let mut inflight = self.inflight.lock();
-        while *inflight >= self.limit {
-            self.cond.wait(&mut inflight);
+    /// Positional construction shim for pre-builder call sites.
+    #[deprecated(note = "use ClientConfig::builder()")]
+    pub fn legacy(
+        io_timeout: Duration,
+        connect_timeout: Duration,
+        pool_per_host: usize,
+        retries: u32,
+        max_inflight: Option<usize>,
+    ) -> ClientConfig {
+        ClientConfig {
+            io_timeout,
+            connect_timeout,
+            pool_per_host,
+            retries,
+            max_inflight,
         }
-        *inflight += 1;
-        InflightPermit { gate: self }
     }
 }
 
-struct InflightPermit<'a> {
-    gate: &'a InflightGate,
+/// Builds a [`ClientConfig`] knob by knob. Obtained from
+/// [`ClientConfig::builder`]; every setter defaults to the
+/// [`ClientConfig::default`] value when not called.
+#[derive(Debug, Clone)]
+pub struct ClientConfigBuilder {
+    inner: ClientConfig,
 }
 
-impl Drop for InflightPermit<'_> {
-    fn drop(&mut self) {
-        let mut inflight = self.gate.inflight.lock();
-        *inflight -= 1;
-        self.gate.cond.notify_one();
+impl ClientConfigBuilder {
+    /// Per-socket read/write timeout.
+    pub fn io_timeout(mut self, t: Duration) -> Self {
+        self.inner.io_timeout = t;
+        self
     }
-}
 
-/// A pooled connection: reader/writer halves of one TCP stream.
-struct PooledConn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
+    /// Connect timeout.
+    pub fn connect_timeout(mut self, t: Duration) -> Self {
+        self.inner.connect_timeout = t;
+        self
+    }
 
-impl PooledConn {
-    /// Whether this idle connection is still usable. An idle pooled
-    /// socket must be silent; if a zero-timeout poll reports it readable
-    /// the server closed it while it sat in the pool (the reactor's
-    /// keep-alive reaper, a restart) or sent stray bytes — either way
-    /// the next request would hit the keep-alive race and burn a
-    /// transparent retry. Discarding it up front costs one syscall.
-    fn is_fresh(&self) -> bool {
-        use std::os::fd::AsRawFd;
-        if !self.reader.buffer().is_empty() {
-            return false; // leftover unparsed bytes: poisoned
-        }
-        match crate::reactor::sys::poll_one(
-            self.reader.get_ref().as_raw_fd(),
-            crate::reactor::sys::POLLIN,
-            Some(Duration::ZERO),
-        ) {
-            Ok(revents) => revents == 0,
-            Err(_) => false,
-        }
+    /// Idle connections kept per remote address.
+    pub fn pool_per_host(mut self, n: usize) -> Self {
+        self.inner.pool_per_host = n;
+        self
+    }
+
+    /// Transparent transient-failure retries per request.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.inner.retries = n;
+        self
+    }
+
+    /// Mux driver cap on wire-active requests.
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.inner.max_inflight = Some(n);
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> ClientConfig {
+        self.inner
     }
 }
 
@@ -126,8 +146,9 @@ const ERROR_KINDS: [&str; 6] = [
 ];
 
 /// Client-side instruments: request latency, transparent retries, and
-/// errors broken down by kind.
-#[derive(Debug)]
+/// errors broken down by kind. Cloneable so the blocking wrapper and
+/// the mux driver share one set of counters.
+#[derive(Debug, Clone)]
 pub struct ClientMetrics {
     request_nanos: Arc<Histogram>,
     retries: Arc<Counter>,
@@ -160,11 +181,21 @@ impl ClientMetrics {
         }
     }
 
-    fn note_error(&self, e: &NetError) {
+    pub(crate) fn note_error(&self, e: &NetError) {
         let kind = e.kind();
         if let Some((_, c)) = self.errors.iter().find(|(k, _)| *k == kind) {
             c.inc();
         }
+    }
+
+    /// One transparent connection-level retry burned.
+    pub(crate) fn note_transparent_retry(&self) {
+        self.retries.inc();
+    }
+
+    /// One wire cycle finished (success or failure) after `elapsed`.
+    pub(crate) fn record_request(&self, elapsed: Duration) {
+        self.request_nanos.record_duration(elapsed);
     }
 }
 
@@ -175,7 +206,7 @@ impl ClientMetrics {
 /// # use marketscope_net::client::{ClientConfig, HttpClient};
 /// # use marketscope_net::resilience::{BreakerConfig, RetryPolicy};
 /// let client = HttpClient::builder()
-///     .config(ClientConfig { pool_per_host: 4, ..ClientConfig::default() })
+///     .config(ClientConfig::builder().pool_per_host(4).build())
 ///     .retry(RetryPolicy::default())
 ///     .breaker(BreakerConfig::default())
 ///     .build();
@@ -192,7 +223,7 @@ pub struct HttpClientBuilder {
 
 impl HttpClientBuilder {
     /// Socket-level configuration (timeouts, pool size, transparent
-    /// connection retries).
+    /// connection retries, driver in-flight cap).
     pub fn config(mut self, config: ClientConfig) -> Self {
         self.config = Some(config);
         self
@@ -239,36 +270,85 @@ impl HttpClientBuilder {
         self
     }
 
-    /// Build the client.
+    /// Build the client (and its mux engine; the driver thread itself
+    /// spawns lazily on the first submission).
     pub fn build(self) -> HttpClient {
         let config = self.config.unwrap_or_default();
+        let breakers = self
+            .breaker
+            .map(|cfg| Arc::new(BreakerSet::new(cfg, self.resilience_metrics.clone())));
         HttpClient {
-            inflight: config.max_inflight.map(InflightGate::new),
-            config,
-            pool: Mutex::new(HashMap::new()),
+            mux: MuxClient::new(
+                config,
+                self.tracer,
+                self.metrics.clone(),
+                self.retry,
+                breakers.clone(),
+                self.resilience_metrics.clone(),
+            ),
             metrics: self.metrics,
-            tracer: self.tracer,
             retry: self.retry,
-            breakers: self
-                .breaker
-                .map(|cfg| BreakerSet::new(cfg, self.resilience_metrics.clone())),
+            breakers,
             resilience_metrics: self.resilience_metrics,
         }
     }
 }
 
-/// A blocking HTTP client with per-host keep-alive pooling.
+/// One entry in a batched fetch: where to go, what to get, and how the
+/// submission hangs in the trace/ordering fabric.
+#[derive(Debug, Clone)]
+pub struct FetchSpec {
+    /// Server to contact.
+    pub addr: SocketAddr,
+    /// Path plus query string, as [`HttpClient::get`] takes it.
+    pub path: String,
+    /// Span the request's client spans are parented under. Capture
+    /// [`trace::current()`] for "as if called on this thread", or a
+    /// pre-opened per-item span's context for batch fan-out.
+    pub parent: Option<SpanContext>,
+    /// Ordering lane: submissions sharing a lane key run one at a time
+    /// in submission order (a per-market batch reaches that market's
+    /// server in exactly the sequence a blocking loop would produce).
+    /// `None` imposes no ordering.
+    pub lane: Option<u64>,
+}
+
+impl FetchSpec {
+    /// A spec parented under the calling thread's current span, with no
+    /// ordering lane.
+    pub fn new(addr: SocketAddr, path: impl Into<String>) -> FetchSpec {
+        FetchSpec {
+            addr,
+            path: path.into(),
+            parent: trace::current(),
+            lane: None,
+        }
+    }
+
+    /// Serialize this fetch behind every other fetch sharing `lane`.
+    pub fn lane(mut self, lane: u64) -> FetchSpec {
+        self.lane = Some(lane);
+        self
+    }
+
+    /// Parent the request's spans under `ctx` instead of the submitting
+    /// thread's current span.
+    pub fn parent(mut self, ctx: Option<SpanContext>) -> FetchSpec {
+        self.parent = ctx;
+        self
+    }
+}
+
+/// A blocking-surface HTTP client over the multiplexed driver.
 ///
 /// Cloneable-by-reference via `Arc` at call sites; internally synchronized
-/// so crawler worker threads can share one client.
+/// so crawler worker threads can share one client (and with it one pool,
+/// one breaker set, and one driver thread).
 pub struct HttpClient {
-    config: ClientConfig,
-    inflight: Option<InflightGate>,
-    pool: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
+    mux: MuxClient,
     metrics: Option<ClientMetrics>,
-    tracer: Option<Arc<Tracer>>,
     retry: Option<RetryPolicy>,
-    breakers: Option<BreakerSet>,
+    breakers: Option<Arc<BreakerSet>>,
     resilience_metrics: Option<ResilienceMetrics>,
 }
 
@@ -290,80 +370,60 @@ impl HttpClient {
     /// mid-message EOF — the classic keep-alive race) are retried on a
     /// fresh connection, bounded by [`ClientConfig::retries`]. Error
     /// statuses and protocol violations surface immediately.
+    ///
+    /// Equivalent to [`MuxClient::submit`] + [`MuxClient::wait`]: the
+    /// wire work happens on the driver thread, this thread just parks
+    /// on the ticket.
     pub fn request(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
-        // Queueing for a slot happens *outside* the latency span: the
-        // histogram measures the wire, not the gate.
-        let _permit = self.inflight.as_ref().map(InflightGate::acquire);
-        let span = self.metrics.as_ref().map(|m| m.request_nanos.start_span());
-        // Child of whatever sampled span is active on this thread (the
-        // crawler's fetch span); a no-op when tracing is off or the
-        // caller wasn't sampled.
-        let trace_span = match &self.tracer {
-            Some(t) => t.span("client", &format!("{} {}", req.method.as_str(), req.path)),
-            None => TraceSpan::noop(),
-        };
-        let result = self.request_inner(addr, req);
-        if let Err(e) = &result {
-            trace_span.event(&format!("error:{}", e.kind()));
-        }
-        trace_span.finish();
-        drop(span); // record the latency, success or failure
-        if let (Some(m), Err(e)) = (&self.metrics, &result) {
-            m.note_error(e);
-        }
-        result
+        let ticket = self.mux.submit(addr, req.clone());
+        self.mux.wait(ticket)
     }
 
-    fn request_inner(&self, addr: SocketAddr, req: &Request) -> Result<Response, NetError> {
-        let mut last_err: Option<NetError> = None;
-        for attempt in 0..=self.config.retries {
-            if attempt > 0 {
-                if let Some(m) = &self.metrics {
-                    m.retries.inc();
-                }
-            }
-            // Sibling spans, one per attempt, under the request span
-            // currently on top of this thread's stack. Each attempt
-            // injects its *own* span id into the trace header, so the
-            // server side links to the attempt that actually reached it.
-            let attempt_span = match &self.tracer {
-                Some(t) => t.span("client", &format!("attempt#{attempt}")),
-                None => TraceSpan::noop(),
-            };
-            if attempt > 0 {
-                attempt_span.event("retry");
-            }
-            let traced_req;
-            let wire_req = match attempt_span.context() {
-                Some(ctx) => {
-                    traced_req = req.with_trace_context(ctx);
-                    &traced_req
-                }
-                None => req,
-            };
-            let conn = match self.take_pooled(addr) {
-                Some(c) => c,
-                None => self.connect(addr)?,
-            };
-            match self.round_trip(conn, wire_req) {
-                Ok((resp, conn)) => {
-                    self.return_pooled(addr, conn);
-                    return Ok(resp);
-                }
-                Err(e) => {
-                    attempt_span.event(&format!("failed:{}", e.kind()));
-                    // Only transient failures earn a fresh connection;
-                    // a protocol violation or size overflow would just
-                    // repeat itself.
-                    let transient = e.is_transient();
-                    last_err = Some(e);
-                    if !transient || attempt == self.config.retries {
-                        break;
-                    }
-                }
-            }
+    /// Enqueue a raw request without waiting; redeem the ticket with
+    /// [`HttpClient::wait`]. The open-loop form of
+    /// [`HttpClient::request`].
+    pub fn submit(&self, addr: SocketAddr, req: &Request) -> Ticket {
+        self.mux.submit(addr, req.clone())
+    }
+
+    /// Enqueue one managed GET (full retry/breaker/trace policy executed
+    /// inside the driver) without waiting; redeem with
+    /// [`HttpClient::wait`]. The open-loop form of [`HttpClient::get`].
+    pub fn submit_get(&self, spec: &FetchSpec) -> Ticket {
+        self.mux.submit_managed(
+            spec.addr,
+            &spec.path,
+            DecodeMode::Response,
+            spec.parent,
+            spec.lane,
+        )
+    }
+
+    /// Block on a ticket from [`HttpClient::submit`] or
+    /// [`HttpClient::submit_get`].
+    pub fn wait(&self, ticket: Ticket) -> Result<Response, NetError> {
+        self.mux.wait(ticket)
+    }
+
+    /// Enqueue one managed JSON GET without waiting; redeem with
+    /// [`HttpClient::wait_json`]. The open-loop form of
+    /// [`HttpClient::get_json`].
+    pub fn submit_get_json(&self, spec: &FetchSpec) -> Ticket {
+        self.mux.submit_managed(
+            spec.addr,
+            &spec.path,
+            DecodeMode::Json,
+            spec.parent,
+            spec.lane,
+        )
+    }
+
+    /// Block on a ticket from [`HttpClient::submit_get_json`].
+    pub fn wait_json(&self, ticket: Ticket) -> Result<marketscope_core::json::Json, NetError> {
+        match self.mux.wait_payload(ticket)? {
+            Payload::Doc(doc) => Ok(doc),
+            Payload::Resp(_) => Err(NetError::Protocol("unexpected undecoded payload")),
         }
-        Err(last_err.unwrap_or(NetError::Protocol("retries exhausted")))
     }
 
     /// Convenience: GET a path and require a 200. Non-200 statuses
@@ -377,6 +437,72 @@ impl HttpClient {
     /// opened and subsequent calls fast-fail with
     /// [`NetError::CircuitOpen`] until a probe succeeds.
     pub fn get(&self, addr: SocketAddr, path_and_query: &str) -> Result<Response, NetError> {
+        match self.get_with(addr, path_and_query, DecodeMode::Response)? {
+            Payload::Resp(resp) => Ok(resp),
+            Payload::Doc(_) => Err(NetError::Protocol("unexpected decoded payload")),
+        }
+    }
+
+    /// Convenience: GET a path, parse the body as JSON, require a 200.
+    ///
+    /// Runs the same retry/breaker/trace loop as [`HttpClient::get`]:
+    /// the body decode happens inside the resilience cycle (through the
+    /// shared decode seam the mux driver also uses), so a malformed body
+    /// is classified, counted, and settled with the breaker exactly like
+    /// any other terminal failure instead of bypassing the policy.
+    pub fn get_json(
+        &self,
+        addr: SocketAddr,
+        path_and_query: &str,
+    ) -> Result<marketscope_core::json::Json, NetError> {
+        match self.get_with(addr, path_and_query, DecodeMode::Json)? {
+            Payload::Doc(doc) => Ok(doc),
+            Payload::Resp(_) => Err(NetError::Protocol("unexpected undecoded payload")),
+        }
+    }
+
+    /// Batched [`HttpClient::get`]: submit every spec to the driver at
+    /// once, then collect outcomes in spec order. All requests are in
+    /// flight concurrently (subject to `max_inflight` and each spec's
+    /// lane), from one caller thread.
+    pub fn get_many(&self, specs: &[FetchSpec]) -> Vec<Result<Response, NetError>> {
+        let tickets: Vec<Ticket> = specs.iter().map(|s| self.submit_get(s)).collect();
+        tickets.into_iter().map(|t| self.mux.wait(t)).collect()
+    }
+
+    /// Batched [`HttpClient::get_json`]: like [`HttpClient::get_many`]
+    /// with each body decoded as JSON inside the driver.
+    pub fn get_json_many(
+        &self,
+        specs: &[FetchSpec],
+    ) -> Vec<Result<marketscope_core::json::Json, NetError>> {
+        let tickets: Vec<Ticket> = specs
+            .iter()
+            .map(|s| {
+                self.mux
+                    .submit_managed(s.addr, &s.path, DecodeMode::Json, s.parent, s.lane)
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| match self.mux.wait_payload(t) {
+                Ok(Payload::Doc(doc)) => Ok(doc),
+                Ok(Payload::Resp(_)) => Err(NetError::Protocol("unexpected undecoded payload")),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// The shared `get` loop: breaker admission, one wire request via
+    /// the mux driver, the status/decode seam, and the retry policy —
+    /// all on the calling thread, exactly as the blocking client always
+    /// ran it. `get` and `get_json` differ only in `mode`.
+    fn get_with(
+        &self,
+        addr: SocketAddr,
+        path_and_query: &str,
+        mode: DecodeMode,
+    ) -> Result<Payload, NetError> {
         let req = Request::get(path_and_query);
         let breaker = self.breakers.as_ref().map(|b| b.for_host(addr));
         let key = fnv1a64(path_and_query.as_bytes());
@@ -393,28 +519,36 @@ impl HttpClient {
                     return Err(err);
                 }
             }
-            let result = self.request(addr, &req).and_then(|resp| {
-                if resp.status == Status::Ok {
-                    Ok(resp)
-                } else {
-                    Err(NetError::Status {
-                        code: resp.status.code(),
-                        retry_after: resp.retry_after(),
-                    })
-                }
-            });
-            let err = match result {
-                Ok(resp) => {
+            // Wire errors were already counted inside the driver; errors
+            // *minted here* — a non-200 status, a body that fails the
+            // decode seam — get their own count.
+            let result = self
+                .request(addr, &req)
+                .map_err(|e| (e, false))
+                .and_then(|resp| {
+                    if resp.status == Status::Ok {
+                        Ok(resp)
+                    } else {
+                        Err((
+                            NetError::Status {
+                                code: resp.status.code(),
+                                retry_after: resp.retry_after(),
+                            },
+                            true,
+                        ))
+                    }
+                })
+                .and_then(|resp| decode_response(resp, mode).map_err(|e| (e, true)));
+            let (err, minted) = match result {
+                Ok(payload) => {
                     if let Some(b) = &breaker {
                         b.on_success();
                     }
-                    return Ok(resp);
+                    return Ok(payload);
                 }
-                Err(e) => e,
+                Err(pair) => pair,
             };
-            // Status errors are minted here, after request()'s metrics
-            // pass — count them separately.
-            if matches!(err, NetError::Status { .. }) {
+            if minted {
                 if let Some(m) = &self.metrics {
                     m.note_error(&err);
                 }
@@ -462,69 +596,15 @@ impl HttpClient {
         }
     }
 
-    /// Convenience: GET a path, parse the body as JSON, require a 200.
-    pub fn get_json(
-        &self,
-        addr: SocketAddr,
-        path_and_query: &str,
-    ) -> Result<marketscope_core::json::Json, NetError> {
-        let resp = self.get(addr, path_and_query)?;
-        let text = std::str::from_utf8(&resp.body)
-            .map_err(|_| NetError::Protocol("response body not utf-8"))?;
-        marketscope_core::json::Json::parse(text)
-            .map_err(|_| NetError::Protocol("response body not valid json"))
-    }
-
     /// Number of idle pooled connections (for tests/metrics).
     pub fn idle_connections(&self) -> usize {
-        self.pool.lock().values().map(Vec::len).sum()
+        self.mux.idle_connections()
     }
 
     /// Number of per-host circuits currently not closed (zero without a
     /// breaker).
     pub fn open_circuits(&self) -> usize {
-        self.breakers.as_ref().map_or(0, BreakerSet::open_count)
-    }
-
-    fn connect(&self, addr: SocketAddr) -> Result<PooledConn, NetError> {
-        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
-        stream.set_read_timeout(Some(self.config.io_timeout))?;
-        stream.set_write_timeout(Some(self.config.io_timeout))?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream);
-        Ok(PooledConn { reader, writer })
-    }
-
-    fn take_pooled(&self, addr: SocketAddr) -> Option<PooledConn> {
-        let mut pool = self.pool.lock();
-        let conns = pool.get_mut(&addr)?;
-        // Skip over connections that went stale while pooled; the caller
-        // falls back to a fresh connect when none survive.
-        while let Some(conn) = conns.pop() {
-            if conn.is_fresh() {
-                return Some(conn);
-            }
-        }
-        None
-    }
-
-    fn return_pooled(&self, addr: SocketAddr, conn: PooledConn) {
-        let mut pool = self.pool.lock();
-        let conns = pool.entry(addr).or_default();
-        if conns.len() < self.config.pool_per_host {
-            conns.push(conn);
-        }
-    }
-
-    fn round_trip(
-        &self,
-        mut conn: PooledConn,
-        req: &Request,
-    ) -> Result<(Response, PooledConn), NetError> {
-        req.write_to(&mut conn.writer)?;
-        let resp = Response::read_from(&mut conn.reader)?;
-        Ok((resp, conn))
+        self.breakers.as_ref().map_or(0, |b| b.open_count())
     }
 }
 
@@ -613,11 +693,12 @@ mod tests {
             l.local_addr().unwrap()
         };
         let client = HttpClient::builder()
-            .config(ClientConfig {
-                retries: 0,
-                connect_timeout: Duration::from_millis(300),
-                ..ClientConfig::default()
-            })
+            .config(
+                ClientConfig::builder()
+                    .retries(0)
+                    .connect_timeout(Duration::from_millis(300))
+                    .build(),
+            )
             .build();
         assert!(client.get(addr, "/x").is_err());
     }
@@ -725,10 +806,7 @@ mod tests {
         let server =
             HttpServer::spawn(|_req: &Request| Response::ok("text/plain", b"ok".to_vec())).unwrap();
         let client = HttpClient::builder()
-            .config(ClientConfig {
-                pool_per_host: 1,
-                ..ClientConfig::default()
-            })
+            .config(ClientConfig::builder().pool_per_host(1).build())
             .build();
         let addr = server.addr();
         // Two concurrent requests force two connections; only one returns
@@ -758,10 +836,7 @@ mod tests {
         .unwrap();
         let client = Arc::new(
             HttpClient::builder()
-                .config(ClientConfig {
-                    max_inflight: Some(2),
-                    ..ClientConfig::default()
-                })
+                .config(ClientConfig::builder().max_inflight(2).build())
                 .build(),
         );
         let addr = server.addr();
@@ -897,6 +972,88 @@ mod tests {
                 Err(NetError::Status { code: 404, .. })
             ));
         }
+        assert_eq!(client.open_circuits(), 0);
+    }
+
+    #[test]
+    fn batched_gets_complete_in_spec_order() {
+        let server = HttpServer::spawn(|req: &Request| {
+            Response::ok("text/plain", req.path.as_bytes().to_vec())
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        let specs: Vec<FetchSpec> = (0..32)
+            .map(|i| FetchSpec::new(server.addr(), format!("/item/{i}")))
+            .collect();
+        let results = client.get_many(&specs);
+        assert_eq!(results.len(), 32);
+        for (i, r) in results.into_iter().enumerate() {
+            assert_eq!(r.unwrap().body, format!("/item/{i}").into_bytes());
+        }
+    }
+
+    #[test]
+    fn lanes_serialize_same_key_submissions() {
+        // The server logs arrival order; two lanes submitted interleaved
+        // must each arrive in their own submission order.
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen_s = Arc::clone(&seen);
+        let server = HttpServer::spawn(move |req: &Request| {
+            seen_s.lock().push(req.path.clone());
+            Response::ok("text/plain", b"ok".to_vec())
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        let specs: Vec<FetchSpec> = (0..20)
+            .map(|i| FetchSpec::new(server.addr(), format!("/lane{}/{}", i % 2, i / 2)).lane(i % 2))
+            .collect();
+        let results = client.get_many(&specs);
+        assert!(results.into_iter().all(|r| r.is_ok()));
+        let order = seen.lock().clone();
+        for lane in 0..2u64 {
+            let got: Vec<&String> = order
+                .iter()
+                .filter(|p| p.starts_with(&format!("/lane{lane}/")))
+                .collect();
+            let want: Vec<String> = (0..10).map(|i| format!("/lane{lane}/{i}")).collect();
+            assert_eq!(got.len(), 10);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(**g, *w, "lane {lane} arrived out of submission order");
+            }
+        }
+    }
+
+    #[test]
+    fn get_json_decode_failures_are_classified_and_counted() {
+        // A 200 whose body is not JSON must surface as a protocol error
+        // AND hit the error counters / breaker seam like any terminal
+        // failure (the old client's parse path bypassed both).
+        let registry = Registry::new();
+        let server = HttpServer::spawn(|_req: &Request| {
+            Response::ok("application/json", b"not json at all".to_vec())
+        })
+        .unwrap();
+        let client = HttpClient::builder()
+            .metrics(ClientMetrics::register(&registry, &[]))
+            .breaker(BreakerConfig::default())
+            .build();
+        for _ in 0..3 {
+            assert!(matches!(
+                client.get_json(server.addr(), "/index"),
+                Err(NetError::Protocol("response body not valid json"))
+            ));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "marketscope_net_client_errors_total",
+                &[("kind", "protocol")]
+            ),
+            Some(3),
+            "decode failures must be counted"
+        );
+        // A decodable-but-malformed answer is a definitive reply, not
+        // host distress: the breaker stays closed.
         assert_eq!(client.open_circuits(), 0);
     }
 }

@@ -345,19 +345,7 @@ impl Response {
     /// Parse one response from a buffered reader.
     pub fn read_from(r: &mut impl BufRead) -> Result<Response, NetError> {
         let head = read_head(r)?.ok_or(NetError::UnexpectedEof)?;
-        let mut lines = head.split("\r\n");
-        let status_line = lines.next().ok_or(NetError::Protocol("empty head"))?;
-        let mut parts = status_line.splitn(3, ' ');
-        match parts.next() {
-            Some("HTTP/1.1" | "HTTP/1.0") => {}
-            _ => return Err(NetError::Protocol("bad http version")),
-        }
-        let code: u16 = parts
-            .next()
-            .and_then(|c| c.parse().ok())
-            .ok_or(NetError::Protocol("bad status code"))?;
-        let status = Status::from_code(code)?;
-        let mut headers = parse_headers(lines)?;
+        let (status, mut headers) = parse_status_head(&head)?;
         let body = read_body(r, &headers)?;
         headers.remove("content-length");
         Ok(Response {
@@ -366,6 +354,80 @@ impl Response {
             body,
         })
     }
+
+    /// Incrementally parse one response out of an in-memory byte buffer —
+    /// the mux client's entry point (see [`crate::mux`]), where bytes
+    /// arrive in readiness-sized chunks instead of through a blocking
+    /// reader.
+    ///
+    /// Returns `Ok(None)` while the buffer holds only a prefix of a
+    /// response (read more and call again), or `Ok(Some((response, n)))`
+    /// once a full message is present, where `n` is the number of bytes
+    /// consumed — the caller drains them and keeps any residue for the
+    /// next keep-alive exchange. Errors mean the connection is
+    /// unrecoverable: protocol violations and size-cap breaches, with the
+    /// same limits as [`Response::read_from`].
+    pub fn parse_partial(buf: &[u8]) -> Result<Option<(Response, usize)>, NetError> {
+        let window = &buf[..buf.len().min(MAX_HEAD + 4)];
+        let Some(pos) = find_terminator(window) else {
+            if buf.len() >= MAX_HEAD {
+                return Err(NetError::TooLarge {
+                    what: "header",
+                    limit: MAX_HEAD,
+                });
+            }
+            return Ok(None);
+        };
+        let head =
+            std::str::from_utf8(&buf[..pos]).map_err(|_| NetError::Protocol("head not utf-8"))?;
+        let (status, mut headers) = parse_status_head(head)?;
+        let body_len: usize = match headers.get("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| NetError::Protocol("bad content-length"))?,
+        };
+        if body_len > MAX_BODY {
+            return Err(NetError::TooLarge {
+                what: "body",
+                limit: MAX_BODY,
+            });
+        }
+        let body_start = pos + 4;
+        let Some(body_end) = body_start.checked_add(body_len).filter(|&e| e <= buf.len()) else {
+            return Ok(None); // head complete, body still in flight
+        };
+        let body = buf[body_start..body_end].to_vec();
+        headers.remove("content-length");
+        Ok(Some((
+            Response {
+                status,
+                headers,
+                body,
+            },
+            body_end,
+        )))
+    }
+}
+
+/// Parse the status line plus header block (everything before the blank
+/// line) into status and lower-cased headers. Shared by the blocking and
+/// incremental response parsers.
+fn parse_status_head(head: &str) -> Result<(Status, BTreeMap<String, String>), NetError> {
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or(NetError::Protocol("empty head"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    match parts.next() {
+        Some("HTTP/1.1" | "HTTP/1.0") => {}
+        _ => return Err(NetError::Protocol("bad http version")),
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or(NetError::Protocol("bad status code"))?;
+    let status = Status::from_code(code)?;
+    let headers = parse_headers(lines)?;
+    Ok((status, headers))
 }
 
 /// Read the head (request/status line + headers) up to the blank line.
@@ -813,6 +875,77 @@ mod tests {
         );
         assert!(matches!(
             Request::parse_partial(huge_body.as_bytes()),
+            Err(NetError::TooLarge { what: "body", .. })
+        ));
+    }
+
+    #[test]
+    fn response_parse_partial_needs_more_then_matches_read_from() {
+        let mut wire = Vec::new();
+        Response::ok("text/plain", b"hello".to_vec())
+            .write_to(&mut wire)
+            .unwrap();
+        // Every strict prefix is "need more bytes", never an error.
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(Response::parse_partial(&wire[..cut]), Ok(None)),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (resp, used) = Response::parse_partial(&wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        let blocking = Response::read_from(&mut std::io::BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp, blocking, "incremental parse must match read_from");
+        assert_eq!(resp.body, b"hello");
+        assert!(!resp.headers.contains_key("content-length"));
+    }
+
+    #[test]
+    fn response_parse_partial_keep_alive_residue_consumes_in_order() {
+        let mut wire = Vec::new();
+        Response::status(Status::NotFound)
+            .write_to(&mut wire)
+            .unwrap();
+        Response::status_with_retry_after(Status::TooManyRequests, Duration::from_millis(250))
+            .write_to(&mut wire)
+            .unwrap();
+        let (first, used) = Response::parse_partial(&wire).unwrap().unwrap();
+        assert_eq!(first.status, Status::NotFound);
+        let (second, used2) = Response::parse_partial(&wire[used..]).unwrap().unwrap();
+        assert_eq!(second.status, Status::TooManyRequests);
+        assert_eq!(second.retry_after(), Some(Duration::from_millis(250)));
+        assert_eq!(used + used2, wire.len());
+        assert!(matches!(Response::parse_partial(&[]), Ok(None)));
+    }
+
+    #[test]
+    fn response_parse_partial_matches_read_from_on_violations() {
+        for bad in [
+            "HTTP/2 200 OK\r\n\r\n",
+            "HTTP/1.1 banana OK\r\n\r\n",
+            "HTTP/1.1 200 OK\r\nbad header line\r\n\r\n",
+            "HTTP/1.1 200 OK\r\ncontent-length: banana\r\n\r\n",
+        ] {
+            let partial = Response::parse_partial(bad.as_bytes());
+            let blocking = Response::read_from(&mut std::io::BufReader::new(bad.as_bytes()));
+            assert!(partial.is_err(), "{bad:?}");
+            assert!(blocking.is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_parse_partial_enforces_size_caps() {
+        let endless = vec![b'x'; MAX_HEAD + 8];
+        assert!(matches!(
+            Response::parse_partial(&endless),
+            Err(NetError::TooLarge { what: "header", .. })
+        ));
+        let huge_body = format!(
+            "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            Response::parse_partial(huge_body.as_bytes()),
             Err(NetError::TooLarge { what: "body", .. })
         ));
     }

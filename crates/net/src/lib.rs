@@ -12,8 +12,11 @@
 //! [`Handler`](server::Handler) trait running on a bounded worker pool —
 //! C10k-scale concurrency at a constant thread count, with no async
 //! runtime (per the networking guides' advice, a readiness loop over
-//! `std::net` is all a loopback fleet needs). The client stays blocking
-//! with a keep-alive connection pool.
+//! `std::net` is all a loopback fleet needs). The client side mirrors
+//! it: a multiplexed submit/complete engine ([`mux`]) where one driver
+//! thread owns every connection as a nonblocking state machine and the
+//! blocking [`HttpClient`] surface is a thin submit-then-wait wrapper,
+//! so crawl fan-out is bounded by sockets, not threads.
 //!
 //! Protocol subset: `GET`/`POST`, `Content-Length` bodies (no chunked
 //! encoding), `Connection: keep-alive`/`close`, status codes the market
@@ -44,16 +47,20 @@ pub mod client;
 pub mod error;
 pub mod fault;
 pub mod http;
+pub mod mux;
 pub mod ratelimit;
 pub mod reactor;
 pub mod resilience;
 pub mod router;
 pub mod server;
 
-pub use client::{ClientMetrics, HttpClient, HttpClientBuilder};
+pub use client::{
+    ClientConfig, ClientConfigBuilder, ClientMetrics, FetchSpec, HttpClient, HttpClientBuilder,
+};
 pub use error::NetError;
 pub use fault::{FaultAction, FaultInjector, FaultMetrics, FaultPlan};
 pub use http::{Method, Request, Response, Status};
+pub use mux::{MuxClient, Ticket};
 pub use ratelimit::{RateLimitMetrics, TokenBucket};
 pub use reactor::ReactorConfig;
 pub use resilience::{

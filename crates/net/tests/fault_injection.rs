@@ -44,10 +44,7 @@ fn faulty_server(seed: u64, plan: FaultPlan) -> ServerHandle {
 /// breaker — it sees faults exactly as injected.
 fn bare_client() -> HttpClient {
     HttpClient::builder()
-        .config(ClientConfig {
-            retries: 0,
-            ..ClientConfig::default()
-        })
+        .config(ClientConfig::builder().retries(0).build())
         .build()
 }
 
@@ -172,10 +169,7 @@ fn retry_policy_rides_out_flapping_downtime() {
     );
     let registry = Registry::new();
     let client = HttpClient::builder()
-        .config(ClientConfig {
-            retries: 0,
-            ..ClientConfig::default()
-        })
+        .config(ClientConfig::builder().retries(0).build())
         .retry(RetryPolicy::default())
         .resilience_metrics(ResilienceMetrics::register(&registry, &[]))
         .build();
@@ -209,10 +203,7 @@ fn breaker_fast_fails_against_a_market_that_stays_dark() {
         },
     );
     let client = HttpClient::builder()
-        .config(ClientConfig {
-            retries: 0,
-            ..ClientConfig::default()
-        })
+        .config(ClientConfig::builder().retries(0).build())
         .breaker(BreakerConfig {
             failure_threshold: 3,
             cooldown_rejections: 100,

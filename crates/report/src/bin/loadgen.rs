@@ -1,7 +1,7 @@
 //! Standalone perf-baseline CLI.
 //!
 //! ```text
-//! loadgen run [--seed N] [--divisor N] [--profile smoke|saturation|c10k]
+//! loadgen run [--seed N] [--divisor N] [--profile smoke|saturation|c10k|fanout]
 //!             [--label LABEL] [--out DIR] [--max-inflight N]
 //! loadgen bench-diff OLD.json NEW.json [--max-rps-drop F] [--max-p99-rise F]
 //!             [--p99-floor-ns N] [--max-rss-rise F] [--max-alloc-rise F]
@@ -76,7 +76,7 @@ fn run(mut args: impl Iterator<Item = String>) {
             "--profile" => {
                 profile = args
                     .next()
-                    .unwrap_or_else(|| usage("--profile needs smoke|saturation|c10k"));
+                    .unwrap_or_else(|| usage("--profile needs smoke|saturation|c10k|fanout"));
             }
             "--label" => {
                 label = args.next().unwrap_or_else(|| usage("--label needs a name"));
@@ -104,7 +104,11 @@ fn run(mut args: impl Iterator<Item = String>) {
         // against one market while the smoke steps run; the BENCH file's
         // `held_connections` and `threads_peak` record the result.
         "c10k" => LoadConfig::c10k(seed),
-        _ => usage("--profile needs smoke|saturation|c10k"),
+        // The fan-out profile submits each step's whole plan through the
+        // mux driver open-loop from one thread; the BENCH file's RPS is
+        // multiplexed-client fan-out, not thread-pile concurrency.
+        "fanout" => LoadConfig::fanout(seed),
+        _ => usage("--profile needs smoke|saturation|c10k|fanout"),
     };
     config.max_inflight = max_inflight;
 
@@ -218,7 +222,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: loadgen run [--seed N] [--divisor N] [--profile smoke|saturation|c10k] [--label LABEL] [--out DIR] [--max-inflight N]"
+        "usage: loadgen run [--seed N] [--divisor N] [--profile smoke|saturation|c10k|fanout] [--label LABEL] [--out DIR] [--max-inflight N]"
     );
     eprintln!(
         "       loadgen bench-diff OLD.json NEW.json [--max-rps-drop F] [--max-p99-rise F] [--p99-floor-ns N] [--max-rss-rise F] [--max-alloc-rise F]"

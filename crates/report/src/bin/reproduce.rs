@@ -4,7 +4,7 @@
 //! ```text
 //! reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress]
 //!           [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy]
-//!           [--ops-bundle DIR] [--bench LABEL]
+//!           [--ops-bundle DIR] [--bench LABEL] [--bench-profile smoke|fanout]
 //! ```
 //!
 //! `--trace-out FILE` samples every fetch (trace rate 1.0) and writes the
@@ -23,7 +23,9 @@
 //! events), `events.json` (structured log) — for archiving or diffing.
 //!
 //! `--bench LABEL` follows the campaign with a short load-generation
-//! pass (the `marketscope_loadgen` smoke profile) against a fresh fleet
+//! pass against a fresh fleet — the `marketscope_loadgen` smoke profile
+//! by default, or the open-loop `fanout` profile with
+//! `--bench-profile fanout`
 //! over the same world, and writes a schema-versioned `BENCH_LABEL.json`
 //! — achieved RPS, per-endpoint latency quantiles, resource peaks, and
 //! the campaign's per-stage analysis timings. Compare two of them with
@@ -46,6 +48,7 @@ fn main() {
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut ops_bundle: Option<std::path::PathBuf> = None;
     let mut bench_label: Option<String> = None;
+    let mut bench_profile = "smoke".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -109,6 +112,14 @@ fn main() {
                         .unwrap_or_else(|| usage("--bench needs a label")),
                 );
             }
+            "--bench-profile" => {
+                bench_profile = args
+                    .next()
+                    .unwrap_or_else(|| usage("--bench-profile needs smoke|fanout"));
+                if !matches!(bench_profile.as_str(), "smoke" | "fanout") {
+                    usage("--bench-profile needs smoke|fanout");
+                }
+            }
             "--progress" => config.progress = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
@@ -171,12 +182,16 @@ fn main() {
         );
     }
     if let Some(label) = bench_label {
-        eprintln!("bench: running loadgen smoke profile against a fresh fleet ...");
+        eprintln!("bench: running loadgen {bench_profile} profile against a fresh fleet ...");
         // The campaign stopped its fleet; the perf baseline gets its own
         // over the same world so the load run measures serving, not the
         // crawl's leftovers.
         let fleet = MarketFleet::spawn(Arc::clone(&campaign.world)).expect("spawn fleet");
-        let load = marketscope_loadgen::run_against(&fleet, &LoadConfig::smoke(config.seed));
+        let load_config = match bench_profile.as_str() {
+            "fanout" => LoadConfig::fanout(config.seed),
+            _ => LoadConfig::smoke(config.seed),
+        };
+        let load = marketscope_loadgen::run_against(&fleet, &load_config);
         fleet.stop();
         let report = BenchReport {
             label,
@@ -245,7 +260,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy] [--ops-bundle DIR] [--bench LABEL]"
+        "usage: reproduce [--seed N] [--scale small|medium|large] [--only ARTIFACT] [--out DIR] [--progress] [--trace-out FILE] [--chaos-seed N] [--chaos-profile light|heavy] [--ops-bundle DIR] [--bench LABEL] [--bench-profile smoke|fanout]"
     );
     eprintln!("artifacts: table1..table6, fig1..fig13, leaks, sec53, sec64, ops");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
